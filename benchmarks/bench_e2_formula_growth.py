@@ -1,0 +1,67 @@
+"""E2 — formula growth per iteration (paper §2 size arguments).
+
+Regenerates the growth series behind the paper's space claims:
+
+* formula (1): one extra TR copy per step — Θ(k·|TR|);
+* formula (2): one state vector + selector per step — Θ(k·n), slope
+  independent of |TR|; 2n universals constant in k;
+* formula (3): Θ(n·log k) with ⌈log₂ k⌉ alternations;
+* jSAT: constant resident encoding (single TR copy).
+"""
+
+from repro.bmc.metrics import growth_table
+from repro.harness.experiments import run_e2
+from repro.models import mixer
+
+BOUNDS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def bench_e2_formula_growth(benchmark):
+    table, report = benchmark.pedantic(
+        lambda: run_e2(bounds=BOUNDS), rounds=1, iterations=1)
+    print()
+    print(report)
+
+    unroll = [row["literals"] for row in table["sat-unroll"]]
+    qbf = [row["literals"] for row in table["qbf"]]
+    squaring = [row["literals"] for row in table["qbf-squaring"]]
+    jsat = [row["literals"] for row in table["jsat"]]
+
+    # Formula (1): linear growth, slope ~|TR|.
+    slopes = [(unroll[i + 1] - unroll[i])
+              / (BOUNDS[i + 1] - BOUNDS[i])
+              for i in range(len(BOUNDS) - 1)]
+    assert max(slopes) / min(slopes) < 1.1          # constant slope
+
+    # Formula (2): much smaller slope (independent of |TR|).
+    qbf_slope = (qbf[-1] - qbf[-2]) / (BOUNDS[-1] - BOUNDS[-2])
+    assert qbf_slope < slopes[-1] / 3
+
+    # Formula (3): logarithmic — equal increments per doubling.
+    increments = [squaring[i + 1] - squaring[i]
+                  for i in range(1, len(squaring) - 1)]
+    assert max(increments) - min(increments) <= max(increments) * 0.2
+
+    # jSAT: constant resident size.
+    assert len(set(jsat)) == 1
+
+    # At the largest bound the ordering of the paper holds.
+    assert unroll[-1] > qbf[-1] > squaring[-1] > 0
+    assert jsat[-1] < unroll[-1]
+
+
+def bench_e2_universal_counts(benchmark):
+    """The ∀-block width: constant for (2), growing for (3)."""
+    system, final, _ = mixer.make(10, 4)
+
+    def collect():
+        return growth_table(system, final, [2, 4, 8, 16],
+                            methods=["qbf", "qbf-squaring"])
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    qbf_universals = [row["universals"] for row in table["qbf"]]
+    squaring_universals = [row["universals"]
+                           for row in table["qbf-squaring"]]
+    assert len(set(qbf_universals)) == 1
+    assert sorted(squaring_universals) == squaring_universals
+    assert squaring_universals[-1] > squaring_universals[0]

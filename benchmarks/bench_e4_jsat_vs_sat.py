@@ -1,0 +1,53 @@
+"""E4 — jSAT vs the base SAT solver on formula (1), per family.
+
+Paper §3: jSAT solved 143 instances "compared to 184 corresponding SAT
+instances solved by the solver on which we based our implementation".
+This bench reproduces the head-to-head on a stratified subset and
+checks that jSAT stays within the paper's ratio band (roughly 0.6-1.0
+of SAT's solved count) while never answering incorrectly.
+"""
+
+from repro.harness.experiments import run_e4
+from repro.harness.runner import solved_counts
+from repro.models import build_suite
+
+
+def bench_e4_jsat_vs_sat(benchmark):
+    instances = build_suite()[::3]
+    results, report = benchmark.pedantic(
+        lambda: run_e4(instances=instances, budget_scale=0.5),
+        rounds=1, iterations=1)
+    print()
+    print(report)
+    counts = solved_counts(results)
+    sat = counts["sat-unroll"]
+    jsat = counts["jsat"]
+    assert sat["wrong"] == jsat["wrong"] == 0
+    assert sat["solved"] >= jsat["solved"]
+    # Paper ratio: 143/184 ≈ 0.78; allow a generous band.
+    assert jsat["solved"] >= 0.55 * sat["solved"]
+
+
+def bench_e4_agreement(benchmark):
+    """Where both answer, they must answer identically."""
+    instances = build_suite()[::7]
+
+    def run():
+        results, _ = run_e4(instances=instances, budget_scale=0.4)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_instance = {}
+    for cell in results:
+        by_instance.setdefault(cell.instance.name, {})[cell.method] = cell
+    compared = 0
+    for name, cells in by_instance.items():
+        if len(cells) == 2:
+            a = cells["sat-unroll"]
+            b = cells["jsat"]
+            from repro.sat.types import SolveResult
+            if a.status is not SolveResult.UNKNOWN and \
+                    b.status is not SolveResult.UNKNOWN:
+                assert a.status is b.status, name
+                compared += 1
+    assert compared > 10

@@ -1,0 +1,49 @@
+"""E7 — jSAT design-choice ablations (DESIGN.md §4).
+
+Toggles the no-good cache and the final-window F-pruning and measures
+solved counts and window-query effort on a suite subset.  The full
+configuration must never lose to the ablated ones on solved count, and
+the cache must pay for itself in queries on revisit-heavy designs.
+"""
+
+from repro.harness.experiments import run_e7
+from repro.models import build_suite
+
+
+def bench_e7_ablation(benchmark):
+    instances = [i for i in build_suite() if i.k <= 12][:60]
+    summary, report = benchmark.pedantic(
+        lambda: run_e7(instances=instances, budget_scale=0.5),
+        rounds=1, iterations=1)
+    print()
+    print(report)
+    full = summary["jsat (full)"]
+    for label, row in summary.items():
+        assert row["solved"] <= full["solved"] + 1, \
+            f"{label} outsolved the full configuration"
+    # All variants answer (budget allowing) — none may be wrong; the
+    # runner folds wrong answers into `solved` checks upstream.
+    assert full["solved"] >= 0.8 * full["total"]
+
+
+def bench_e7_cache_effect_on_revisits(benchmark):
+    """On diamond-rich state graphs the cache slashes window queries."""
+    from repro.bmc.jsat import JsatSolver
+    from repro.models import lfsr
+
+    system, final, depth = lfsr.make(8, 40)
+
+    def run():
+        cached = JsatSolver(system, final, depth + 1, use_cache=True)
+        uncached = JsatSolver(system, final, depth + 1, use_cache=False)
+        r1 = cached.solve()
+        r2 = uncached.solve()
+        return cached, uncached, r1, r2
+
+    cached, uncached, r1, r2 = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+    print()
+    print(f"queries with cache: {cached.stats.queries}, "
+          f"without: {uncached.stats.queries}")
+    assert r1 is r2
+    assert cached.stats.queries <= uncached.stats.queries

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate solvers.
+
+Not a paper artifact — these keep the CDCL/QDPLL substrates honest
+(throughput regressions would silently distort E1/E4/E5 comparisons).
+"""
+
+import random
+
+from repro.logic.cnf import CNF
+from repro.qbf import PCNF, QdpllSolver
+from repro.sat import CdclSolver, SolveResult
+
+
+def _random_3sat(n, ratio, seed):
+    rng = random.Random(seed)
+    cnf = CNF(n)
+    for _ in range(int(ratio * n)):
+        clause = rng.sample(range(1, n + 1), 3)
+        cnf.add_clause([rng.choice([1, -1]) * v for v in clause])
+    return cnf
+
+
+def bench_cdcl_random_3sat_sat_region(benchmark):
+    cnf = _random_3sat(120, 3.5, seed=11)
+
+    def run():
+        solver = CdclSolver()
+        solver.add_clauses(cnf.clauses)
+        return solver.solve()
+
+    result = benchmark(run)
+    assert result is SolveResult.SAT
+
+
+def bench_cdcl_random_3sat_phase_transition(benchmark):
+    cnf = _random_3sat(60, 4.26, seed=7)
+
+    def run():
+        solver = CdclSolver()
+        solver.add_clauses(cnf.clauses)
+        return solver.solve()
+
+    result = benchmark(run)
+    assert result in (SolveResult.SAT, SolveResult.UNSAT)
+
+
+def bench_cdcl_pigeonhole(benchmark):
+    def run():
+        solver = CdclSolver()
+        holes = 5
+        def var(i, j):
+            return i * holes + j + 1
+        for i in range(holes + 1):
+            solver.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(holes + 1):
+                for i2 in range(i1 + 1, holes + 1):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        return solver.solve()
+
+    assert benchmark(run) is SolveResult.UNSAT
+
+
+def bench_cdcl_incremental_assumptions(benchmark):
+    cnf = _random_3sat(80, 3.0, seed=3)
+    solver = CdclSolver()
+    solver.add_clauses(cnf.clauses)
+    rng = random.Random(5)
+
+    def run():
+        outcomes = []
+        for _ in range(10):
+            assumptions = [rng.choice([1, -1]) * rng.randint(1, 80)
+                           for _ in range(3)]
+            outcomes.append(solver.solve(assumptions))
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert all(o is not SolveResult.UNKNOWN for o in outcomes)
+
+
+def bench_qdpll_small_2qbf(benchmark):
+    rng = random.Random(13)
+    n = 14
+    cnf = CNF(n)
+    for _ in range(30):
+        cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, n)
+                        for _ in range(3)])
+    pcnf = PCNF([("e", tuple(range(1, 8))), ("a", tuple(range(8, 11))),
+                 ("e", tuple(range(11, n + 1)))], cnf)
+
+    def run():
+        return QdpllSolver(pcnf).solve()
+
+    result = benchmark(run)
+    assert result in (SolveResult.SAT, SolveResult.UNSAT)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The three reachability formulations, exported and solved.
+
+Shows the actual artifacts of the paper's §2: builds formulae (1), (2)
+and (3) for the same query, prints their sizes and prefix shapes,
+writes the QBF forms to QDIMACS (the solver exchange format), and races
+the general-purpose QDPLL against jSAT on the formula-(2) semantics —
+the paper's §3 evaluation in miniature.
+
+Run:  python examples/qbf_formulations.py
+"""
+
+from repro.bmc import (JsatSolver, encode_qbf, encode_squaring,
+                       encode_unrolled)
+from repro.models import lfsr
+from repro.qbf import QdpllSolver
+from repro.sat.types import Budget
+
+
+def main() -> None:
+    system, final, depth = lfsr.make(5, 11)
+    k = 4
+    print(f"design: {system.name}; query: exact-{k} reachability\n")
+
+    unrolled = encode_unrolled(system, final, k)
+    print(f"formula (1): {unrolled.stats()}")
+
+    qbf = encode_qbf(system, final, k)
+    shape = " ".join(f"{q}{len(vs)}" for q, vs in qbf.pcnf.prefix)
+    print(f"formula (2): {qbf.stats()}")
+    print(f"             prefix shape: {shape}")
+
+    squaring = encode_squaring(system, final, k)
+    shape = " ".join(f"{q}{len(vs)}" for q, vs in squaring.pcnf.prefix)
+    print(f"formula (3): {squaring.stats()}")
+    print(f"             prefix shape: {shape}\n")
+
+    qdimacs = qbf.pcnf.to_qdimacs(
+        comments=[f"{system.name} exact-{k} reachability, formula (2)"])
+    print("QDIMACS export of formula (2), first 5 lines:")
+    for line in qdimacs.splitlines()[:5]:
+        print(f"    {line}")
+    print()
+
+    print("racing the two decision procedures for formula (2):")
+    solver = QdpllSolver(qbf.pcnf)
+    status = solver.solve(budget=Budget(max_seconds=2.0))
+    print(f"  general-purpose QDPLL: {status.name:8s} "
+          f"({solver.stats.decisions} decisions)")
+
+    jsat = JsatSolver(system, final, k)
+    status = jsat.solve()
+    print(f"  special-purpose jSAT:  {status.name:8s} "
+          f"({jsat.stats.queries} window queries, "
+          f"{jsat.stats.sat_conflicts} conflicts)")
+    print("\n(the paper's §3: general QBF solvers solved ~3 of 234 such "
+          "instances;\n jSAT solved 143 within the same limits)")
+
+
+if __name__ == "__main__":
+    main()

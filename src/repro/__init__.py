@@ -1,0 +1,20 @@
+"""repro — Space-Efficient Bounded Model Checking.
+
+A reproduction of Katz, Hanna & Dershowitz, "Space-Efficient Bounded
+Model Checking" (DATE 2005): QBF formulations of bounded reachability
+that avoid unrolling the transition relation, and the special-purpose
+jSAT decision procedure, together with every substrate they need (CDCL
+SAT solver, QDPLL QBF solver, transition-system modelling, benchmark
+designs and the evaluation harness).
+
+Quickstart
+----------
+>>> from repro.models import counter
+>>> from repro.bmc import check_reachability
+>>> system, final, depth = counter.make(width=4, target=9)
+>>> result = check_reachability(system, final, k=9, method="jsat")
+>>> result.status.name
+'SAT'
+"""
+
+__version__ = "1.0.0"

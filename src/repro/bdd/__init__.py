@@ -1,0 +1,6 @@
+"""ROBDDs and BDD-based symbolic reachability (the classical baseline)."""
+
+from .bdd import BddManager
+from .reachability import BddReachability
+
+__all__ = ["BddManager", "BddReachability"]

@@ -1,0 +1,145 @@
+"""BDD-based symbolic reachability — the classical baseline.
+
+Implements the two image-computation strategies the paper's §2
+contrasts its QBF encodings with:
+
+* **breadth-first image iteration** — `Reach_{i+1} = Reach_i ∨
+  Img(Reach_i)` until fixpoint (one TR step per iteration);
+* **iterative squaring on the transition relation** — `TR_{2k}(x, y) =
+  ∃z : TR_k(x, z) ∧ TR_k(z, y)`, doubling the step count per iteration
+  exactly like formula (3) does symbolically.
+
+Variable ordering interleaves current/next/aux copies of each state
+bit, the standard choice for transition relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.expr import Expr
+from ..system.model import TransitionSystem, primed
+from .bdd import BddManager
+
+__all__ = ["BddReachability"]
+
+
+class BddReachability:
+    """Symbolic reachability for a transition system via ROBDDs."""
+
+    def __init__(self, system: TransitionSystem,
+                 max_nodes: int = 2_000_000) -> None:
+        self.system = system
+        self.max_nodes = max_nodes
+        order: List[str] = []
+        for v in system.state_vars:
+            order.extend((v, primed(v), f"{v}~aux"))
+        order.extend(system.input_vars)
+        self.manager = BddManager(order)
+        self.init_bdd = self.manager.from_expr(system.init)
+        trans = self.manager.from_expr(system.trans)
+        # Quantify the primary inputs out of TR once: TR(x, x').
+        self.trans_bdd = self.manager.exists(system.input_vars, trans)
+        self._curr = list(system.state_vars)
+        self._next = [primed(v) for v in system.state_vars]
+        self._aux = [f"{v}~aux" for v in system.state_vars]
+
+    # ------------------------------------------------------------------
+    def _check_nodes(self) -> None:
+        if self.manager.size() > self.max_nodes:
+            raise MemoryError(
+                f"BDD node limit exceeded ({self.manager.size()} nodes) — "
+                f"the memory explosion the paper's §1 describes")
+
+    def image(self, states: int) -> int:
+        """Forward image: states reachable in one step."""
+        step = self.manager.apply_and(states, self.trans_bdd)
+        step = self.manager.exists(self._curr, step)
+        out = self.manager.rename(step,
+                                  dict(zip(self._next, self._curr)))
+        self._check_nodes()
+        return out
+
+    def reachable_fixpoint(self) -> Tuple[int, int]:
+        """All reachable states; returns (bdd, iterations)."""
+        reached = self.init_bdd
+        frontier = self.init_bdd
+        iterations = 0
+        while frontier != self.manager.false:
+            iterations += 1
+            img = self.image(frontier)
+            new = self.manager.apply_and(img, self.manager.apply_not(reached))
+            reached = self.manager.apply_or(reached, img)
+            frontier = new
+        return reached, iterations
+
+    def layers(self, count: int) -> List[int]:
+        """``layers[i]`` = BDD of states reachable in exactly i steps."""
+        out = [self.init_bdd]
+        for _ in range(count):
+            out.append(self.image(out[-1]))
+        return out
+
+    # ------------------------------------------------------------------
+    def squared_relations(self, max_power: int) -> List[int]:
+        """TR_1, TR_2, TR_4, ... via iterative squaring.
+
+        ``TR_{2k}(x, y) = ∃z: TR_k(x, z) ∧ TR_k(z, y)`` — the BDD
+        analogue of formula (3); each entry relates states exactly
+        2^i steps apart.
+        """
+        m = self.manager
+        relations = [self.trans_bdd]
+        for _ in range(max_power):
+            tr = relations[-1]
+            left = m.rename(tr, dict(zip(self._next, self._aux)))
+            right = m.rename(tr, dict(zip(self._curr, self._aux)))
+            composed = m.exists(self._aux, m.apply_and(left, right))
+            relations.append(composed)
+            self._check_nodes()
+        return relations
+
+    # ------------------------------------------------------------------
+    # Queries (oracle-compatible signatures)
+    # ------------------------------------------------------------------
+    def reachable_in_exactly(self, predicate: Expr, k: int) -> bool:
+        target = self.manager.from_expr(predicate)
+        layer = self.layers(k)[k]
+        return self.manager.apply_and(layer, target) != self.manager.false
+
+    def reachable_within(self, predicate: Expr, k: int) -> bool:
+        target = self.manager.from_expr(predicate)
+        m = self.manager
+        reached = self.init_bdd
+        if m.apply_and(reached, target) != m.false:
+            return True
+        frontier = reached
+        for _ in range(k):
+            img = self.image(frontier)
+            if m.apply_and(img, target) != m.false:
+                return True
+            frontier = m.apply_and(img, m.apply_not(reached))
+            reached = m.apply_or(reached, img)
+            if frontier == m.false:
+                return False
+        return False
+
+    def shortest_distance(self, predicate: Expr,
+                          max_depth: int = 1 << 16) -> Optional[int]:
+        target = self.manager.from_expr(predicate)
+        m = self.manager
+        reached = self.init_bdd
+        frontier = reached
+        depth = 0
+        while frontier != m.false and depth <= max_depth:
+            if m.apply_and(frontier, target) != m.false:
+                return depth
+            img = self.image(frontier)
+            frontier = m.apply_and(img, m.apply_not(reached))
+            reached = m.apply_or(reached, img)
+            depth += 1
+        return None
+
+    def count_reachable(self) -> int:
+        reached, _ = self.reachable_fixpoint()
+        return self.manager.count_sat(reached, self.system.state_vars)

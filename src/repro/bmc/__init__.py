@@ -1,0 +1,39 @@
+"""Bounded model checking: the paper's encodings, jSAT, and the engine."""
+
+from .allsat import AllSatReachability
+from .completeness import (UnboundedResult, longest_simple_path_reached,
+                           verify_unbounded)
+from .engine import METHODS, BmcResult, check_reachability, find_reachable
+from .induction import InductionResult, prove_by_induction
+from .interpolation import InterpolationResult, prove_by_interpolation
+from .jsat import JsatSolver, JsatStats
+from .metrics import encoding_sizes, growth_table, jsat_resident_size
+from .qbf_encoding import QbfEncoding, encode_qbf
+from .squaring import SquaringEncoding, encode_squaring
+from .unroll import UnrolledEncoding, encode_unrolled
+
+__all__ = [
+    "check_reachability",
+    "verify_unbounded",
+    "UnboundedResult",
+    "longest_simple_path_reached",
+    "AllSatReachability",
+    "find_reachable",
+    "prove_by_induction",
+    "InductionResult",
+    "prove_by_interpolation",
+    "InterpolationResult",
+    "BmcResult",
+    "METHODS",
+    "JsatSolver",
+    "JsatStats",
+    "encode_unrolled",
+    "UnrolledEncoding",
+    "encode_qbf",
+    "QbfEncoding",
+    "encode_squaring",
+    "SquaringEncoding",
+    "encoding_sizes",
+    "growth_table",
+    "jsat_resident_size",
+]

@@ -1,0 +1,142 @@
+"""All-solutions-SAT reachability analysis.
+
+The paper's introduction lists "SAT-based reachability analysis based
+on 'all-solutions' SAT solvers" among the symbolic techniques that
+suffer memory explosion.  This module implements that baseline: each
+breadth-first image is computed by enumerating the models of
+``frontier(Z) ∧ TR(Z, X, Z')`` with blocking clauses on the projected
+next-state minterms — one shared incremental CDCL instance, blocking
+clauses standing in for the enumerated state sets (whose growth is
+exactly the blow-up the intro describes; ``peak_blocking_literals``
+exposes it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, BudgetExceeded, SolveResult
+from ..system.model import TransitionSystem
+
+__all__ = ["AllSatReachability"]
+
+State = Tuple[bool, ...]
+
+
+class AllSatReachability:
+    """Breadth-first reachability by SAT solution enumeration."""
+
+    def __init__(self, system: TransitionSystem) -> None:
+        self.system = system
+        self.pool = VarPool()
+        cnf = CNF()
+        encoder = TseitinEncoder(cnf, self.pool)
+        self._u = [self.pool.named(f"{v}#U") for v in system.state_vars]
+        self._v = [self.pool.named(f"{v}#V") for v in system.state_vars]
+        trans = system.trans_between(
+            [f"{v}#U" for v in system.state_vars],
+            [f"{v}#V" for v in system.state_vars], input_suffix="#X")
+        self._trans_act = self.pool.fresh("act")
+        trans_lit = encoder.encode(trans)
+        init_u = system.rename_state_expr(system.init,
+                                          [f"{v}#U" for v in
+                                           system.state_vars])
+        self._init_act = self.pool.fresh("act_i")
+        init_lit = encoder.encode(init_u) if not init_u.is_true else None
+        self.solver = CdclSolver()
+        self.solver.ensure_vars(max(cnf.num_vars, self.pool.num_vars))
+        self.solver.add_clauses(cnf.clauses)
+        self.solver.add_clause([-self._trans_act, trans_lit])
+        if init_lit is not None:
+            self.solver.add_clause([-self._init_act, init_lit])
+        self.peak_blocking_literals = 0
+        self.total_blocking_literals = 0
+        self._blocking_literals = 0
+
+    # ------------------------------------------------------------------
+    def _enumerate(self, assumptions: List[int], read_vars: List[int],
+                   budget: Budget | None) -> Set[State]:
+        """All distinct projections of models onto ``read_vars``."""
+        out: Set[State] = set()
+        group = self.solver.new_var()
+        while True:
+            result = self.solver.solve([group] + assumptions, budget=budget)
+            if result is SolveResult.UNKNOWN:
+                self.solver.add_clause([-group])
+                raise BudgetExceeded("all-sat enumeration")
+            if result is SolveResult.UNSAT:
+                break
+            state = tuple(bool(self.solver.model_value(v))
+                          for v in read_vars)
+            out.add(state)
+            block = [-group]
+            block.extend(-v if bit else v
+                         for v, bit in zip(read_vars, state))
+            self.solver.add_clause(block)
+            self._blocking_literals += len(block)
+            self.total_blocking_literals += len(block)
+            if self._blocking_literals > self.peak_blocking_literals:
+                self.peak_blocking_literals = self._blocking_literals
+        self.solver.add_clause([-group])
+        self.solver.purge_satisfied()
+        self._blocking_literals = 0
+        return out
+
+    def initial_states(self, budget: Budget | None = None) -> Set[State]:
+        """Enumerate I by All-SAT (no transition required)."""
+        return self._enumerate([self._init_act], self._u, budget)
+
+    def image(self, states: Set[State],
+              budget: Budget | None = None) -> Set[State]:
+        """Successors of a concrete state set, one All-SAT run per state."""
+        out: Set[State] = set()
+        for state in states:
+            assumptions = [self._trans_act]
+            assumptions += [v if bit else -v
+                            for v, bit in zip(self._u, state)]
+            out |= self._enumerate(assumptions, self._v, budget)
+        return out
+
+    # ------------------------------------------------------------------
+    def layers(self, count: int,
+               budget: Budget | None = None) -> List[Set[State]]:
+        out = [self.initial_states(budget)]
+        for _ in range(count):
+            out.append(self.image(out[-1], budget))
+        return out
+
+    def reachable_fixpoint(self, budget: Budget | None = None
+                           ) -> Tuple[Set[State], int]:
+        reached = self.initial_states(budget)
+        frontier = set(reached)
+        iterations = 0
+        while frontier:
+            iterations += 1
+            new = self.image(frontier, budget) - reached
+            reached |= new
+            frontier = new
+        return reached, iterations
+
+    def shortest_distance(self, predicate: Expr,
+                          budget: Budget | None = None) -> Optional[int]:
+        names = self.system.state_vars
+
+        def hits(states: Set[State]) -> bool:
+            return any(predicate.evaluate(dict(zip(names, s)))
+                       for s in states)
+
+        reached = self.initial_states(budget)
+        frontier = set(reached)
+        depth = 0
+        while frontier:
+            if hits(frontier):
+                return depth
+            new = self.image(frontier, budget) - reached
+            reached |= new
+            frontier = new
+            depth += 1
+        return None

@@ -1,0 +1,267 @@
+"""The BMC front end: one entry point over the four decision methods.
+
+``check_reachability`` answers a single bounded query with any of:
+
+* ``"sat-unroll"`` — formula (1) + the CDCL solver (the classical
+  baseline the paper compares against);
+* ``"qbf"`` — formula (2) + a general-purpose QBF solver (QDPLL by
+  default, the expansion solver as an alternative back end);
+* ``"qbf-squaring"`` — formula (3) + a general-purpose QBF solver;
+* ``"jsat"`` — the special-purpose jSAT procedure on formula (2)'s
+  semantics.
+
+``find_reachable`` iterates bounds (linear stepping or the squaring
+schedule) until a target is reached — the "complete model checking
+procedure" loop of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..logic.expr import Expr
+from ..qbf.expansion import ExpansionSolver
+from ..qbf.qdpll import QdpllSolver
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+from .jsat import JsatSolver
+from .qbf_encoding import encode_qbf
+from .squaring import encode_squaring
+from .unroll import encode_unrolled
+
+__all__ = ["BmcResult", "check_reachability", "find_reachable", "METHODS"]
+
+METHODS = ("sat-unroll", "qbf", "qbf-squaring", "jsat")
+
+
+class BmcResult:
+    """Outcome of one bounded reachability query.
+
+    Attributes
+    ----------
+    status:
+        SAT (target reachable at the queried bound), UNSAT, or UNKNOWN
+        (budget exhausted).
+    trace:
+        Validated witness path for SAT answers, when the back end could
+        produce one (always for sat-unroll and jsat).
+    k:
+        The bound queried.
+    method:
+        The decision method used.
+    seconds:
+        Wall-clock time of the query.
+    stats:
+        Method-specific counters (formula sizes, solver statistics).
+    """
+
+    def __init__(self, status: SolveResult, trace: Optional[Trace],
+                 k: int, method: str, seconds: float,
+                 stats: Dict[str, int]) -> None:
+        self.status = status
+        self.trace = trace
+        self.k = k
+        self.method = method
+        self.seconds = seconds
+        self.stats = stats
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BmcResult({self.status.name}, k={self.k}, "
+                f"method={self.method!r}, {self.seconds * 1e3:.1f} ms)")
+
+
+def _next_power_of_two(k: int) -> int:
+    return 1 if k <= 1 else 1 << (k - 1).bit_length()
+
+
+def check_reachability(system: TransitionSystem, final: Expr, k: int,
+                       method: str = "sat-unroll",
+                       semantics: str = "exact",
+                       budget: Budget | None = None,
+                       qbf_backend: str = "qdpll",
+                       **options) -> BmcResult:
+    """Decide whether ``final`` is reachable at bound ``k``.
+
+    ``semantics`` is "exact" (in exactly k steps — the paper's query) or
+    "within" (in at most k steps).  For ``qbf-squaring`` the bound must
+    be a power of two in exact mode; in within mode the system is given
+    self-loops and the bound is rounded up, as §2 of the paper suggests.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
+    if semantics not in ("exact", "within"):
+        raise ValueError(f"unknown semantics {semantics!r}")
+    start = time.perf_counter()
+
+    if method == "sat-unroll":
+        result = _check_unroll(system, final, k, semantics, budget, options)
+    elif method == "jsat":
+        result = _check_jsat(system, final, k, semantics, budget, options)
+    elif method == "qbf":
+        result = _check_qbf(system, final, k, semantics, budget,
+                            qbf_backend, options)
+    else:
+        result = _check_squaring(system, final, k, semantics, budget,
+                                 qbf_backend, options)
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+# ----------------------------------------------------------------------
+def _check_unroll(system: TransitionSystem, final: Expr, k: int,
+                  semantics: str, budget: Budget | None,
+                  options: Dict) -> BmcResult:
+    encoding = encode_unrolled(
+        system, final, k, semantics,
+        polarity_reduction=options.get("polarity_reduction", False))
+    solver = CdclSolver()
+    solver.ensure_vars(encoding.cnf.num_vars)
+    ok = solver.add_clauses(encoding.cnf.clauses)
+    status = solver.solve(budget=budget) if ok else SolveResult.UNSAT
+    trace = None
+    if status is SolveResult.SAT:
+        trace = encoding.extract_trace(solver.model_value)
+        if semantics == "within":
+            trace = _shorten_to_final(trace, final)
+    stats = encoding.stats()
+    stats.update({f"solver_{k2}": v
+                  for k2, v in solver.stats.as_dict().items()})
+    return BmcResult(status, trace, k, "sat-unroll", 0.0, stats)
+
+
+def _shorten_to_final(trace: Trace, final: Expr) -> Trace:
+    """Cut a within-mode trace at its first final state."""
+    for i, state in enumerate(trace.states):
+        if final.evaluate(state):
+            return Trace(trace.states[:i + 1], trace.inputs[:i])
+    return trace
+
+
+def _check_jsat(system: TransitionSystem, final: Expr, k: int,
+                semantics: str, budget: Budget | None,
+                options: Dict) -> BmcResult:
+    solver = JsatSolver(
+        system, final, k, semantics,
+        use_cache=options.get("use_cache", True),
+        f_pruning=options.get("f_pruning", True),
+        purge_interval=options.get("purge_interval", 8))
+    status = solver.solve(budget=budget)
+    trace = solver.trace() if status is SolveResult.SAT else None
+    stats: Dict[str, int] = dict(solver.stats.as_dict())
+    stats["resident_literals"] = solver.resident_literals()
+    stats["base_literals"] = solver.base_db_literals
+    stats["cache_entries"] = solver.cache_size()
+    return BmcResult(status, trace, k, "jsat", 0.0, stats)
+
+
+def _qbf_solve(pcnf, backend: str, budget: Budget | None):
+    if backend == "qdpll":
+        solver = QdpllSolver(pcnf)
+        status = solver.solve(budget=budget)
+        return status, solver.assignment(), solver.stats.as_dict()
+    if backend == "expansion":
+        solver = ExpansionSolver(pcnf)
+        status = solver.solve(budget=budget)
+        return status, {}, {"expanded_vars": solver.expanded_vars,
+                            "peak_literals": solver.peak_literals}
+    raise ValueError(f"unknown qbf backend {backend!r}")
+
+
+def _check_qbf(system: TransitionSystem, final: Expr, k: int,
+               semantics: str, budget: Budget | None,
+               backend: str, options: Dict) -> BmcResult:
+    query_system = system
+    if semantics == "within":
+        query_system = system.with_self_loops()
+    if k == 0:
+        # Formula (2) needs at least one step; fall back to SAT for k=0.
+        return _check_unroll(system, final, 0, "exact", budget, options)
+    encoding = encode_qbf(query_system, final, k)
+    status, assignment, solver_stats = _qbf_solve(encoding.pcnf, backend,
+                                                  budget)
+    trace = None
+    if status is SolveResult.SAT and assignment:
+        states = encoding.extract_states(assignment)
+        if semantics == "within":
+            # Drop stutter steps introduced by the self-loop transform:
+            # any remaining consecutive distinct pair is a real TR step.
+            deduped = [states[0]]
+            for state in states[1:]:
+                if state != deduped[-1]:
+                    deduped.append(state)
+            states = deduped
+        candidate = Trace(states, [{} for _ in range(len(states) - 1)])
+        if semantics == "within":
+            candidate = _shorten_to_final(candidate, final)
+        if not system.input_vars and candidate.is_valid(system, final):
+            trace = candidate
+    stats = encoding.stats()
+    stats.update({f"solver_{k2}": v for k2, v in solver_stats.items()})
+    return BmcResult(status, trace, k, "qbf", 0.0, stats)
+
+
+def _check_squaring(system: TransitionSystem, final: Expr, k: int,
+                    semantics: str, budget: Budget | None,
+                    backend: str, options: Dict) -> BmcResult:
+    if semantics == "within":
+        query_system = system.with_self_loops()
+        bound = _next_power_of_two(k) if k >= 1 else 1
+    else:
+        query_system = system
+        bound = k
+    if k == 0:
+        return _check_unroll(system, final, 0, "exact", budget, options)
+    encoding = encode_squaring(query_system, final, bound)
+    status, _, solver_stats = _qbf_solve(encoding.pcnf, backend, budget)
+    stats = encoding.stats()
+    stats.update({f"solver_{k2}": v for k2, v in solver_stats.items()})
+    return BmcResult(status, None, k, "qbf-squaring", 0.0, stats)
+
+
+# ----------------------------------------------------------------------
+def find_reachable(system: TransitionSystem, final: Expr,
+                   max_bound: int,
+                   method: str = "sat-unroll",
+                   strategy: str = "linear",
+                   budget: Budget | None = None,
+                   **options) -> tuple[Optional[BmcResult], List[BmcResult]]:
+    """Iterative-deepening reachability up to ``max_bound``.
+
+    ``strategy`` is "linear" (k = 0, 1, 2, ...; exact semantics per
+    iteration, so the union covers every depth) or "squaring"
+    (k = 1, 2, 4, ...; each iteration checks "within k" on the
+    self-looped system, the paper's iterative-squaring schedule).
+
+    Returns ``(hit, history)`` where ``hit`` is the first SAT result (or
+    None) and ``history`` records every iteration — experiment E3 reads
+    the iteration counts from it.
+    """
+    history: List[BmcResult] = []
+    if strategy == "linear":
+        bounds = list(range(0, max_bound + 1))
+        semantics = "exact"
+    elif strategy == "squaring":
+        bounds = [0]
+        b = 1
+        while True:
+            bounds.append(min(b, max_bound))
+            if b >= max_bound:
+                break
+            b *= 2
+        semantics = "within"
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    for bound in bounds:
+        result = check_reachability(system, final, bound, method,
+                                    semantics=semantics, budget=budget,
+                                    **options)
+        history.append(result)
+        if result.status is SolveResult.SAT:
+            return result, history
+        if result.status is SolveResult.UNKNOWN:
+            return None, history
+    return None, history

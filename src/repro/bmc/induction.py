@@ -1,0 +1,157 @@
+"""k-induction — the paper-intro's "induction based methods".
+
+Temporal induction (Sheeran, Singh & Stålmarck): a safety property
+``P = ¬bad`` holds in all reachable states if
+
+* **base(k)**: no path of length ≤ k from init reaches ``bad``;
+* **step(k)**: every *loop-free* path of k+1 consecutive P-states ends
+  in a P-state (checked as the UNSAT-ness of a path with k P-states
+  followed by a bad one, with pairwise-distinct states).
+
+Increasing k makes the step obligation strictly weaker, so iterating
+k = 0, 1, 2, ... yields a complete procedure for finite systems — at
+the cost of the same unrolled-formula growth the paper attacks, which
+is why this module reuses the formula (1) machinery and shows up in
+the memory experiment E6 as a consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+
+__all__ = ["InductionResult", "prove_by_induction"]
+
+
+class InductionResult:
+    """Outcome of a k-induction run.
+
+    ``status``: "proved", "cex" (counterexample found, see ``trace``),
+    or "unknown" (bound/budget exhausted).  ``k`` is the bound at which
+    the run concluded.
+    """
+
+    def __init__(self, status: str, k: int,
+                 trace: Optional[Trace] = None) -> None:
+        self.status = status
+        self.k = k
+        self.trace = trace
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"InductionResult({self.status!r}, k={self.k})"
+
+
+def _frame(names: List[str], i: int) -> List[str]:
+    return [f"{v}@{i}" for v in names]
+
+
+def _encode_path(system: TransitionSystem, k: int, encoder: TseitinEncoder,
+                 constrain_init: bool) -> None:
+    frames = [_frame(system.state_vars, i) for i in range(k + 1)]
+    if constrain_init:
+        encoder.assert_expr(
+            system.rename_state_expr(system.init, frames[0]))
+    for i in range(k):
+        encoder.assert_expr(
+            system.trans_between(frames[i], frames[i + 1],
+                                 input_suffix=f"@{i}"))
+
+
+def _base_case(system: TransitionSystem, bad: Expr, k: int,
+               budget: Budget | None) -> Tuple[SolveResult, Optional[Trace]]:
+    """SAT iff some path of length <= k from init hits bad."""
+    pool = VarPool()
+    cnf = CNF()
+    encoder = TseitinEncoder(cnf, pool)
+    _encode_path(system, k, encoder, constrain_init=True)
+    encoder.assert_expr(ex.disjoin(
+        system.rename_state_expr(bad, _frame(system.state_vars, i))
+        for i in range(k + 1)))
+    solver = CdclSolver()
+    solver.ensure_vars(max(cnf.num_vars, pool.num_vars))
+    if not solver.add_clauses(cnf.clauses):
+        return SolveResult.UNSAT, None
+    status = solver.solve(budget=budget)
+    if status is not SolveResult.SAT:
+        return status, None
+    states = []
+    for i in range(k + 1):
+        states.append({v: bool(solver.model_value(pool.named(f"{v}@{i}")))
+                       for v in system.state_vars})
+    inputs = []
+    for i in range(k):
+        inputs.append({v: bool(solver.model_value(pool.named(f"{v}@{i}")))
+                       for v in system.input_vars})
+    trace = Trace(states, inputs)
+    # Cut at the first bad state.
+    for i, state in enumerate(trace.states):
+        if bad.evaluate(state):
+            trace = Trace(trace.states[:i + 1], trace.inputs[:i])
+            break
+    return SolveResult.SAT, trace
+
+
+def _step_case(system: TransitionSystem, bad: Expr, k: int,
+               budget: Budget | None) -> SolveResult:
+    """UNSAT iff k consecutive good states always yield a good successor.
+
+    Loop-free ("simple path") side constraints make the method complete.
+    """
+    pool = VarPool()
+    cnf = CNF()
+    encoder = TseitinEncoder(cnf, pool)
+    _encode_path(system, k + 1, encoder, constrain_init=False)
+    good = ex.mk_not(bad)
+    for i in range(k + 1):
+        encoder.assert_expr(
+            system.rename_state_expr(good, _frame(system.state_vars, i)))
+    encoder.assert_expr(
+        system.rename_state_expr(bad, _frame(system.state_vars, k + 1)))
+    # Pairwise distinctness of the k+2 states.
+    for i in range(k + 2):
+        for j in range(i + 1, k + 2):
+            same = ex.equal_vectors(
+                [ex.var(n) for n in _frame(system.state_vars, i)],
+                [ex.var(n) for n in _frame(system.state_vars, j)])
+            encoder.assert_expr(ex.mk_not(same))
+    solver = CdclSolver()
+    solver.ensure_vars(max(cnf.num_vars, pool.num_vars))
+    if not solver.add_clauses(cnf.clauses):
+        return SolveResult.UNSAT
+    return solver.solve(budget=budget)
+
+
+def prove_by_induction(system: TransitionSystem, bad: Expr,
+                       max_k: int = 32,
+                       budget: Budget | None = None) -> InductionResult:
+    """Prove ``bad`` unreachable (or find a counterexample) by
+    k-induction with loop-free strengthening.
+
+    Returns "proved", "cex" (with a validated trace), or "unknown" when
+    ``max_k`` or the budget runs out.
+    """
+    stray = bad.support() - set(system.state_vars)
+    if stray:
+        raise ValueError(f"bad predicate uses non-state vars: {stray}")
+    for k in range(max_k + 1):
+        base, trace = _base_case(system, bad, k, budget)
+        if base is SolveResult.SAT:
+            assert trace is not None
+            trace.validate(system, bad)
+            return InductionResult("cex", k, trace)
+        if base is SolveResult.UNKNOWN:
+            return InductionResult("unknown", k)
+        step = _step_case(system, bad, k, budget)
+        if step is SolveResult.UNSAT:
+            return InductionResult("proved", k)
+        if step is SolveResult.UNKNOWN:
+            return InductionResult("unknown", k)
+    return InductionResult("unknown", max_k)

@@ -1,0 +1,199 @@
+"""Interpolation-based unbounded model checking (McMillan 2003).
+
+The paper's introduction lists Craig interpolation as an
+over-approximate image technique whose interpolants "are obtained as a
+by-product of the SAT solver used to check BMC problems" — and notes it
+still suffers the memory blow-up of unrolled formulae.  This module
+implements the procedure on top of the proof-logging CDCL solver and
+the interpolation engine of :mod:`repro.sat.interpolation`:
+
+    R := I
+    repeat:  A := R(Z0) ∧ TR(Z0, Z1)
+             B := TR(Z1, .., Zk) ∧ ⋁_{1<=i<=k} bad(Zi)
+             if A ∧ B is SAT:  real counterexample if R = I, else
+                               restart with a larger k
+             else:             P := ITP(A, B) over Z1, renamed to Z0;
+                               if P ⟹ R: safety proved (fixpoint)
+                               else R := R ∨ P
+
+Every interpolant over-approximates the image of R while excluding all
+states that reach ``bad`` within k-1 steps, which gives both soundness
+of the fixpoint and progress of the outer loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder, expr_to_cnf
+from ..sat.interpolation import compute_interpolant
+from ..sat.proof import ResolutionProof
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+
+__all__ = ["InterpolationResult", "prove_by_interpolation"]
+
+
+class InterpolationResult:
+    """Outcome: "proved", "cex" (with trace), or "unknown"."""
+
+    def __init__(self, status: str, k: int, iterations: int,
+                 trace: Optional[Trace] = None,
+                 invariant: Optional[Expr] = None) -> None:
+        self.status = status
+        self.k = k
+        self.iterations = iterations
+        self.trace = trace
+        self.invariant = invariant        # inductive over-approximation
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"InterpolationResult({self.status!r}, k={self.k}, "
+                f"iterations={self.iterations})")
+
+
+def _frame(system: TransitionSystem, i: int) -> List[str]:
+    return [f"{v}@{i}" for v in system.state_vars]
+
+
+def _implies(antecedent: Expr, consequent: Expr) -> bool:
+    """Validity of antecedent -> consequent via one SAT call."""
+    query = ex.mk_and(antecedent, ex.mk_not(consequent))
+    cnf, _ = expr_to_cnf(query)
+    solver = CdclSolver()
+    solver.ensure_vars(cnf.num_vars)
+    if not solver.add_clauses(cnf.clauses):
+        return True
+    return solver.solve() is SolveResult.UNSAT
+
+
+def _bounded_query(system: TransitionSystem, reach: Expr, bad: Expr,
+                   k: int, budget: Budget | None
+                   ) -> Tuple[SolveResult, Optional[Expr], Optional[Trace]]:
+    """One A/B query; returns (status, interpolant-as-state-predicate,
+    counterexample candidate trace)."""
+    proof = ResolutionProof()
+    solver = CdclSolver(proof=proof)
+    pool = VarPool()
+
+    # --- A: R(Z0) ∧ TR(Z0, Z1), with its own Tseitin namespace.
+    a_cnf = CNF()
+    enc_a = TseitinEncoder(a_cnf, pool)
+    enc_a.assert_expr(system.rename_state_expr(reach, _frame(system, 0)))
+    enc_a.assert_expr(system.trans_between(_frame(system, 0),
+                                           _frame(system, 1),
+                                           input_suffix="@0"))
+    solver.ensure_vars(max(a_cnf.num_vars, pool.num_vars))
+    a_ids_start = len(proof)
+    solver.add_clauses(a_cnf.clauses)
+    a_ids = set(range(a_ids_start, len(proof)))
+
+    # --- B: the rest of the path and the bad disjunction (fresh encoder
+    # so no Tseitin auxiliaries are shared with A; the only shared
+    # variables are the Z1 state bits).
+    b_cnf = CNF(pool.num_vars)
+    enc_b = TseitinEncoder(b_cnf, pool)
+    for i in range(1, k):
+        enc_b.assert_expr(system.trans_between(_frame(system, i),
+                                               _frame(system, i + 1),
+                                               input_suffix=f"@{i}"))
+    enc_b.assert_expr(ex.disjoin(
+        system.rename_state_expr(bad, _frame(system, i))
+        for i in range(1, k + 1)))
+    solver.ensure_vars(max(b_cnf.num_vars, pool.num_vars))
+    b_ids_start = len(proof)
+    ok = solver.add_clauses(b_cnf.clauses)
+    b_ids = set(range(b_ids_start, len(proof)))
+
+    status = solver.solve(budget=budget) if ok and solver.ok else \
+        SolveResult.UNSAT
+    if status is SolveResult.SAT:
+        states = []
+        for i in range(k + 1):
+            states.append({
+                v: bool(solver.model_value(pool.named(f"{v}@{i}")))
+                for v in system.state_vars})
+        inputs = []
+        for i in range(k):
+            inputs.append({
+                v: bool(solver.model_value(pool.named(f"{v}@{i}")))
+                for v in system.input_vars})
+        trace = Trace(states, inputs)
+        for i, state in enumerate(trace.states):
+            if bad.evaluate(state):
+                trace = Trace(trace.states[:i + 1], trace.inputs[:i])
+                break
+        return status, None, trace
+    if status is SolveResult.UNKNOWN:
+        return status, None, None
+
+    itp = compute_interpolant(
+        proof, solver.empty_clause_proof, a_ids, b_ids,
+        var_name=lambda v: pool.name_of(v) or f"?{v}")
+    # The interpolant ranges over the shared variables = Z1 bits;
+    # rename them back to plain state variables.
+    rename = {f"{v}@1": v for v in system.state_vars}
+    stray = itp.support() - set(rename)
+    if stray:
+        raise AssertionError(
+            f"interpolant escaped the shared variables: {stray}")
+    itp_state = ex.rename_vars(itp, rename)
+    return status, itp_state, None
+
+
+def prove_by_interpolation(system: TransitionSystem, bad: Expr,
+                           max_k: int = 16,
+                           max_iterations: int = 256,
+                           budget: Budget | None = None
+                           ) -> InterpolationResult:
+    """Prove ``bad`` unreachable or find a counterexample.
+
+    Complete for finite systems given enough ``max_k``/``max_iterations``
+    (each refinement strictly enlarges the over-approximation R, and a
+    too-small k is detected via the spurious-SAT restart).
+    """
+    stray = bad.support() - set(system.state_vars)
+    if stray:
+        raise ValueError(f"bad predicate uses non-state vars: {stray}")
+    # Depth-0: an initial state may already be bad.
+    init_bad = ex.mk_and(system.init, bad)
+    cnf, pool = expr_to_cnf(init_bad)
+    probe = CdclSolver()
+    probe.ensure_vars(cnf.num_vars)
+    loaded = probe.add_clauses(cnf.clauses)
+    if loaded and probe.solve() is SolveResult.SAT:
+        state = {v: bool(probe.model_value(pool.named(v)))
+                 if pool.lookup(v) is not None else False
+                 for v in system.state_vars}
+        return InterpolationResult("cex", 0, 0, Trace([state]))
+
+    total_iterations = 0
+    k = 1
+    while k <= max_k:
+        reach = system.init
+        is_initial = True
+        while total_iterations < max_iterations:
+            total_iterations += 1
+            status, itp, trace = _bounded_query(system, reach, bad, k,
+                                                budget)
+            if status is SolveResult.UNKNOWN:
+                return InterpolationResult("unknown", k, total_iterations)
+            if status is SolveResult.SAT:
+                if is_initial:
+                    assert trace is not None
+                    trace.validate(system, bad)
+                    return InterpolationResult("cex", k, total_iterations,
+                                               trace)
+                break                      # spurious: deepen k
+            assert itp is not None
+            if _implies(itp, reach):
+                return InterpolationResult("proved", k, total_iterations,
+                                           invariant=reach)
+            reach = ex.mk_or(reach, itp)
+            is_initial = False
+        k += 1
+    return InterpolationResult("unknown", k - 1, total_iterations)

@@ -1,0 +1,149 @@
+"""Formula (3): iterative squaring — reach k steps with log₂k alternations.
+
+    R_k(Z0, Zk) = ∃ Z : ∀ U,V :
+        [ ((U↔Z0) ∧ (V↔Z)) ∨ ((U↔Z) ∧ (V↔Zk)) ] → R_{k/2}(U, V)
+
+with ``R_1(a, b) = TR(a, b)`` and, at the top level only, the
+constraints ``I(Z0) ∧ F(Zk)``.  The transition relation again appears
+**once**, but unlike formula (2) the number of universal variables and
+quantifier alternations now grows with each halving level — ⌈log₂ k⌉
+levels in total — which lets a complete procedure cover exponentially
+long paths in linearly many iterations (experiment E3).
+
+Only powers of two are directly expressible.  The paper's remedy is
+implemented in :meth:`repro.system.model.TransitionSystem.with_self_loops`:
+adding a stutter transition turns R_k into "reachable in ≤ k steps",
+and every bound b can then be checked at ``2^⌈log₂ b⌉``.
+
+Because R_{k/2} occurs exactly once inside its selector implication,
+prenexing is a plain concatenation of blocks:
+
+    ∃ Z0,Zk,M1 ∀ U1,V1 ∃ M2 ∀ U2,V2 ... ∀ UL,VL ∃ (inputs, aux)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..logic import expr as ex
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder
+from ..qbf.pcnf import PCNF
+from ..system.model import TransitionSystem
+
+__all__ = ["SquaringEncoding", "encode_squaring"]
+
+
+def _is_power_of_two(k: int) -> bool:
+    return k >= 1 and (k & (k - 1)) == 0
+
+
+class SquaringEncoding:
+    """The PCNF of formula (3) plus variable bookkeeping."""
+
+    def __init__(self, system: TransitionSystem, final: Expr, k: int) -> None:
+        if not _is_power_of_two(k):
+            raise ValueError(
+                f"iterative squaring checks power-of-two bounds only, "
+                f"got k={k}; add self-loops and round up for <=k semantics")
+        stray = final.support() - set(system.state_vars)
+        if stray:
+            raise ValueError(f"final predicate uses non-state vars: {stray}")
+        self.system = system
+        self.final = final
+        self.k = k
+        self.levels = k.bit_length() - 1          # log2(k)
+        self.pool = VarPool()
+        self.pcnf = PCNF()
+        self._encode()
+
+    # ------------------------------------------------------------------
+    def _names(self, tag: str) -> List[str]:
+        return [f"{v}#{tag}" for v in self.system.state_vars]
+
+    def _vec(self, tag: str) -> List[Expr]:
+        return [ex.var(n) for n in self._names(tag)]
+
+    def _encode(self) -> None:
+        system = self.system
+        pool = self.pool
+        matrix = CNF()
+        encoder = TseitinEncoder(matrix, pool)
+
+        z0 = self._names("Z0")
+        zk = self._names("Zk")
+        z0_ids = [pool.named(n) for n in z0]
+        zk_ids = [pool.named(n) for n in zk]
+
+        encoder.assert_expr(system.rename_state_expr(system.init, z0))
+        encoder.assert_expr(system.rename_state_expr(self.final, zk))
+
+        prefix: List[tuple[str, List[int]]] = [("e", z0_ids + zk_ids)]
+        selector_lits: List[int] = []
+
+        # Walk down the halving levels; at level j the pair (a, b) holds
+        # the endpoints whose R_{k/2^j} membership is being defined.
+        a_names, b_names = z0, zk
+        for level in range(1, self.levels + 1):
+            mid = self._names(f"M{level}")
+            u = self._names(f"U{level}")
+            v = self._names(f"V{level}")
+            mid_ids = [pool.named(n) for n in mid]
+            u_ids = [pool.named(n) for n in u]
+            v_ids = [pool.named(n) for n in v]
+            # ∃ mid is appended to the preceding existential block.
+            if prefix[-1][0] == "e":
+                prefix[-1] = ("e", prefix[-1][1] + mid_ids)
+            else:
+                prefix.append(("e", mid_ids))
+            prefix.append(("a", u_ids + v_ids))
+
+            first_half = ex.mk_and(
+                ex.equal_vectors(self._vec(f"U{level}"),
+                                 [ex.var(n) for n in a_names]),
+                ex.equal_vectors(self._vec(f"V{level}"),
+                                 [ex.var(n) for n in mid]))
+            second_half = ex.mk_and(
+                ex.equal_vectors(self._vec(f"U{level}"),
+                                 [ex.var(n) for n in mid]),
+                ex.equal_vectors(self._vec(f"V{level}"),
+                                 [ex.var(n) for n in b_names]))
+            selector_lits.append(encoder.encode(ex.mk_or(first_half,
+                                                         second_half)))
+            a_names, b_names = u, v
+
+        # Base case: R_1(a, b) = TR(a, X, b), one shared copy.
+        trans = system.trans_between(a_names, b_names, input_suffix="#X")
+        trans_lit = encoder.encode(trans)
+
+        # The nested implications  s1 -> (s2 -> ( ... -> TR))  flatten to
+        # a single clause.
+        matrix.add_clause(tuple(-s for s in selector_lits) + (trans_lit,))
+        matrix.num_vars = max(matrix.num_vars, pool.num_vars)
+
+        quantified = {v for _, vs in prefix for v in vs}
+        inner = [v for v in range(1, matrix.num_vars + 1)
+                 if v not in quantified]
+        self.pcnf = PCNF(matrix=matrix)
+        for quantifier, variables in prefix:
+            self.pcnf.add_block(quantifier, variables)
+        if inner:
+            self.pcnf.add_block("e", inner)
+
+    # ------------------------------------------------------------------
+    def state_var(self, name: str, endpoint: str) -> int:
+        """Matrix variable of a state bit at endpoint 'Z0' or 'Zk'."""
+        return self.pool.named(f"{name}#{endpoint}")
+
+    def stats(self) -> Dict[str, int]:
+        out = self.pcnf.stats()
+        out["trans_copies"] = 1
+        out["levels"] = self.levels
+        return out
+
+
+def encode_squaring(system: TransitionSystem, final: Expr,
+                    k: int) -> SquaringEncoding:
+    """Build the formula (3) encoding for the given query."""
+    return SquaringEncoding(system, final, k)

@@ -1,0 +1,132 @@
+"""Formula (1): classical BMC by unrolling the transition relation.
+
+    R_k(Z0, Zk) = ∃ Z1..Zk-1 : I(Z0) ∧ F(Zk) ∧ ⋀_{i<k} TR(Zi, Zi+1)
+
+The existentials are plain propositional variables, so the formula is
+decided by a SAT solver.  The price is **k copies of TR** — the memory
+growth the paper sets out to avoid; :func:`repro.bmc.metrics` measures
+exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic import expr as ex
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+
+__all__ = ["UnrolledEncoding", "encode_unrolled"]
+
+
+def _frame_name(var: str, step: int) -> str:
+    return f"{var}@{step}"
+
+
+class UnrolledEncoding:
+    """The CNF of formula (1) plus the bookkeeping to read traces back.
+
+    Attributes
+    ----------
+    cnf:
+        The propositional formula.
+    pool:
+        Variable pool; frame variables are named ``<var>@<step>``.
+    k:
+        The bound.
+    """
+
+    def __init__(self, system: TransitionSystem, final: Expr, k: int,
+                 semantics: str = "exact",
+                 polarity_reduction: bool = False) -> None:
+        if k < 0:
+            raise ValueError("bound k must be non-negative")
+        if semantics not in ("exact", "within"):
+            raise ValueError(f"unknown semantics {semantics!r}")
+        stray = final.support() - set(system.state_vars)
+        if stray:
+            raise ValueError(f"final predicate uses non-state vars: {stray}")
+        self.system = system
+        self.final = final
+        self.k = k
+        self.semantics = semantics
+        self.pool = VarPool()
+        self.cnf = CNF()
+        self._encode(polarity_reduction)
+
+    # ------------------------------------------------------------------
+    def _encode(self, polarity_reduction: bool) -> None:
+        system = self.system
+        k = self.k
+        encoder = TseitinEncoder(self.cnf, self.pool, polarity_reduction)
+
+        frames = [[_frame_name(v, i) for v in system.state_vars]
+                  for i in range(k + 1)]
+        init_frame0 = system.rename_state_expr(system.init, frames[0])
+        encoder.assert_expr(init_frame0)
+
+        for i in range(k):
+            step = system.trans_between(frames[i], frames[i + 1],
+                                        input_suffix=f"@{i}")
+            encoder.assert_expr(step)
+
+        if self.semantics == "exact":
+            encoder.assert_expr(
+                system.rename_state_expr(self.final, frames[k]))
+        else:
+            encoder.assert_expr(ex.disjoin(
+                system.rename_state_expr(self.final, frames[i])
+                for i in range(k + 1)))
+
+        # Register every frame variable even if logically unconstrained,
+        # so trace extraction can always resolve it.
+        for frame in frames:
+            for name in frame:
+                self.pool.named(name)
+        for i in range(k):
+            for name in system.input_vars:
+                self.pool.named(_frame_name(name, i))
+        self.cnf.num_vars = max(self.cnf.num_vars, self.pool.num_vars)
+
+    # ------------------------------------------------------------------
+    def state_var(self, name: str, step: int) -> int:
+        """CNF variable of state bit ``name`` at the given step."""
+        return self.pool.named(_frame_name(name, step))
+
+    def input_var(self, name: str, step: int) -> int:
+        """CNF variable of input ``name`` driving step -> step+1."""
+        return self.pool.named(_frame_name(name, step))
+
+    def extract_trace(self, model_value) -> Trace:
+        """Rebuild the witness path from a satisfying assignment.
+
+        ``model_value`` is a callable mapping a CNF variable to
+        bool/None (e.g. ``CdclSolver.model_value``); unassigned
+        variables default to False.
+        """
+        states: List[Dict[str, bool]] = []
+        for i in range(self.k + 1):
+            states.append({
+                v: bool(model_value(self.state_var(v, i)))
+                for v in self.system.state_vars})
+        inputs: List[Dict[str, bool]] = []
+        for i in range(self.k):
+            inputs.append({
+                v: bool(model_value(self.input_var(v, i)))
+                for v in self.system.input_vars})
+        return Trace(states, inputs)
+
+    def stats(self) -> Dict[str, int]:
+        out = self.cnf.stats()
+        out["trans_copies"] = self.k
+        return out
+
+
+def encode_unrolled(system: TransitionSystem, final: Expr, k: int,
+                    semantics: str = "exact",
+                    polarity_reduction: bool = False) -> UnrolledEncoding:
+    """Build the formula (1) encoding for the given query."""
+    return UnrolledEncoding(system, final, k, semantics, polarity_reduction)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``repro-bmc`` / ``python -m repro``.
+
+Subcommands
+-----------
+``solve-cnf FILE``
+    Decide a DIMACS CNF with the CDCL solver.
+``solve-qbf FILE``
+    Decide a QDIMACS QBF (``--backend qdpll|expansion``).
+``bmc FAMILY``
+    Run a bounded reachability query on a built-in design family
+    (``--method``, ``-k``, ``--semantics``); prints the trace on SAT.
+``experiment {e1,...,e7}``
+    Regenerate one evaluation artifact (scaled budgets by default).
+``suite``
+    Print the 234-instance suite composition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .bmc.engine import METHODS, check_reachability
+from .harness import experiments
+from .logic.dimacs import parse_dimacs, parse_qdimacs
+from .models import FAMILIES, build_suite, suite_summary
+from .qbf.expansion import ExpansionSolver
+from .qbf.pcnf import PCNF
+from .qbf.qdpll import QdpllSolver
+from .sat.solver import CdclSolver
+from .sat.types import Budget, SolveResult
+
+__all__ = ["main"]
+
+
+def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
+    if args.timeout is None and args.conflicts is None:
+        return None
+    return Budget(max_seconds=args.timeout, max_conflicts=args.conflicts)
+
+
+def _cmd_solve_cnf(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        cnf = parse_dimacs(handle)
+    solver = CdclSolver()
+    solver.ensure_vars(cnf.num_vars)
+    solver.add_clauses(cnf.clauses)
+    start = time.perf_counter()
+    result = solver.solve(budget=_budget_from_args(args))
+    elapsed = time.perf_counter() - start
+    print(f"s {result.name}  ({elapsed:.3f} s, "
+          f"{solver.stats.conflicts} conflicts)")
+    if result is SolveResult.SAT and args.model:
+        lits = [v if val else -v for v, val in sorted(solver.model().items())]
+        print("v " + " ".join(map(str, lits)) + " 0")
+    return 0 if result is not SolveResult.UNKNOWN else 2
+
+
+def _cmd_solve_qbf(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        prefix, matrix = parse_qdimacs(handle)
+    pcnf = PCNF(prefix, matrix)
+    start = time.perf_counter()
+    if args.backend == "qdpll":
+        result = QdpllSolver(pcnf).solve(budget=_budget_from_args(args))
+    else:
+        result = ExpansionSolver(pcnf).solve(budget=_budget_from_args(args))
+    elapsed = time.perf_counter() - start
+    print(f"s {result.name}  ({elapsed:.3f} s, backend={args.backend})")
+    return 0 if result is not SolveResult.UNKNOWN else 2
+
+
+def _cmd_bmc(args: argparse.Namespace) -> int:
+    instances = [i for i in build_suite() if i.family == args.family]
+    if not instances:
+        print(f"unknown family {args.family!r}; "
+              f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+        return 1
+    instance = instances[0]
+    k = args.k if args.k is not None else instance.k
+    result = check_reachability(instance.system, instance.final, k,
+                                args.method, semantics=args.semantics,
+                                budget=_budget_from_args(args))
+    print(f"{instance.name} (k={k}, {args.method}, {args.semantics}): "
+          f"{result.status.name} in {result.seconds:.3f} s")
+    for key, value in sorted(result.stats.items()):
+        print(f"  {key} = {value}")
+    if result.trace is not None:
+        print(result.trace.format(sorted(instance.system.state_vars)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runners = {
+        "e1": lambda: experiments.run_e1(budget_scale=args.scale),
+        "e2": lambda: experiments.run_e2(),
+        "e3": lambda: experiments.run_e3(),
+        "e4": lambda: experiments.run_e4(budget_scale=args.scale),
+        "e5": lambda: experiments.run_e5(),
+        "e6": lambda: experiments.run_e6(),
+        "e7": lambda: experiments.run_e7(budget_scale=args.scale),
+    }
+    _, report = runners[args.which]()
+    print(f"== experiment {args.which.upper()} ==")
+    print(report)
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = build_suite()
+    print(f"{len(suite)} instances across {len(FAMILIES)} families")
+    for family, row in suite_summary(suite).items():
+        print(f"  {family:10s} instances={row['instances']:3d} "
+              f"sat={row['sat']:3d} unsat={row['unsat']:3d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bmc",
+        description="Space-efficient bounded model checking "
+                    "(DATE 2005 reproduction)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--conflicts", type=int, default=None,
+                        help="solver conflict budget")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve-cnf", help="decide a DIMACS CNF")
+    p.add_argument("file")
+    p.add_argument("--model", action="store_true",
+                   help="print the satisfying assignment")
+    p.set_defaults(fn=_cmd_solve_cnf)
+
+    p = sub.add_parser("solve-qbf", help="decide a QDIMACS QBF")
+    p.add_argument("file")
+    p.add_argument("--backend", choices=("qdpll", "expansion"),
+                   default="qdpll")
+    p.set_defaults(fn=_cmd_solve_qbf)
+
+    p = sub.add_parser("bmc", help="run BMC on a built-in design")
+    p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
+    p.add_argument("-k", type=int, default=None, help="bound")
+    p.add_argument("--method", choices=METHODS, default="jsat")
+    p.add_argument("--semantics", choices=("exact", "within"),
+                   default="exact")
+    p.set_defaults(fn=_cmd_bmc)
+
+    p = sub.add_parser("experiment", help="regenerate an evaluation table")
+    p.add_argument("which", choices=[f"e{i}" for i in range(1, 8)])
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="budget scale (1.0 = full budgets)")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("suite", help="describe the 234-instance suite")
+    p.set_defaults(fn=_cmd_suite)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

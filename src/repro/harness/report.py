@@ -1,0 +1,98 @@
+"""ASCII reporting for the experiments.
+
+Formats the aggregates produced by :mod:`repro.harness.runner` into the
+tables recorded in EXPERIMENTS.md — most importantly the E1 headline
+table mirroring the paper's "143 of 234 / 184 / 3" solved counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .runner import CellResult
+
+__all__ = ["format_table", "format_solved_counts", "format_per_family",
+           "format_growth"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Plain fixed-width table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_solved_counts(counts: Mapping[str, Mapping[str, int]],
+                         paper_row: Mapping[str, int] | None = None) -> str:
+    """The E1 headline table; optionally appends the paper's numbers."""
+    headers = ["method", "solved", "total", "sat", "unsat", "unknown",
+               "wrong"]
+    rows: List[List[object]] = []
+    for method, row in counts.items():
+        rows.append([method, row["solved"], row["total"], row["sat"],
+                     row["unsat"], row["unknown"], row["wrong"]])
+    table = format_table(headers, rows)
+    if paper_row:
+        extra = ", ".join(f"{k}={v}" for k, v in paper_row.items())
+        table += f"\n(paper, 234 instances, 300 s / 1 GB: {extra})"
+    return table
+
+
+def format_per_family(results: Iterable[CellResult]) -> str:
+    """Per-(family, method) solved counts — the E4 table."""
+    agg: Dict[tuple, Dict[str, float]] = {}
+    methods: List[str] = []
+    families: List[str] = []
+    for cell in results:
+        key = (cell.instance.family, cell.method)
+        row = agg.setdefault(key, {"solved": 0, "total": 0, "time": 0.0})
+        row["total"] += 1
+        if cell.solved:
+            row["solved"] += 1
+        row["time"] += cell.seconds
+        if cell.method not in methods:
+            methods.append(cell.method)
+        if cell.instance.family not in families:
+            families.append(cell.instance.family)
+    headers = ["family"] + [f"{m} (solved/total, s)" for m in methods]
+    rows = []
+    for family in families:
+        row: List[object] = [family]
+        for method in methods:
+            cell = agg.get((family, method))
+            if cell is None:
+                row.append("-")
+            else:
+                row.append(f"{int(cell['solved'])}/{int(cell['total'])} "
+                           f"{cell['time']:.2f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_growth(table: Mapping[str, Sequence[Mapping[str, int]]],
+                  metric: str = "literals") -> str:
+    """The E2 growth series: one row per bound, one column per method."""
+    bounds: List[int] = []
+    for series in table.values():
+        for row in series:
+            if row["k"] not in bounds:
+                bounds.append(row["k"])
+    bounds.sort()
+    methods = list(table)
+    headers = ["k"] + [f"{m} {metric}" for m in methods]
+    rows = []
+    for k in bounds:
+        row: List[object] = [k]
+        for method in methods:
+            match = [r for r in table[method] if r["k"] == k]
+            row.append(match[0].get(metric, "-") if match else "-")
+        rows.append(row)
+    return format_table(headers, rows)

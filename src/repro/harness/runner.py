@@ -1,0 +1,113 @@
+"""Budgeted experiment runner.
+
+Runs (instance × method) cells under per-instance resource budgets —
+the laptop-scale analogue of the paper's "300 seconds time limit and
+1 GB memory limit" — and records outcome, wall time and the method's
+size/effort statistics.  Results feed the report tables of
+:mod:`repro.harness.report`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bmc.engine import check_reachability
+from ..models.suite import Instance
+from ..sat.types import Budget, SolveResult
+
+__all__ = ["CellResult", "run_cell", "run_matrix", "default_budget",
+           "solved_counts"]
+
+
+def default_budget(scale: float = 1.0) -> Budget:
+    """The per-instance budget used by the headline experiment E1.
+
+    Deterministic limits (conflicts / clause-database literals) make the
+    benches reproducible; the wall-clock cap keeps worst cases bounded.
+    """
+    return Budget(max_conflicts=int(20_000 * scale),
+                  max_seconds=5.0 * scale,
+                  max_literals=int(2_000_000 * scale))
+
+
+class CellResult:
+    """Outcome of one (instance, method) run."""
+
+    def __init__(self, instance: Instance, method: str,
+                 status: SolveResult, seconds: float, correct: Optional[bool],
+                 stats: Dict[str, int]) -> None:
+        self.instance = instance
+        self.method = method
+        self.status = status
+        self.seconds = seconds
+        self.correct = correct        # None when ground truth is unknown
+        self.stats = stats
+
+    @property
+    def solved(self) -> bool:
+        """Solved = produced a definite answer within budget, and that
+        answer matches the ground truth when one is known."""
+        if self.status is SolveResult.UNKNOWN:
+            return False
+        return self.correct is not False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"CellResult({self.instance.name!r}, {self.method!r}, "
+                f"{self.status.name}, {self.seconds * 1e3:.0f} ms)")
+
+
+def run_cell(instance: Instance, method: str,
+             budget: Budget | None = None,
+             semantics: str = "exact",
+             **options) -> CellResult:
+    """Run one instance with one method under the budget."""
+    start = time.perf_counter()
+    result = check_reachability(instance.system, instance.final, instance.k,
+                                method, semantics=semantics, budget=budget,
+                                **options)
+    elapsed = time.perf_counter() - start
+    correct: Optional[bool] = None
+    if instance.expected is not None and \
+            result.status is not SolveResult.UNKNOWN:
+        want = SolveResult.SAT if instance.expected else SolveResult.UNSAT
+        correct = result.status is want
+    return CellResult(instance, method, result.status, elapsed, correct,
+                      result.stats)
+
+
+def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
+               budget: Budget | None = None,
+               semantics: str = "exact",
+               method_budgets: Dict[str, Budget] | None = None,
+               **options) -> List[CellResult]:
+    """Run the full (instances × methods) matrix."""
+    method_budgets = method_budgets or {}
+    out: List[CellResult] = []
+    for method in methods:
+        cell_budget = method_budgets.get(method, budget)
+        for instance in instances:
+            out.append(run_cell(instance, method, cell_budget, semantics,
+                                **options))
+    return out
+
+
+def solved_counts(results: Iterable[CellResult]) -> Dict[str, Dict[str, int]]:
+    """Aggregate per-method solved/total counts (the E1 headline)."""
+    table: Dict[str, Dict[str, int]] = {}
+    for cell in results:
+        row = table.setdefault(cell.method, {
+            "solved": 0, "total": 0, "sat": 0, "unsat": 0, "unknown": 0,
+            "wrong": 0})
+        row["total"] += 1
+        if cell.status is SolveResult.UNKNOWN:
+            row["unknown"] += 1
+        elif cell.correct is False:
+            row["wrong"] += 1
+        else:
+            row["solved"] += 1
+            if cell.status is SolveResult.SAT:
+                row["sat"] += 1
+            else:
+                row["unsat"] += 1
+    return table

@@ -1,0 +1,53 @@
+"""Boolean reasoning substrate: expressions, CNF, Tseitin, DIMACS, AIG."""
+
+from .cnf import CNF, VarPool
+from .dimacs import parse_dimacs, parse_qdimacs, write_dimacs, write_qdimacs
+from .expr import (
+    FALSE,
+    TRUE,
+    Expr,
+    conjoin,
+    const,
+    disjoin,
+    equal_vectors,
+    mk_and,
+    mk_iff,
+    mk_implies,
+    mk_ite,
+    mk_not,
+    mk_or,
+    mk_xor,
+    rename_vars,
+    substitute,
+    var,
+)
+from .tseitin import TseitinEncoder, encode_expr, expr_to_cnf
+
+__all__ = [
+    "CNF",
+    "VarPool",
+    "Expr",
+    "TRUE",
+    "FALSE",
+    "var",
+    "const",
+    "mk_and",
+    "mk_or",
+    "mk_not",
+    "mk_xor",
+    "mk_iff",
+    "mk_implies",
+    "mk_ite",
+    "conjoin",
+    "disjoin",
+    "equal_vectors",
+    "substitute",
+    "rename_vars",
+    "TseitinEncoder",
+    "encode_expr",
+    "expr_to_cnf",
+    "parse_dimacs",
+    "write_dimacs",
+    "parse_qdimacs",
+    "write_qdimacs",
+]

@@ -1,0 +1,212 @@
+"""CNF formula container and variable pool.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..num_vars`` and a literal is ``v`` (positive phase) or ``-v``
+(negative phase).  Clauses are stored as tuples of literals.
+
+:class:`VarPool` hands out fresh variables and remembers name->variable
+bindings so that encoders (:mod:`repro.logic.tseitin`, the BMC unrollers)
+can translate between the named world of :class:`repro.logic.expr.Expr`
+and the integer world of the solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = ["Clause", "CNF", "VarPool", "neg", "lit_var", "lit_sign"]
+
+Clause = Tuple[int, ...]
+
+
+def neg(lit: int) -> int:
+    """Negate a DIMACS literal."""
+    return -lit
+
+
+def lit_var(lit: int) -> int:
+    """Variable index of a literal."""
+    return abs(lit)
+
+
+def lit_sign(lit: int) -> bool:
+    """True iff the literal is positive."""
+    return lit > 0
+
+
+class VarPool:
+    """Allocator of fresh CNF variables with optional symbolic names.
+
+    >>> pool = VarPool()
+    >>> pool.named("x")
+    1
+    >>> pool.named("x")       # idempotent
+    1
+    >>> pool.fresh("aux")     # always a new variable
+    2
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._by_name: Dict[str, int] = {}
+        self._names: Dict[int, str] = {}
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index allocated so far."""
+        return self._next - 1
+
+    def fresh(self, hint: str | None = None) -> int:
+        """Allocate a brand-new variable; ``hint`` is for diagnostics only."""
+        v = self._next
+        self._next += 1
+        if hint is not None:
+            self._names[v] = hint
+        return v
+
+    def named(self, name: str) -> int:
+        """Return the variable bound to ``name``, allocating on first use."""
+        v = self._by_name.get(name)
+        if v is None:
+            v = self.fresh(name)
+            self._by_name[name] = v
+        return v
+
+    def lookup(self, name: str) -> int | None:
+        """Return the variable bound to ``name`` or None."""
+        return self._by_name.get(name)
+
+    def name_of(self, v: int) -> str | None:
+        """Return the diagnostic name of variable ``v``, if any."""
+        return self._names.get(v)
+
+    def bindings(self) -> Mapping[str, int]:
+        """Read-only view of the name -> variable map."""
+        return dict(self._by_name)
+
+    def reserve(self, count: int) -> List[int]:
+        """Allocate ``count`` consecutive fresh variables."""
+        return [self.fresh() for _ in range(count)]
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form.
+
+    The container normalizes clauses on insertion: duplicate literals are
+    removed and tautological clauses (containing ``l`` and ``-l``) are
+    dropped.  An empty clause is recorded and makes the formula trivially
+    unsatisfiable (``has_empty_clause``).
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.clauses: List[Clause] = []
+        self.num_vars = num_vars
+        self.has_empty_clause = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def _register(self, lits: Iterable[int]) -> Clause | None:
+        seen: set[int] = set()
+        out: List[int] = []
+        for lit in lits:
+            if not isinstance(lit, int) or lit == 0:
+                raise ValueError(f"invalid literal {lit!r}")
+            if -lit in seen:
+                return None               # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+            v = abs(lit)
+            if v > self.num_vars:
+                self.num_vars = v
+        return tuple(out)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False iff it was a dropped tautology."""
+        clause = self._register(lits)
+        if clause is None:
+            return False
+        if not clause:
+            self.has_empty_clause = True
+        self.clauses.append(clause)
+        return True
+
+    def add_clauses(self, clause_list: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for lits in clause_list:
+            self.add_clause(lits)
+
+    def add_unit(self, lit: int) -> None:
+        """Add a unit clause."""
+        self.add_clause((lit,))
+
+    def extend(self, other: "CNF") -> None:
+        """Append all clauses of ``other`` (same variable numbering)."""
+        self.num_vars = max(self.num_vars, other.num_vars)
+        self.clauses.extend(other.clauses)
+        self.has_empty_clause = self.has_empty_clause or other.has_empty_clause
+
+    def copy(self) -> "CNF":
+        """Shallow copy (clauses are immutable tuples, so this is safe)."""
+        dup = CNF(self.num_vars)
+        dup.clauses = list(self.clauses)
+        dup.has_empty_clause = self.has_empty_clause
+        return dup
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    @property
+    def num_literals(self) -> int:
+        """Total literal occurrences — the paper's memory-footprint proxy."""
+        return sum(len(c) for c in self.clauses)
+
+    def evaluate(self, assignment: Mapping[int, bool] | Sequence[bool]) -> bool:
+        """Evaluate under a total assignment.
+
+        ``assignment`` is either a mapping var->bool or a sequence indexed
+        by var (index 0 unused).
+        """
+        if isinstance(assignment, Mapping):
+            def value(v: int) -> bool:
+                return bool(assignment[v])
+        else:
+            def value(v: int) -> bool:
+                return bool(assignment[v])
+
+        for clause in self.clauses:
+            if not any(value(abs(l)) == (l > 0) for l in clause):
+                return False
+        return True
+
+    def variables(self) -> set[int]:
+        """Set of variables that actually occur in some clause."""
+        occ: set[int] = set()
+        for clause in self.clauses:
+            for lit in clause:
+                occ.add(abs(lit))
+        return occ
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics used by the space-efficiency experiments."""
+        return {
+            "vars": self.num_vars,
+            "clauses": len(self.clauses),
+            "literals": self.num_literals,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"

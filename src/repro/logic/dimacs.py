@@ -1,0 +1,145 @@
+"""DIMACS CNF and QDIMACS reading/writing.
+
+Supports the standard ``p cnf <vars> <clauses>`` header, comment lines,
+and (for QDIMACS) ``a``/``e`` quantifier lines.  The QDIMACS functions
+exchange data with :class:`repro.qbf.pcnf.PCNF` using plain containers so
+the logic package stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence, TextIO, Tuple
+
+from .cnf import CNF
+
+__all__ = [
+    "parse_dimacs",
+    "write_dimacs",
+    "parse_qdimacs",
+    "write_qdimacs",
+    "DimacsError",
+]
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS/QDIMACS input."""
+
+
+def _tokens(stream: TextIO) -> Iterable[List[str]]:
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        yield line.split()
+
+
+def parse_dimacs(source: str | TextIO) -> CNF:
+    """Parse DIMACS CNF from a string or file-like object."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    cnf = CNF()
+    declared_vars = None
+    declared_clauses = None
+    current: List[int] = []
+    for toks in _tokens(stream):
+        if toks[0] == "p":
+            if len(toks) != 4 or toks[1] != "cnf":
+                raise DimacsError(f"bad problem line: {' '.join(toks)}")
+            try:
+                declared_vars = int(toks[2])
+                declared_clauses = int(toks[3])
+            except ValueError as exc:
+                raise DimacsError(f"bad problem line: {' '.join(toks)}") from exc
+            continue
+        for tok in toks:
+            try:
+                lit = int(tok)
+            except ValueError as exc:
+                raise DimacsError(f"bad literal {tok!r}") from exc
+            if lit == 0:
+                cnf.add_clause(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        # Tolerate a final clause missing its terminating 0.
+        cnf.add_clause(current)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    if declared_clauses is not None and declared_clauses != len(cnf.clauses):
+        # Header mismatches are common in the wild; tolerated silently.
+        pass
+    return cnf
+
+
+def write_dimacs(cnf: CNF, comments: Sequence[str] = ()) -> str:
+    """Serialize a CNF to DIMACS text."""
+    out: List[str] = [f"c {c}" for c in comments]
+    out.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        out.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(out) + "\n"
+
+
+QuantifierBlock = Tuple[str, Tuple[int, ...]]
+
+
+def parse_qdimacs(source: str | TextIO) -> Tuple[List[QuantifierBlock], CNF]:
+    """Parse QDIMACS; returns (prefix, matrix).
+
+    The prefix is a list of ``(quantifier, vars)`` pairs where quantifier
+    is ``'a'`` or ``'e'``; consecutive same-quantifier lines are merged.
+    """
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    prefix: List[QuantifierBlock] = []
+    cnf = CNF()
+    declared_vars = None
+    current: List[int] = []
+    in_matrix = False
+    for toks in _tokens(stream):
+        if toks[0] == "p":
+            if len(toks) != 4 or toks[1] != "cnf":
+                raise DimacsError(f"bad problem line: {' '.join(toks)}")
+            declared_vars = int(toks[2])
+            continue
+        if toks[0] in ("a", "e"):
+            if in_matrix:
+                raise DimacsError("quantifier line after matrix start")
+            if toks[-1] != "0":
+                raise DimacsError("quantifier line not 0-terminated")
+            variables = tuple(int(t) for t in toks[1:-1])
+            if any(v <= 0 for v in variables):
+                raise DimacsError("quantified variables must be positive")
+            if prefix and prefix[-1][0] == toks[0]:
+                prefix[-1] = (toks[0], prefix[-1][1] + variables)
+            else:
+                prefix.append((toks[0], variables))
+            continue
+        in_matrix = True
+        for tok in toks:
+            lit = int(tok)
+            if lit == 0:
+                cnf.add_clause(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        cnf.add_clause(current)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return prefix, cnf
+
+
+def write_qdimacs(prefix: Sequence[QuantifierBlock], cnf: CNF,
+                  comments: Sequence[str] = ()) -> str:
+    """Serialize a prefix + matrix to QDIMACS text."""
+    out: List[str] = [f"c {c}" for c in comments]
+    out.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for quantifier, variables in prefix:
+        if quantifier not in ("a", "e"):
+            raise DimacsError(f"bad quantifier {quantifier!r}")
+        if variables:
+            out.append(f"{quantifier} " + " ".join(str(v) for v in variables) + " 0")
+    for clause in cnf.clauses:
+        out.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(out) + "\n"

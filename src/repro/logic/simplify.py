@@ -1,0 +1,172 @@
+"""CNF-level preprocessing.
+
+Light, solver-independent simplifications used by the BMC encoders to
+shrink formulae before handing them to a solver:
+
+* unit propagation to fixpoint,
+* pure-literal elimination,
+* (forward) subsumption on a bounded clause length.
+
+All routines are pure: they take and return :class:`repro.logic.cnf.CNF`
+objects plus enough bookkeeping for the caller to map models back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import CNF, Clause
+
+__all__ = ["propagate_units", "pure_literals", "subsume", "simplify_cnf",
+           "SimplifyResult"]
+
+
+class SimplifyResult:
+    """Outcome of :func:`simplify_cnf`.
+
+    Attributes
+    ----------
+    cnf:
+        The simplified formula (same variable numbering).
+    forced:
+        Literals fixed by the preprocessor (units and pure literals).
+        Any model of ``cnf`` extended with ``forced`` is a model of the
+        original formula.
+    unsat:
+        True if preprocessing already refuted the formula.
+    """
+
+    def __init__(self, cnf: CNF, forced: Dict[int, bool], unsat: bool) -> None:
+        self.cnf = cnf
+        self.forced = forced
+        self.unsat = unsat
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SimplifyResult(unsat={self.unsat}, forced={len(self.forced)},"
+                f" clauses={len(self.cnf.clauses)})")
+
+
+def propagate_units(cnf: CNF) -> Tuple[Optional[CNF], Dict[int, bool]]:
+    """Unit propagation to fixpoint.
+
+    Returns ``(simplified, assignment)``; ``simplified`` is None when a
+    conflict is found.  The assignment maps var -> bool for all literals
+    forced by propagation.
+    """
+    assignment: Dict[int, bool] = {}
+    clauses: List[Clause] = list(cnf.clauses)
+    changed = True
+    while changed:
+        changed = False
+        next_clauses: List[Clause] = []
+        for clause in clauses:
+            lits: List[int] = []
+            satisfied = False
+            for lit in clause:
+                val = assignment.get(abs(lit))
+                if val is None:
+                    lits.append(lit)
+                elif val == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not lits:
+                return None, assignment
+            if len(lits) == 1:
+                lit = lits[0]
+                prev = assignment.get(abs(lit))
+                if prev is not None and prev != (lit > 0):
+                    return None, assignment
+                assignment[abs(lit)] = lit > 0
+                changed = True
+            else:
+                next_clauses.append(tuple(lits))
+        clauses = next_clauses
+    out = CNF(cnf.num_vars)
+    out.clauses = clauses
+    return out, assignment
+
+
+def pure_literals(cnf: CNF) -> Dict[int, bool]:
+    """Variables occurring in only one phase, mapped to that phase."""
+    phase: Dict[int, int] = {}
+    for clause in cnf.clauses:
+        for lit in clause:
+            v = abs(lit)
+            s = 1 if lit > 0 else -1
+            prev = phase.get(v)
+            if prev is None:
+                phase[v] = s
+            elif prev != s:
+                phase[v] = 0
+    return {v: s > 0 for v, s in phase.items() if s != 0}
+
+
+def subsume(cnf: CNF, max_len: int = 8) -> CNF:
+    """Remove clauses subsumed by another (shorter or equal) clause.
+
+    Only clauses of length <= ``max_len`` act as subsumers, keeping the
+    pass near-linear on the BMC formulae we generate.
+    """
+    by_len = sorted(range(len(cnf.clauses)), key=lambda i: len(cnf.clauses[i]))
+    kept: List[Clause] = []
+    subsumer_sets: List[frozenset[int]] = []
+    occur: Dict[int, List[int]] = {}
+    removed = 0
+    for idx in by_len:
+        clause = cnf.clauses[idx]
+        cset = frozenset(clause)
+        # A subsumer is a subset of this clause, so it occurs in the
+        # occurrence list of at least one of this clause's literals.
+        subsumed = False
+        checked: set[int] = set()
+        for lit in clause:
+            for j in occur.get(lit, ()):
+                if j in checked:
+                    continue
+                checked.add(j)
+                if subsumer_sets[j] <= cset:
+                    subsumed = True
+                    break
+            if subsumed:
+                break
+        if subsumed:
+            removed += 1
+            continue
+        kept.append(clause)
+        if len(clause) <= max_len:
+            pos = len(subsumer_sets)
+            subsumer_sets.append(cset)
+            for lit in clause:
+                occur.setdefault(lit, []).append(pos)
+    out = CNF(cnf.num_vars)
+    out.clauses = kept
+    return out
+
+
+def simplify_cnf(cnf: CNF, rounds: int = 3) -> SimplifyResult:
+    """Run unit propagation + pure literals + subsumption to quiescence."""
+    forced: Dict[int, bool] = {}
+    current = cnf
+    for _ in range(rounds):
+        simplified, units = propagate_units(current)
+        forced.update(units)
+        if simplified is None:
+            return SimplifyResult(CNF(cnf.num_vars), forced, unsat=True)
+        pures = pure_literals(simplified)
+        if not units and not pures:
+            current = simplified
+            break
+        for v, val in pures.items():
+            forced.setdefault(v, val)
+        if pures:
+            reduced = CNF(simplified.num_vars)
+            for clause in simplified.clauses:
+                if not any(pures.get(abs(l)) == (l > 0) for l in clause):
+                    reduced.clauses.append(clause)
+            current = reduced
+        else:
+            current = simplified
+    current = subsume(current)
+    return SimplifyResult(current, forced, unsat=False)

@@ -1,0 +1,27 @@
+"""The 13 benchmark design families and the 234-instance suite."""
+
+from . import (arbiter, barrel, cache_msi, counter, elevator, fifo, gray,
+               lfsr, mixer, mutex, pipeline, shift_register, traffic,
+               vending)
+from .suite import FAMILIES, Instance, build_suite, suite_summary
+
+__all__ = [
+    "counter",
+    "gray",
+    "shift_register",
+    "lfsr",
+    "mixer",
+    "arbiter",
+    "traffic",
+    "fifo",
+    "elevator",
+    "mutex",
+    "cache_msi",
+    "pipeline",
+    "barrel",
+    "vending",
+    "Instance",
+    "build_suite",
+    "suite_summary",
+    "FAMILIES",
+]

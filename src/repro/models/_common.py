@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark model families.
+
+Every family module exposes::
+
+    make(...) -> (TransitionSystem, final_expr, expected_depth)
+
+where ``expected_depth`` is the length of the shortest path from init to
+the target (None when the target is unreachable).  The suite builder
+(:mod:`repro.models.suite`) turns these into the 234-instance analogue
+of the paper's Intel test base.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+
+__all__ = ["bits_of", "value_equals", "vector_vars", "onehot", "ModelSpec"]
+
+
+def bits_of(value: int, width: int) -> List[bool]:
+    """Little-endian bit decomposition of an integer."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def vector_vars(prefix: str, width: int) -> List[Expr]:
+    """The expression variables ``prefix0 .. prefix<width-1>``."""
+    return [ex.var(f"{prefix}{i}") for i in range(width)]
+
+
+def value_equals(names: Sequence[str], value: int) -> Expr:
+    """Predicate: the bit vector (little-endian) equals ``value``."""
+    parts: List[Expr] = []
+    for i, name in enumerate(names):
+        bit = ex.var(name)
+        parts.append(bit if (value >> i) & 1 else ex.mk_not(bit))
+    return ex.conjoin(parts)
+
+
+def onehot(variables: Sequence[Expr]) -> Expr:
+    """Exactly one of the variables is true."""
+    any_one = ex.disjoin(variables)
+    at_most = ex.conjoin(
+        ex.mk_not(ex.mk_and(variables[i], variables[j]))
+        for i in range(len(variables))
+        for j in range(i + 1, len(variables)))
+    return ex.mk_and(any_one, at_most)
+
+
+class ModelSpec:
+    """Description of one instance for the suite: system + query + truth."""
+
+    def __init__(self, name: str, family: str, system, final: Expr,
+                 depth: Optional[int]) -> None:
+        self.name = name
+        self.family = family
+        self.system = system
+        self.final = final
+        self.depth = depth          # shortest distance; None = unreachable
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ModelSpec({self.name!r}, depth={self.depth})"

@@ -1,0 +1,58 @@
+"""Round-robin bus arbiter with registered grants.
+
+``n`` clients assert request lines; a one-hot priority token rotates
+every cycle and the arbiter registers at most one grant per cycle
+(grant_i := req_i ∧ token_i).  Properties:
+
+* mutual exclusion — two simultaneous grants — is **unreachable**;
+* client ``n-1`` eventually granted — reachable in exactly ``n`` steps
+  (token needs n-1 rotations to reach the client, plus one cycle for
+  the grant register).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+
+__all__ = ["make", "make_circuit", "make_mutex_check"]
+
+
+def make_circuit(n: int) -> Circuit:
+    if n < 2:
+        raise ValueError("arbiter needs at least 2 clients")
+    circuit = Circuit(f"arbiter{n}")
+    requests = [circuit.add_input(f"req{i}") for i in range(n)]
+    token = [circuit.add_latch(f"tok{i}", init=(i == 0)) for i in range(n)]
+    grants = [circuit.add_latch(f"gnt{i}", init=False) for i in range(n)]
+    for i in range(n):
+        circuit.set_next(f"tok{i}", token[(i - 1) % n])
+        circuit.set_next(f"gnt{i}", ex.mk_and(requests[i], token[i]))
+    circuit.add_bad("double-grant", ex.disjoin(
+        ex.mk_and(grants[i], grants[j])
+        for i in range(n) for j in range(i + 1, n)))
+    return circuit
+
+
+def make(n: int, client: Optional[int] = None
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Arbiter instance: client (default last) obtains a grant."""
+    if client is None:
+        client = n - 1
+    if not 0 <= client < n:
+        raise ValueError(f"client {client} out of range")
+    circuit = make_circuit(n)
+    system = circuit.to_transition_system()
+    final = ex.var(f"gnt{client}")
+    return system, final, client + 1
+
+
+def make_mutex_check(n: int) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: two clients granted at once."""
+    circuit = make_circuit(n)
+    system = circuit.to_transition_system()
+    return system, circuit.bad["double-grant"], None

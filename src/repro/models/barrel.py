@@ -1,0 +1,75 @@
+"""Barrel rotator with conditional inversion — a dense, XOR-heavy walk.
+
+The register rotates by one position each cycle; a ``twist`` input
+additionally inverts the bit rotated into position 0.  From the
+all-zero initial state the reachable set and shortest distances have no
+arithmetic structure, so expected depths are computed by an explicit
+BFS over the (small) concrete state space at instance-build time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "bfs_distance"]
+
+
+def make_circuit(width: int) -> Circuit:
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    circuit = Circuit(f"barrel{width}")
+    twist = circuit.add_input("twist")
+    bits = [circuit.add_latch(f"b{i}", init=False) for i in range(width)]
+    # Rotate left: b0 <- b_{w-1} (xor twist), b_i <- b_{i-1}.
+    circuit.set_next("b0", ex.mk_xor(bits[width - 1], twist))
+    for i in range(1, width):
+        circuit.set_next(f"b{i}", bits[i - 1])
+    return circuit
+
+
+def _step(state: int, width: int, twist: bool) -> int:
+    msb = (state >> (width - 1)) & 1
+    rotated = ((state << 1) | (msb ^ (1 if twist else 0))) & ((1 << width) - 1)
+    return rotated
+
+
+def bfs_distance(width: int, target: int) -> Optional[int]:
+    """Shortest number of steps from 0 to ``target`` (explicit BFS)."""
+    seen: Dict[int, int] = {0: 0}
+    queue = deque([0])
+    while queue:
+        state = queue.popleft()
+        if state == target:
+            return seen[state]
+        for twist in (False, True):
+            nxt = _step(state, width, twist)
+            if nxt not in seen:
+                seen[nxt] = seen[state] + 1
+                queue.append(nxt)
+    return None
+
+
+def make(width: int, target: Optional[int] = None
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Barrel instance: reach the given register value (default 0b10..01).
+
+    The default target alternates bits, forcing the twist input to fire
+    on specific cycles.
+    """
+    if target is None:
+        target = 0
+        for i in range(0, width, 2):
+            target |= 1 << i
+    if not 0 <= target < (1 << width):
+        raise ValueError(f"target {target} out of range")
+    circuit = make_circuit(width)
+    system = circuit.to_transition_system()
+    final = value_equals([f"b{i}" for i in range(width)], target)
+    return system, final, bfs_distance(width, target)

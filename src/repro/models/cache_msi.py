@@ -1,0 +1,89 @@
+"""Two-agent MSI cache-coherence protocol for one cache line.
+
+Each cache holds the line in state M (modified), S (shared) or I
+(invalid), encoded in two bits (``m``, ``s``; invalid = 00).  A bus
+arbiter input picks which cache's request is serviced each cycle;
+requests are ``rd`` (load) and ``wr`` (store, wins over rd).  Snooping
+is exact: a store invalidates the other cache, a load downgrades an M
+owner to S.  Properties:
+
+* coherence violation (two M copies, or M beside S) — unreachable;
+* cache 0 reaches M — depth 1; both caches S — depth 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+
+__all__ = ["make", "make_circuit", "make_coherence_check"]
+
+
+def make_circuit() -> Circuit:
+    circuit = Circuit("msi2")
+    grant = circuit.add_input("grant")        # which cache owns the bus
+    rd = [circuit.add_input(f"rd{i}") for i in range(2)]
+    wr = [circuit.add_input(f"wr{i}") for i in range(2)]
+    m = [circuit.add_latch(f"m{i}", init=False) for i in range(2)]
+    s = [circuit.add_latch(f"s{i}", init=False) for i in range(2)]
+
+    for i in range(2):
+        j = 1 - i
+        mine = ex.mk_iff(grant, ex.const(i == 1))   # bus granted to me
+        do_wr = ex.mk_and(mine, wr[i])
+        do_rd = ex.mk_and(mine, rd[i], ex.mk_not(wr[i]))
+        other_wr = ex.mk_and(ex.mk_not(mine), wr[j])
+        other_rd = ex.mk_and(ex.mk_not(mine), rd[j], ex.mk_not(wr[j]))
+
+        # M: set by my store; cleared by any remote traffic.
+        circuit.set_next(f"m{i}",
+                         ex.mk_ite(do_wr, ex.TRUE,
+                                   ex.mk_ite(ex.mk_or(other_wr, other_rd),
+                                             ex.FALSE, m[i])))
+        # S: set by my load or by a remote load downgrading my M;
+        # cleared by stores (mine upgrades to M, theirs invalidates).
+        downgraded = ex.mk_and(other_rd, m[i])
+        circuit.set_next(f"s{i}",
+                         ex.mk_ite(do_wr, ex.FALSE,
+                                   ex.mk_ite(do_rd, ex.TRUE,
+                                             ex.mk_ite(other_wr, ex.FALSE,
+                                                       ex.mk_ite(downgraded,
+                                                                 ex.TRUE,
+                                                                 s[i])))))
+
+    coherent_violation = ex.mk_or(
+        ex.mk_and(m[0], m[1]),
+        ex.mk_and(m[0], s[1]),
+        ex.mk_and(m[1], s[0]))
+    circuit.add_bad("incoherent", coherent_violation)
+    return circuit
+
+
+def make(target: str = "m0") -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """MSI instance.
+
+    Targets: ``"m0"`` (cache 0 modified, depth 1), ``"both-s"`` (both
+    caches shared, depth 2).
+    """
+    circuit = make_circuit()
+    system = circuit.to_transition_system()
+    if target == "m0":
+        final = ex.mk_and(ex.var("m0"), ex.mk_not(ex.var("s0")))
+        depth: Optional[int] = 1
+    elif target == "both-s":
+        final = ex.mk_and(ex.var("s0"), ex.var("s1"))
+        depth = 2
+    else:
+        raise ValueError(f"unknown target {target!r}")
+    return system, final, depth
+
+
+def make_coherence_check() -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: M beside M or M beside S."""
+    circuit = make_circuit()
+    system = circuit.to_transition_system()
+    return system, circuit.bad["incoherent"], None

@@ -1,0 +1,54 @@
+"""Binary up-counter — the canonical deep-counterexample design.
+
+An n-bit counter with an enable input counts up each enabled cycle; the
+target asks whether a given count value is reachable.  The shortest
+witness has exactly ``target`` steps (with enable held high), which
+makes this family ideal for calibrating bound/depth behaviour: reaching
+value v needs k = v steps, no fewer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit"]
+
+
+def make_circuit(width: int, with_enable: bool = True) -> Circuit:
+    """Build the counter circuit (little-endian bits ``c0..c<width-1>``)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    circuit = Circuit(f"counter{width}")
+    enable = circuit.add_input("en") if with_enable else ex.TRUE
+    bits = [circuit.add_latch(f"c{i}", init=False) for i in range(width)]
+    carry = enable
+    for i in range(width):
+        circuit.set_next(f"c{i}", bits[i] ^ carry)
+        carry = ex.mk_and(carry, bits[i])
+    circuit.add_output("value_msb", bits[-1])
+    return circuit
+
+
+def make(width: int, target: Optional[int] = None,
+         with_enable: bool = True
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Counter instance: reach the ``target`` count (default: all ones).
+
+    Returns ``(system, final, shortest_depth)``; the shortest depth is
+    the target value itself (the counter must increment that many
+    times).
+    """
+    if target is None:
+        target = (1 << width) - 1
+    if not 0 <= target < (1 << width):
+        raise ValueError(f"target {target} out of range for width {width}")
+    circuit = make_circuit(width, with_enable)
+    system = circuit.to_transition_system()
+    final = value_equals([f"c{i}" for i in range(width)], target)
+    return system, final, target

@@ -1,0 +1,77 @@
+"""Elevator controller: position register, door interlock, move requests.
+
+The cab position is a ``width``-bit floor counter; ``up``/``down``
+inputs move the cab one floor per cycle, but only while the door is
+closed; a ``door`` input toggles the door when the cab is stationary.
+Properties:
+
+* reach the top floor — exactly ``2^width - 1`` steps (hold ``up``);
+* the interlock violation "door open while moving" is **unreachable**
+  (moving is registered and gated on the door being closed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "make_interlock_check"]
+
+
+def make_circuit(width: int) -> Circuit:
+    if width < 1:
+        raise ValueError("width must be positive")
+    circuit = Circuit(f"elevator{width}")
+    up = circuit.add_input("up")
+    down = circuit.add_input("down")
+    door_req = circuit.add_input("door_req")
+
+    pos = [circuit.add_latch(f"p{i}", init=False) for i in range(width)]
+    door_open = circuit.add_latch("door_open", init=False)
+    moving = circuit.add_latch("moving", init=False)
+
+    pos_names = [f"p{i}" for i in range(width)]
+    at_top = value_equals(pos_names, (1 << width) - 1)
+    at_bottom = value_equals(pos_names, 0)
+
+    closed = ex.mk_not(door_open)
+    go_up = ex.mk_and(up, closed, ex.mk_not(at_top))
+    go_down = ex.mk_and(down, ex.mk_not(up), closed, ex.mk_not(at_bottom))
+
+    carry: Expr = go_up
+    borrow: Expr = go_down
+    for i in range(width):
+        stepped = ex.mk_xor(ex.mk_xor(pos[i], carry), borrow)
+        circuit.set_next(f"p{i}", stepped)
+        carry, borrow = (ex.mk_and(pos[i], carry),
+                         ex.mk_and(ex.mk_not(pos[i]), borrow))
+
+    is_moving = ex.mk_or(go_up, go_down)
+    circuit.set_next("moving", is_moving)
+    # Door toggles on request only when the cab is not about to move.
+    circuit.set_next("door_open",
+                     ex.mk_ite(ex.mk_and(door_req, ex.mk_not(is_moving)),
+                               ex.mk_not(door_open), door_open))
+    circuit.add_bad("door-while-moving", ex.mk_and(door_open, moving))
+    return circuit
+
+
+def make(width: int) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Elevator instance: the cab reaches the top floor."""
+    circuit = make_circuit(width)
+    system = circuit.to_transition_system()
+    final = value_equals([f"p{i}" for i in range(width)], (1 << width) - 1)
+    return system, final, (1 << width) - 1
+
+
+def make_interlock_check(width: int
+                         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: door open while the cab moves."""
+    circuit = make_circuit(width)
+    system = circuit.to_transition_system()
+    return system, circuit.bad["door-while-moving"], None

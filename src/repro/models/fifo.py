@@ -1,0 +1,88 @@
+"""Synchronous FIFO queue controller (occupancy tracking).
+
+Push/pop handshakes update an occupancy counter; ``full``/``empty``
+flags guard the pointers.  Properties:
+
+* the queue becomes full — needs exactly ``capacity`` pushes;
+* occupancy overflow (count > capacity) — unreachable thanks to the
+  ``full`` guard (the classic off-by-one bug this design family is used
+  to catch in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "make_overflow_check"]
+
+
+def make_circuit(capacity: int) -> Circuit:
+    """Occupancy-counter FIFO controller for the given capacity."""
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    width = capacity.bit_length()          # count in 0..capacity
+    circuit = Circuit(f"fifo{capacity}")
+    push = circuit.add_input("push")
+    pop = circuit.add_input("pop")
+    count = [circuit.add_latch(f"q{i}", init=False) for i in range(width)]
+    count_names = [f"q{i}" for i in range(width)]
+
+    full = value_equals(count_names, capacity)
+    empty = value_equals(count_names, 0)
+    do_push = ex.mk_and(push, ex.mk_not(full))
+    do_pop = ex.mk_and(pop, ex.mk_not(empty))
+    inc = ex.mk_and(do_push, ex.mk_not(do_pop))
+    dec = ex.mk_and(do_pop, ex.mk_not(do_push))
+
+    # count' = count + inc - dec  (inc/dec mutually exclusive).
+    carry: Expr = inc
+    borrow: Expr = dec
+    for i in range(width):
+        added = ex.mk_xor(count[i], carry)
+        circuit.set_next(f"q{i}", ex.mk_xor(added, borrow))
+        new_carry = ex.mk_and(count[i], carry)
+        new_borrow = ex.mk_and(ex.mk_not(count[i]), borrow)
+        carry, borrow = new_carry, new_borrow
+
+    circuit.add_output("full", full)
+    circuit.add_output("empty", empty)
+    circuit.add_bad("overflow",
+                    _greater_than(count_names, capacity))
+    return circuit
+
+
+def _greater_than(names, bound: int) -> Expr:
+    """count > bound over a little-endian bit vector."""
+    terms = []
+    width = len(names)
+    for value in range(bound + 1, 1 << width):
+        terms.append(value_equals(names, value))
+    return ex.disjoin(terms)
+
+
+def make(capacity: int) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """FIFO instance: reach the full state (depth = capacity pushes)."""
+    circuit = make_circuit(capacity)
+    system = circuit.to_transition_system()
+    width = capacity.bit_length()
+    final = value_equals([f"q{i}" for i in range(width)], capacity)
+    return system, final, capacity
+
+
+def make_overflow_check(capacity: int
+                        ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: occupancy exceeds capacity."""
+    circuit = make_circuit(capacity)
+    system = circuit.to_transition_system()
+    final = circuit.bad["overflow"]
+    depth = None if capacity.bit_length() >= 1 and \
+        (1 << capacity.bit_length()) - 1 > capacity else None
+    # When capacity + 1 == 2^width the overflow predicate is empty
+    # (FALSE); either way the target is unreachable.
+    return system, final, depth

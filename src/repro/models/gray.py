@@ -1,0 +1,78 @@
+"""Gray-code counter — single-bit-change sequencing logic.
+
+The register steps through the standard reflected Gray sequence; the
+target asks for a particular code word.  Reaching the j-th word of the
+sequence takes exactly j steps, so expected depths are computed from
+the Gray index of the target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "gray_index"]
+
+
+def gray_code(index: int) -> int:
+    return index ^ (index >> 1)
+
+
+def gray_index(code: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    index = 0
+    while code:
+        index ^= code
+        code >>= 1
+    return index
+
+
+def make_circuit(width: int) -> Circuit:
+    """Gray counter implemented as binary counter + output transcoder.
+
+    The state register *is* the Gray word; the next-state logic decodes
+    to binary, increments, and re-encodes — a realistic mixed datapath.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    circuit = Circuit(f"gray{width}")
+    g = [circuit.add_latch(f"g{i}", init=False) for i in range(width)]
+
+    # Decode Gray -> binary: b_i = xor of g_i..g_{width-1}.
+    binary = []
+    acc = ex.FALSE
+    for i in range(width - 1, -1, -1):
+        acc = ex.mk_xor(acc, g[i]) if not acc.is_const else g[i]
+        binary.append(acc)
+    binary.reverse()
+
+    # Increment the binary value.
+    incremented = []
+    carry = ex.TRUE
+    for i in range(width):
+        incremented.append(ex.mk_xor(binary[i], carry))
+        carry = ex.mk_and(carry, binary[i])
+
+    # Re-encode binary -> Gray: g_i = b_i xor b_{i+1}.
+    for i in range(width):
+        upper = incremented[i + 1] if i + 1 < width else ex.FALSE
+        circuit.set_next(f"g{i}", ex.mk_xor(incremented[i], upper))
+    return circuit
+
+
+def make(width: int, target: Optional[int] = None
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Gray-counter instance: reach the given Gray code word."""
+    if target is None:
+        target = gray_code((1 << width) - 1)
+    if not 0 <= target < (1 << width):
+        raise ValueError(f"target {target} out of range for width {width}")
+    circuit = make_circuit(width)
+    system = circuit.to_transition_system()
+    final = value_equals([f"g{i}" for i in range(width)], target)
+    return system, final, gray_index(target)

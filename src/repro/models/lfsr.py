@@ -1,0 +1,90 @@
+"""Fibonacci LFSR — dense XOR feedback, pseudo-random deep targets.
+
+A maximal-length linear feedback shift register visits 2^n - 1 states
+before repeating; asking for the state reached after j steps produces
+targets at any desired depth with *no* structural hint for the solver —
+the family that punishes breadth-first-flavoured heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "simulate_steps", "TAPS"]
+
+# Maximal-length tap positions (1-based from the LSB, Fibonacci form).
+TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    14: (14, 13, 12, 2),
+    16: (16, 15, 13, 4),
+}
+
+
+def _feedback(state: int, width: int) -> int:
+    # Right-shift Fibonacci form: tap t reads bit (width - t), so the
+    # output bit (tap == width) is always part of the feedback.
+    taps = TAPS[width]
+    bit = 0
+    for t in taps:
+        bit ^= (state >> (width - t)) & 1
+    return bit
+
+
+def simulate_steps(width: int, steps: int, seed: int = 1) -> int:
+    """State value after ``steps`` shifts from ``seed``."""
+    state = seed
+    for _ in range(steps):
+        state = ((state >> 1) | (_feedback(state, width) << (width - 1)))
+        state &= (1 << width) - 1
+    return state
+
+
+def make_circuit(width: int) -> Circuit:
+    if width not in TAPS:
+        raise ValueError(f"no tap table for width {width}; "
+                         f"available: {sorted(TAPS)}")
+    circuit = Circuit(f"lfsr{width}")
+    bits = [circuit.add_latch(f"r{i}", init=(i == 0)) for i in range(width)]
+    feedback: Expr = ex.FALSE
+    for t in TAPS[width]:
+        tapped = bits[width - t]
+        feedback = ex.mk_xor(feedback, tapped) \
+            if not feedback.is_const else tapped
+    for i in range(width - 1):
+        circuit.set_next(f"r{i}", bits[i + 1])
+    circuit.set_next(f"r{width - 1}", feedback)
+    return circuit
+
+
+def make(width: int, depth: int = 5
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """LFSR instance targeting the state exactly ``depth`` shifts away.
+
+    The LFSR is deterministic and (for the tabulated maximal-length
+    taps, seed 1) does not revisit states within its 2^n - 1 period, so
+    the shortest distance equals ``depth`` for depth < period.
+    """
+    period = (1 << width) - 1
+    if not 0 <= depth < period:
+        raise ValueError(f"depth must be in [0, {period})")
+    circuit = make_circuit(width)
+    system = circuit.to_transition_system()
+    target_value = simulate_steps(width, depth, seed=1)
+    final = value_equals([f"r{i}" for i in range(width)], target_value)
+    return system, final, depth

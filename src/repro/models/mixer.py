@@ -1,0 +1,104 @@
+"""Mixing network (toy scrambler round) — a *large* transition relation.
+
+Each cycle applies a fixed, densely wired mixing round to the state:
+every next-state bit XORs a rotating selection of state bits and ANDs
+of bit pairs, with ``rounds`` layers composed combinationally.  The
+design exists to model the paper's observation that "the transition
+relation ... is usually the biggest formula in the specification of
+the model": |TR| here is Θ(width · rounds) DAG nodes with a large
+constant, dwarfing the n-per-step cost of the QBF selectors — the
+regime where formula (2)'s space advantage is most visible
+(experiment E2).
+
+The round function is a bijection-free scramble (not crypto!); expected
+depths are computed by concrete simulation of the deterministic round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "simulate_rounds"]
+
+
+def _mix_layer(bits: List[Expr], layer: int) -> List[Expr]:
+    n = len(bits)
+    out: List[Expr] = []
+    for i in range(n):
+        a = bits[i]
+        b = bits[(i + 1 + layer) % n]
+        c = bits[(i + 3 + 2 * layer) % n]
+        d = bits[(i + 5 + layer) % n]
+        out.append(ex.mk_xor(ex.mk_xor(a, ex.mk_and(b, c)), d))
+    return out
+
+
+def _mix_layer_concrete(bits: List[bool], layer: int) -> List[bool]:
+    n = len(bits)
+    return [bits[i] != ((bits[(i + 1 + layer) % n]
+                         and bits[(i + 3 + 2 * layer) % n])
+                        != bits[(i + 5 + layer) % n])
+            for i in range(n)]
+
+
+def simulate_rounds(width: int, rounds: int, steps: int,
+                    seed: int = 1) -> int:
+    """Concrete state value after ``steps`` cycles."""
+    bits = [bool((seed >> i) & 1) for i in range(width)]
+    for _ in range(steps):
+        for layer in range(rounds):
+            bits = _mix_layer_concrete(bits, layer)
+    return sum(1 << i for i, b in enumerate(bits) if b)
+
+
+def make_circuit(width: int, rounds: int = 3,
+                 input_bits: int = 0) -> Circuit:
+    """Build the mixer; ``input_bits`` > 0 XORs that many primary
+    inputs into the low next-state bits, making the walk
+    nondeterministic (the unrolled formula then cannot collapse under
+    constant propagation — used by the memory-cliff benchmark)."""
+    if width < 6:
+        raise ValueError("mixer needs width >= 6")
+    if not 0 <= input_bits <= width:
+        raise ValueError("input_bits out of range")
+    circuit = Circuit(f"mixer{width}x{rounds}")
+    inputs = [circuit.add_input(f"in{i}") for i in range(input_bits)]
+    bits: List[Expr] = [circuit.add_latch(f"x{i}", init=(i == 0))
+                        for i in range(width)]
+    mixed = bits
+    for layer in range(rounds):
+        mixed = _mix_layer(mixed, layer)
+    for i in range(width):
+        nxt = mixed[i]
+        if i < input_bits:
+            nxt = ex.mk_xor(nxt, inputs[i])
+        circuit.set_next(f"x{i}", nxt)
+    return circuit
+
+
+def make(width: int, rounds: int = 3, depth: int = 4
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Mixer instance: reach the state exactly ``depth`` cycles away.
+
+    The mixer is deterministic; the target is the simulated state after
+    ``depth`` cycles.  The shortest distance equals ``depth`` provided
+    the orbit has no earlier repetition of that state — asserted by the
+    simulation loop below.
+    """
+    circuit = make_circuit(width, rounds)
+    system = circuit.to_transition_system()
+    target_value = simulate_rounds(width, rounds, depth)
+    # Confirm the orbit does not hit the target earlier.
+    shortest = depth
+    for j in range(depth):
+        if simulate_rounds(width, rounds, j) == target_value:
+            shortest = j
+            break
+    final = value_equals([f"x{i}" for i in range(width)], target_value)
+    return system, final, shortest

@@ -1,0 +1,116 @@
+"""Peterson's mutual-exclusion protocol compiled to a synchronous circuit.
+
+Two processes, each a 2-bit program counter (idle → trying → critical →
+idle), the shared ``flag0``/``flag1``/``turn`` variables, and a
+scheduler input that interleaves the processes (one step per cycle, as
+in the standard asynchronous-to-synchronous compilation).  Properties:
+
+* both processes critical — **unreachable** (Peterson is correct);
+* process 0 reaches its critical section — shortest witness is 2
+  scheduler steps (idle→trying, trying→critical).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+
+__all__ = ["make", "make_circuit", "make_exclusion_check"]
+
+# PC encoding: 00 idle, 01 trying, 10 critical.
+
+
+def _process(circuit: Circuit, me: int, other: int,
+             scheduled: Expr) -> None:
+    pc0 = ex.var(f"pc{me}_0")
+    pc1 = ex.var(f"pc{me}_1")
+    my_flag = ex.var(f"flag{me}")
+    other_flag = ex.var(f"flag{other}")
+    turn = ex.var("turn")
+    want = ex.var(f"want{me}")
+    done = ex.var(f"done{me}")
+
+    idle = ex.mk_and(ex.mk_not(pc1), ex.mk_not(pc0))
+    trying = ex.mk_and(ex.mk_not(pc1), pc0)
+    critical = ex.mk_and(pc1, ex.mk_not(pc0))
+
+    # Peterson's entry condition: other not interested, or it's my turn.
+    may_enter = ex.mk_or(ex.mk_not(other_flag),
+                         ex.mk_iff(turn, ex.const(me == 0)))
+    enter_trying = ex.mk_and(scheduled, idle, want)
+    enter_critical = ex.mk_and(scheduled, trying, may_enter)
+    leave = ex.mk_and(scheduled, critical, done)
+
+    # pc encoding updates: idle -> trying sets bit0; trying -> critical
+    # clears bit0 and sets bit1; critical -> idle clears bit1.
+    circuit.set_next(f"pc{me}_0",
+                     ex.mk_ite(enter_trying, ex.TRUE,
+                               ex.mk_ite(enter_critical, ex.FALSE, pc0)))
+    circuit.set_next(f"pc{me}_1",
+                     ex.mk_ite(enter_critical, ex.TRUE,
+                               ex.mk_ite(leave, ex.FALSE, pc1)))
+    circuit.set_next(f"flag{me}",
+                     ex.mk_ite(enter_trying, ex.TRUE,
+                               ex.mk_ite(leave, ex.FALSE, my_flag)))
+
+
+def make_circuit() -> Circuit:
+    """Peterson's algorithm for two processes (fixed size)."""
+    circuit = Circuit("peterson")
+    circuit.add_input("want0")
+    circuit.add_input("want1")
+    circuit.add_input("done0")
+    circuit.add_input("done1")
+    sched = circuit.add_input("sched")        # 0: process 0 steps; 1: p1
+
+    for p in range(2):
+        circuit.add_latch(f"pc{p}_0", init=False)
+        circuit.add_latch(f"pc{p}_1", init=False)
+        circuit.add_latch(f"flag{p}", init=False)
+    circuit.add_latch("turn", init=False)
+
+    p0_steps = ex.mk_not(sched)
+    p1_steps = sched
+    _process(circuit, 0, 1, p0_steps)
+    _process(circuit, 1, 0, p1_steps)
+
+    # turn := other  when a process moves idle -> trying.
+    t0 = ex.mk_and(p0_steps,
+                   ex.mk_not(ex.var("pc0_1")), ex.mk_not(ex.var("pc0_0")),
+                   ex.var("want0"))
+    t1 = ex.mk_and(p1_steps,
+                   ex.mk_not(ex.var("pc1_1")), ex.mk_not(ex.var("pc1_0")),
+                   ex.var("want1"))
+    # Peterson: on entry, give priority to the *other* process
+    # (turn = True means it is process 0's turn).
+    circuit.set_next("turn",
+                     ex.mk_ite(t0, ex.FALSE,
+                               ex.mk_ite(t1, ex.TRUE, ex.var("turn"))))
+
+    crit0 = ex.mk_and(ex.var("pc0_1"), ex.mk_not(ex.var("pc0_0")))
+    crit1 = ex.mk_and(ex.var("pc1_1"), ex.mk_not(ex.var("pc1_0")))
+    circuit.add_bad("both-critical", ex.mk_and(crit0, crit1))
+    return circuit
+
+
+def make(process: int = 0
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Mutex instance: the given process reaches its critical section."""
+    if process not in (0, 1):
+        raise ValueError("process must be 0 or 1")
+    circuit = make_circuit()
+    system = circuit.to_transition_system()
+    final = ex.mk_and(ex.var(f"pc{process}_1"),
+                      ex.mk_not(ex.var(f"pc{process}_0")))
+    return system, final, 2
+
+
+def make_exclusion_check() -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: both processes critical at once."""
+    circuit = make_circuit()
+    system = circuit.to_transition_system()
+    return system, circuit.bad["both-critical"], None

@@ -1,0 +1,65 @@
+"""In-order pipeline valid/stall tracker.
+
+``depth`` stages carry valid bits; instructions enter from a ``fetch``
+input, a ``stall`` input freezes the whole pipe, and a ``flush`` input
+kills every in-flight instruction (branch mispredict).  Properties:
+
+* the pipe fills completely — exactly ``depth`` fetch cycles;
+* the "retired while flushing" flag — unreachable (retirement is gated
+  on not flushing, the interlock this family checks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+
+__all__ = ["make", "make_circuit", "make_flush_check"]
+
+
+def make_circuit(depth: int) -> Circuit:
+    if depth < 2:
+        raise ValueError("pipeline needs at least 2 stages")
+    circuit = Circuit(f"pipe{depth}")
+    fetch = circuit.add_input("fetch")
+    stall = circuit.add_input("stall")
+    flush = circuit.add_input("flush")
+    valid = [circuit.add_latch(f"v{i}", init=False) for i in range(depth)]
+    retired = circuit.add_latch("retired_in_flush", init=False)
+
+    advance = ex.mk_and(ex.mk_not(stall), ex.mk_not(flush))
+    for i in range(depth):
+        upstream = fetch if i == 0 else valid[i - 1]
+        circuit.set_next(
+            f"v{i}",
+            ex.mk_ite(flush, ex.FALSE,
+                      ex.mk_ite(advance, upstream, valid[i])))
+    # Retirement happens when the last stage is valid and the pipe
+    # advances; the bad flag would require retiring during a flush,
+    # which `advance` rules out.
+    retire = ex.mk_and(valid[depth - 1], advance)
+    circuit.set_next("retired_in_flush",
+                     ex.mk_or(retired, ex.mk_and(retire, flush)))
+    circuit.add_output("retire", retire)
+    circuit.add_bad("retire-during-flush", retired)
+    return circuit
+
+
+def make(depth: int) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Pipeline instance: every stage holds a valid instruction."""
+    circuit = make_circuit(depth)
+    system = circuit.to_transition_system()
+    final = ex.conjoin(ex.var(f"v{i}") for i in range(depth))
+    return system, final, depth
+
+
+def make_flush_check(depth: int
+                     ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: retirement observed during a flush."""
+    circuit = make_circuit(depth)
+    system = circuit.to_transition_system()
+    return system, circuit.bad["retire-during-flush"], None

@@ -1,0 +1,60 @@
+"""Token ring / rotating shift register.
+
+A one-hot token rotates through ``length`` stages, one stage per cycle.
+Targets: *token at stage p* is reachable in exactly p steps (and then
+every ``length`` steps after); *no token anywhere* and *two tokens* are
+unreachable — the classic one-hot invariant checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+
+__all__ = ["make", "make_circuit", "make_invariant_violation"]
+
+
+def make_circuit(length: int) -> Circuit:
+    if length < 2:
+        raise ValueError("ring needs at least 2 stages")
+    circuit = Circuit(f"ring{length}")
+    stages = [circuit.add_latch(f"t{i}", init=(i == 0))
+              for i in range(length)]
+    for i in range(length):
+        circuit.set_next(f"t{i}", stages[(i - 1) % length])
+    return circuit
+
+
+def make(length: int, position: Optional[int] = None
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Ring instance: token reaches ``position`` (default: last stage)."""
+    if position is None:
+        position = length - 1
+    if not 0 <= position < length:
+        raise ValueError(f"position {position} out of range")
+    circuit = make_circuit(length)
+    system = circuit.to_transition_system()
+    final = ex.conjoin(
+        ex.var(f"t{i}") if i == position else ex.mk_not(ex.var(f"t{i}"))
+        for i in range(length))
+    return system, final, position
+
+
+def make_invariant_violation(length: int, kind: str = "two-tokens"
+                             ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance (one-hot invariant violations)."""
+    circuit = make_circuit(length)
+    system = circuit.to_transition_system()
+    if kind == "two-tokens":
+        final = ex.disjoin(
+            ex.mk_and(ex.var(f"t{i}"), ex.var(f"t{j}"))
+            for i in range(length) for j in range(i + 1, length))
+    elif kind == "no-token":
+        final = ex.conjoin(ex.mk_not(ex.var(f"t{i}")) for i in range(length))
+    else:
+        raise ValueError(f"unknown kind {kind!r}")
+    return system, final, None

@@ -1,0 +1,92 @@
+"""Two-road traffic-light controller.
+
+The controller cycles NS-green → NS-yellow → EW-green → EW-yellow,
+holding each green phase for ``green_cycles`` ticks via a timer
+register.  Light outputs are *registered* (decoded from the phase on
+the previous cycle), as in a real pad-ring design.  Properties:
+
+* both roads green simultaneously — unreachable;
+* EW green — reachable at a depth computable from the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "make_safety_check", "ew_green_depth"]
+
+
+def _timer_bits(green_cycles: int) -> int:
+    return max(1, green_cycles.bit_length())
+
+
+def make_circuit(green_cycles: int = 2) -> Circuit:
+    """Phase FSM (2 bits) + green-hold timer + registered lights."""
+    if green_cycles < 1:
+        raise ValueError("green_cycles must be positive")
+    circuit = Circuit(f"traffic{green_cycles}")
+    ph0 = circuit.add_latch("ph0", init=False)
+    ph1 = circuit.add_latch("ph1", init=False)
+    tw = _timer_bits(green_cycles)
+    timer = [circuit.add_latch(f"tm{i}", init=False) for i in range(tw)]
+
+    in_green = ex.mk_not(ph0)                  # phases 0 (NS) and 2 (EW)
+    timer_names = [f"tm{i}" for i in range(tw)]
+    timer_done = value_equals(timer_names, green_cycles - 1)
+
+    # Timer counts during green phases, resets elsewhere.
+    carry = ex.TRUE
+    for i in range(tw):
+        counting = ex.mk_and(in_green, ex.mk_not(timer_done))
+        circuit.set_next(f"tm{i}",
+                         ex.mk_and(counting, ex.mk_xor(timer[i], carry)))
+        carry = ex.mk_and(carry, timer[i])
+
+    advance = ex.mk_or(ex.mk_and(in_green, timer_done), ph0)
+    # Phase increments mod 4 when advancing.
+    circuit.set_next("ph0", ex.mk_xor(ph0, advance))
+    circuit.set_next("ph1", ex.mk_xor(ph1, ex.mk_and(ph0, advance)))
+
+    # Registered light outputs decoded from the *next* phase value.
+    nxt_ph0 = ex.mk_xor(ph0, advance)
+    nxt_ph1 = ex.mk_xor(ph1, ex.mk_and(ph0, advance))
+    ns_green = circuit.add_latch("ns_green", init=True)
+    ew_green = circuit.add_latch("ew_green", init=False)
+    circuit.set_next("ns_green",
+                     ex.mk_and(ex.mk_not(nxt_ph0), ex.mk_not(nxt_ph1)))
+    circuit.set_next("ew_green",
+                     ex.mk_and(ex.mk_not(nxt_ph0), nxt_ph1))
+    circuit.add_bad("both-green", ex.mk_and(ns_green, ew_green))
+    return circuit
+
+
+def ew_green_depth(green_cycles: int) -> int:
+    """Steps until ew_green first registers 1.
+
+    NS green holds for ``green_cycles`` ticks (timer 0..green_cycles-1),
+    then one yellow tick, then the EW-green phase is entered; the
+    registered light shows it the same step the phase flips.
+    """
+    return green_cycles + 1
+
+
+def make(green_cycles: int = 2
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Traffic instance: the EW road eventually gets a green light."""
+    circuit = make_circuit(green_cycles)
+    system = circuit.to_transition_system()
+    return system, ex.var("ew_green"), ew_green_depth(green_cycles)
+
+
+def make_safety_check(green_cycles: int = 2
+                      ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: both roads green."""
+    circuit = make_circuit(green_cycles)
+    system = circuit.to_transition_system()
+    return system, circuit.bad["both-green"], None

@@ -1,0 +1,88 @@
+"""Vending machine controller: coin accumulation and dispensing.
+
+Balance is counted in nickels (units of 5).  Inputs insert a nickel or
+a dime per cycle (dime wins if both); when the balance reaches the
+price the machine dispenses and resets.  Properties:
+
+* the dispense state — shortest witness inserts dimes:
+  ``ceil(price_units / 2)`` steps plus one dispense cycle;
+* balance strictly exceeding ``price + 1`` units — unreachable (the
+  acceptor blocks coins at or above the price; one unit of overshoot is
+  possible when a dime lands on price-1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.circuit import Circuit
+from ..system.model import TransitionSystem
+from ._common import value_equals
+
+__all__ = ["make", "make_circuit", "make_overpay_check", "dispense_depth"]
+
+
+def make_circuit(price_units: int) -> Circuit:
+    """Vending controller; ``price_units`` is the price in nickels."""
+    if price_units < 1:
+        raise ValueError("price must be positive")
+    # One headroom bit beyond price+1 keeps the overpay comparator a
+    # real predicate (never constant-FALSE by mere register width).
+    width = (price_units + 2).bit_length()
+    circuit = Circuit(f"vending{price_units}")
+    nickel = circuit.add_input("nickel")
+    dime = circuit.add_input("dime")
+    bal = [circuit.add_latch(f"bal{i}", init=False) for i in range(width)]
+    dispensing = circuit.add_latch("dispense", init=False)
+    bal_names = [f"bal{i}" for i in range(width)]
+
+    reached = ex.disjoin(value_equals(bal_names, v)
+                         for v in range(price_units, 1 << width))
+    accept = ex.mk_and(ex.mk_not(reached), ex.mk_not(dispensing))
+    add_two = ex.mk_and(accept, dime)
+    add_one = ex.mk_and(accept, nickel, ex.mk_not(dime))
+
+    # bal' = 0 when dispensing, else bal + (2 | 1 | 0).
+    carry: Expr = add_one
+    for i in range(width):
+        if i == 1:
+            # dime adds directly into bit 1.
+            summed = ex.mk_xor(ex.mk_xor(bal[i], carry), add_two)
+            new_carry = ex.mk_or(ex.mk_and(bal[i], carry),
+                                 ex.mk_and(bal[i], add_two),
+                                 ex.mk_and(carry, add_two))
+        else:
+            summed = ex.mk_xor(bal[i], carry)
+            new_carry = ex.mk_and(bal[i], carry)
+        circuit.set_next(f"bal{i}",
+                         ex.mk_and(ex.mk_not(dispensing), summed))
+        carry = new_carry
+
+    circuit.set_next("dispense", ex.mk_and(reached, ex.mk_not(dispensing)))
+    circuit.add_bad("overpay", ex.disjoin(
+        value_equals(bal_names, v)
+        for v in range(price_units + 2, 1 << width)))
+    return circuit
+
+
+def dispense_depth(price_units: int) -> int:
+    """Shortest steps to the dispense state (all dimes, then register)."""
+    return (price_units + 1) // 2 + 1
+
+
+def make(price_units: int
+         ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Vending instance: reach the dispense state."""
+    circuit = make_circuit(price_units)
+    system = circuit.to_transition_system()
+    return system, ex.var("dispense"), dispense_depth(price_units)
+
+
+def make_overpay_check(price_units: int
+                       ) -> Tuple[TransitionSystem, Expr, Optional[int]]:
+    """Unreachable-target instance: balance exceeds price + 1."""
+    circuit = make_circuit(price_units)
+    system = circuit.to_transition_system()
+    return system, circuit.bad["overpay"], None

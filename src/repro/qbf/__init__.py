@@ -1,0 +1,8 @@
+"""QBF solving: prenex CNF, search-based QDPLL, expansion solver."""
+
+from .expansion import ExpansionSolver, evaluate_qbf
+from .pcnf import PCNF
+from .qdpll import QbfStats, QdpllSolver
+
+__all__ = ["PCNF", "QdpllSolver", "QbfStats", "ExpansionSolver",
+           "evaluate_qbf"]

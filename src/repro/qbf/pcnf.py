@@ -1,0 +1,140 @@
+"""Prenex CNF (PCNF) representation of Quantified Boolean Formulae.
+
+A PCNF is a quantifier prefix — an alternating sequence of blocks, each
+existential (``'e'``) or universal (``'a'``) — over a propositional CNF
+matrix.  Variables of the matrix not bound by the prefix are *free* and
+treated as outermost existentials (standard QDIMACS semantics).
+
+The paper's formulae (2) and (3) compile to PCNF:
+
+* formula (2): ``∃ Z0..Zk  ∀ U,V  ∃ aux : matrix`` — one ∀ block whose
+  width (2n) does not grow with the bound k;
+* formula (3): ``∃ .. ∀ .. ∃ .. ∀ ..`` with ``⌈log2 k⌉`` alternations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..logic.cnf import CNF
+from ..logic.dimacs import write_qdimacs
+
+__all__ = ["PCNF", "Block"]
+
+Block = Tuple[str, Tuple[int, ...]]
+
+
+class PCNF:
+    """A prenex-CNF quantified Boolean formula."""
+
+    def __init__(self, prefix: Sequence[Block] | None = None,
+                 matrix: CNF | None = None) -> None:
+        self.prefix: List[Block] = []
+        self.matrix = matrix if matrix is not None else CNF()
+        if prefix:
+            for quantifier, variables in prefix:
+                self.add_block(quantifier, variables)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_block(self, quantifier: str, variables: Iterable[int]) -> None:
+        """Append a block; merges with the last block if same quantifier."""
+        if quantifier not in ("a", "e"):
+            raise ValueError(f"quantifier must be 'a' or 'e', got {quantifier!r}")
+        variables = tuple(variables)
+        if not variables:
+            return
+        if any(v <= 0 for v in variables):
+            raise ValueError("quantified variables must be positive ints")
+        bound = self.bound_vars()
+        dup = bound.intersection(variables)
+        if dup or len(set(variables)) != len(variables):
+            raise ValueError(f"variables quantified twice: {sorted(dup)}")
+        if self.prefix and self.prefix[-1][0] == quantifier:
+            self.prefix[-1] = (quantifier, self.prefix[-1][1] + variables)
+        else:
+            self.prefix.append((quantifier, variables))
+
+    def close(self) -> None:
+        """Bind any free matrix variables in an outermost ∃ block."""
+        free = sorted(self.free_vars())
+        if not free:
+            return
+        if self.prefix and self.prefix[0][0] == "e":
+            self.prefix[0] = ("e", tuple(free) + self.prefix[0][1])
+        else:
+            self.prefix.insert(0, ("e", tuple(free)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def bound_vars(self) -> set[int]:
+        out: set[int] = set()
+        for _, variables in self.prefix:
+            out.update(variables)
+        return out
+
+    def free_vars(self) -> set[int]:
+        return self.matrix.variables() - self.bound_vars()
+
+    def quantifier_of(self, var: int) -> str:
+        """'a'/'e' for bound variables; free variables count as 'e'."""
+        for quantifier, variables in self.prefix:
+            if var in variables:
+                return quantifier
+        return "e"
+
+    def level_of(self, var: int) -> int:
+        """Prefix depth of a variable (0 = outermost; free vars are -1).
+
+        Larger levels are *inner* (closer to the matrix).
+        """
+        for depth, (_, variables) in enumerate(self.prefix):
+            if var in variables:
+                return depth
+        return -1
+
+    def var_levels(self) -> Dict[int, Tuple[str, int]]:
+        """Map every matrix variable to (quantifier, level).
+
+        Free variables get ('e', -1): existential and outermost.
+        """
+        table: Dict[int, Tuple[str, int]] = {}
+        for depth, (quantifier, variables) in enumerate(self.prefix):
+            for v in variables:
+                table[v] = (quantifier, depth)
+        for v in self.matrix.variables():
+            table.setdefault(v, ("e", -1))
+        return table
+
+    def num_alternations(self) -> int:
+        """Quantifier alternations in the prefix (∃∀∃ has 2)."""
+        return max(0, len([b for b in self.prefix if b[1]]) - 1)
+
+    def num_universals(self) -> int:
+        return sum(len(vs) for q, vs in self.prefix if q == "a")
+
+    def num_existentials(self) -> int:
+        return sum(len(vs) for q, vs in self.prefix if q == "e")
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics (feeds the space-efficiency experiments)."""
+        out = self.matrix.stats()
+        out["universals"] = self.num_universals()
+        out["existentials"] = self.num_existentials()
+        out["alternations"] = self.num_alternations()
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_qdimacs(self, comments: Sequence[str] = ()) -> str:
+        """QDIMACS text (free variables are closed into an ∃ block)."""
+        clone = PCNF(list(self.prefix), self.matrix)
+        clone.close()
+        return write_qdimacs(clone.prefix, clone.matrix, comments)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        shape = " ".join(f"{q}{len(vs)}" for q, vs in self.prefix)
+        return f"PCNF({shape} | {self.matrix!r})"

@@ -1,0 +1,19 @@
+"""SAT solving: CDCL solver, DPLL reference, proofs, interpolation."""
+
+from .dpll import DpllSolver, brute_force_models, brute_force_sat
+from .proof import ProofError, ResolutionProof
+from .solver import CdclSolver, SolverStats
+from .types import Budget, BudgetExceeded, SolveResult
+
+__all__ = [
+    "CdclSolver",
+    "SolverStats",
+    "DpllSolver",
+    "brute_force_models",
+    "brute_force_sat",
+    "ResolutionProof",
+    "ProofError",
+    "Budget",
+    "BudgetExceeded",
+    "SolveResult",
+]

@@ -1,0 +1,105 @@
+"""Craig interpolation from resolution refutations (McMillan's system).
+
+Given an UNSAT formula partitioned into clause sets A and B and a
+logged resolution refutation (:class:`repro.sat.proof.ResolutionProof`),
+compute an interpolant P with the three defining properties:
+
+* ``A ⟹ P``,
+* ``P ∧ B`` is unsatisfiable,
+* ``vars(P) ⊆ vars(A) ∩ vars(B)``.
+
+McMillan's labelling: for an input clause ``c ∈ A`` the partial
+interpolant is the disjunction of c's *global* literals (those whose
+variable also occurs in B); for ``c ∈ B`` it is TRUE.  A resolution on
+pivot x combines partial interpolants with OR when x is A-local and
+with AND otherwise.
+
+The paper's introduction cites interpolation-based model checking as
+one of the techniques whose SAT queries still suffer the unrolling
+memory blow-up; :mod:`repro.bmc.interpolation` builds that procedure on
+top of this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Set
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from .proof import ProofError, ResolutionProof
+
+__all__ = ["compute_interpolant", "InterpolationError"]
+
+
+class InterpolationError(ValueError):
+    """Raised when the A/B partition or the proof is inconsistent."""
+
+
+def compute_interpolant(proof: ResolutionProof, empty_id: int,
+                        a_ids: Iterable[int], b_ids: Iterable[int],
+                        var_name: Callable[[int], str] | None = None
+                        ) -> Expr:
+    """Interpolant of (A, B) from the refutation ending at ``empty_id``.
+
+    ``a_ids``/``b_ids`` are proof ids of the input clauses in each
+    partition (every input clause used by the refutation must be in
+    exactly one).  ``var_name`` maps CNF variables to expression
+    variable names (default ``v<idx>``).
+    """
+    # Callers may pass raw proof-id ranges captured around their
+    # add_clauses calls; such ranges can also contain *derived* steps
+    # (level-0 propagation units logged while loading).  Only input
+    # steps define the partition — everything else is ignored.
+    a_set = {i for i in a_ids if proof.is_input(i)}
+    b_set = {i for i in b_ids if proof.is_input(i)}
+    overlap = a_set & b_set
+    if overlap:
+        raise InterpolationError(f"clauses in both partitions: {overlap}")
+    if var_name is None:
+        def var_name(v: int) -> str:
+            return f"v{v}"
+
+    # Variables occurring in B's input clauses are "global" labels.
+    b_vars: Set[int] = set()
+    for cid in b_set:
+        for lit in proof.lits_of(cid):
+            b_vars.add(abs(lit))
+
+    def lit_expr(lit: int) -> Expr:
+        base = ex.var(var_name(abs(lit)))
+        return base if lit > 0 else ex.mk_not(base)
+
+    needed = proof._needed(empty_id)
+    partial: Dict[int, Expr] = {}
+    clauses: Dict[int, FrozenSet[int]] = {}
+
+    for i in needed:
+        if proof.is_input(i):
+            lits = frozenset(proof.lits_of(i))
+            clauses[i] = lits
+            if i in a_set:
+                globals_ = [lit_expr(l) for l in lits if abs(l) in b_vars]
+                partial[i] = ex.disjoin(globals_)
+            elif i in b_set:
+                partial[i] = ex.TRUE
+            else:
+                raise InterpolationError(
+                    f"input clause {i} ({sorted(lits)}) not in A or B")
+            continue
+        step = proof._steps[i]
+        current = clauses[step.start]
+        itp = partial[step.start]
+        for other_id, pivot in step.chain:
+            other = clauses[other_id]
+            other_itp = partial[other_id]
+            current = ResolutionProof._resolve(current, other, pivot)
+            if pivot in b_vars:
+                itp = ex.mk_and(itp, other_itp)
+            else:
+                itp = ex.mk_or(itp, other_itp)
+        clauses[i] = current
+        partial[i] = itp
+
+    if clauses[empty_id]:
+        raise ProofError("refutation does not end in the empty clause")
+    return partial[empty_id]

@@ -1,0 +1,160 @@
+"""Resolution proof logging and checking.
+
+The CDCL solver can log every learnt clause as a *resolution chain*: a
+start clause plus a sequence of ``(antecedent_id, pivot_var)`` steps.
+Replaying the chains validates the refutation and drives UNSAT-core
+extraction and Craig interpolation (:mod:`repro.sat.interpolation`).
+
+Clause literals here are DIMACS-signed ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["ResolutionProof", "ProofError"]
+
+
+class ProofError(ValueError):
+    """Raised when a logged proof does not replay correctly."""
+
+
+class _Step:
+    __slots__ = ("kind", "lits", "start", "chain", "group")
+
+    def __init__(self, kind: str, lits: Tuple[int, ...],
+                 start: int = -1,
+                 chain: Tuple[Tuple[int, int], ...] = (),
+                 group: str | None = None) -> None:
+        self.kind = kind            # "input" or "derived"
+        self.lits = lits
+        self.start = start
+        self.chain = chain
+        self.group = group
+
+
+class ResolutionProof:
+    """An append-only log of input clauses and resolution derivations."""
+
+    def __init__(self) -> None:
+        self._steps: List[_Step] = []
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    # ------------------------------------------------------------------
+    # Logging (called by the solver)
+    # ------------------------------------------------------------------
+    def add_input(self, lits: Iterable[int], group: str | None = None) -> int:
+        """Record an input (problem) clause; returns its proof id."""
+        self._steps.append(_Step("input", tuple(lits), group=group))
+        return len(self._steps) - 1
+
+    def add_derived(self, start: int, chain: Sequence[Tuple[int, int]],
+                    result_lits: Iterable[int]) -> int:
+        """Record a derived clause.
+
+        ``start`` is the id of the first antecedent; ``chain`` lists
+        ``(antecedent_id, pivot_var)`` resolutions applied in order;
+        ``result_lits`` is the clause the solver believes it derived
+        (checked during replay).
+        """
+        if start < 0:
+            raise ProofError("derived clause with invalid start id")
+        if not chain:
+            # Degenerate chain: the derived clause IS the start clause.
+            return start
+        self._steps.append(_Step("derived", tuple(result_lits), start,
+                                 tuple(chain)))
+        return len(self._steps) - 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def lits_of(self, proof_id: int) -> Tuple[int, ...]:
+        return self._steps[proof_id].lits
+
+    def is_input(self, proof_id: int) -> bool:
+        return self._steps[proof_id].kind == "input"
+
+    def inputs(self) -> List[int]:
+        """Ids of all input clauses."""
+        return [i for i, s in enumerate(self._steps) if s.kind == "input"]
+
+    # ------------------------------------------------------------------
+    # Replay / check
+    # ------------------------------------------------------------------
+    def replay(self, proof_id: int, strict: bool = True
+               ) -> FrozenSet[int]:
+        """Re-derive the clause at ``proof_id`` by literal-set resolution.
+
+        Checks each chain step: the pivot must occur with opposite phases
+        in the two operands.  With ``strict`` the replayed clause must
+        match the recorded literals exactly (as a set).
+        """
+        cache: Dict[int, FrozenSet[int]] = {}
+        for i in self._needed(proof_id):
+            step = self._steps[i]
+            if step.kind == "input":
+                cache[i] = frozenset(step.lits)
+                continue
+            current = cache[step.start]
+            for other_id, pivot in step.chain:
+                other = cache[other_id]
+                current = self._resolve(current, other, pivot)
+            cache[i] = current
+            if strict and current != frozenset(step.lits):
+                raise ProofError(
+                    f"step {i}: replay gives {sorted(current)}, "
+                    f"solver recorded {sorted(step.lits)}")
+        return cache[proof_id]
+
+    def _needed(self, proof_id: int) -> List[int]:
+        """Ids reachable from ``proof_id``, in dependency (ascending) order.
+
+        Chains only reference earlier ids, so ascending id order is a
+        valid topological order.
+        """
+        needed = set()
+        stack = [proof_id]
+        while stack:
+            i = stack.pop()
+            if i in needed:
+                continue
+            needed.add(i)
+            step = self._steps[i]
+            if step.kind == "derived":
+                stack.append(step.start)
+                stack.extend(a for a, _ in step.chain)
+        return sorted(needed)
+
+    @staticmethod
+    def _resolve(a: FrozenSet[int], b: FrozenSet[int],
+                 pivot: int) -> FrozenSet[int]:
+        if pivot in a and -pivot in b:
+            pos, neg = a, b
+        elif -pivot in a and pivot in b:
+            pos, neg = b, a
+        else:
+            raise ProofError(
+                f"pivot {pivot} does not occur with opposite phases")
+        return (pos - {pivot}) | (neg - {-pivot})
+
+    def check_refutation(self, empty_id: int) -> bool:
+        """Verify that ``empty_id`` derives the empty clause."""
+        result = self.replay(empty_id, strict=False)
+        if result:
+            raise ProofError(f"final clause not empty: {sorted(result)}")
+        return True
+
+    # ------------------------------------------------------------------
+    # Cores
+    # ------------------------------------------------------------------
+    def core_inputs(self, proof_id: int) -> List[int]:
+        """Input clause ids used (transitively) by ``proof_id``."""
+        return [i for i in self._needed(proof_id)
+                if self._steps[i].kind == "input"]
+
+    def core_clauses(self, proof_id: int) -> List[Tuple[int, ...]]:
+        """The input clauses (as literal tuples) in the core."""
+        return [self._steps[i].lits for i in self.core_inputs(proof_id)]

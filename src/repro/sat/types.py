@@ -1,0 +1,134 @@
+"""Shared types for the SAT subsystem.
+
+Internal literal encoding (MiniSat-style): DIMACS variable ``v`` becomes
+internal variable index ``v``; the internal literal is ``2*v`` for the
+positive phase and ``2*v + 1`` for the negative phase, so ``lit ^ 1``
+negates and ``lit >> 1`` recovers the variable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+__all__ = ["SolveResult", "Budget", "BudgetExceeded", "to_internal",
+           "from_internal", "Clause", "UNDEF", "luby"]
+
+UNDEF = -1
+
+
+def to_internal(dimacs_lit: int) -> int:
+    """DIMACS literal -> internal literal."""
+    v = abs(dimacs_lit)
+    return 2 * v + (1 if dimacs_lit < 0 else 0)
+
+
+def from_internal(lit: int) -> int:
+    """Internal literal -> DIMACS literal."""
+    v = lit >> 1
+    return -v if (lit & 1) else v
+
+
+class SolveResult(enum.Enum):
+    """Outcome of a solver call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"          # a resource budget was exhausted
+
+    def __bool__(self) -> bool:
+        raise TypeError("SolveResult is tri-valued; compare explicitly")
+
+
+class BudgetExceeded(Exception):
+    """Internal signal: a resource budget ran out mid-search."""
+
+
+class Budget:
+    """Resource limits for a solver run.
+
+    Any limit set to None is unlimited.  ``max_literals`` caps the total
+    number of literals resident in the clause database — the analogue of
+    the paper's 1 GB memory limit.
+    """
+
+    def __init__(self,
+                 max_conflicts: int | None = None,
+                 max_decisions: int | None = None,
+                 max_propagations: int | None = None,
+                 max_seconds: float | None = None,
+                 max_literals: int | None = None) -> None:
+        self.max_conflicts = max_conflicts
+        self.max_decisions = max_decisions
+        self.max_propagations = max_propagations
+        self.max_seconds = max_seconds
+        self.max_literals = max_literals
+
+    @staticmethod
+    def unlimited() -> "Budget":
+        return Budget()
+
+    def scaled(self, factor: float) -> "Budget":
+        """A copy with all countable limits multiplied by ``factor``."""
+        def mul(x: int | None) -> int | None:
+            return None if x is None else max(1, int(x * factor))
+
+        out = Budget(mul(self.max_conflicts), mul(self.max_decisions),
+                     mul(self.max_propagations),
+                     None if self.max_seconds is None
+                     else self.max_seconds * factor,
+                     mul(self.max_literals))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = []
+        for name in ("max_conflicts", "max_decisions", "max_propagations",
+                     "max_seconds", "max_literals"):
+            val = getattr(self, name)
+            if val is not None:
+                parts.append(f"{name}={val}")
+        return "Budget(" + ", ".join(parts) + ")"
+
+
+class Clause:
+    """A clause in the solver's database.
+
+    ``lits`` holds internal literals; positions 0 and 1 are the watched
+    literals.  ``learnt`` clauses carry an LBD score and activity for the
+    deletion policy.
+    """
+
+    __slots__ = ("lits", "learnt", "lbd", "activity", "deleted", "proof_id")
+
+    def __init__(self, lits: List[int], learnt: bool = False,
+                 proof_id: int = -1) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.lbd = 0
+        self.activity = 0.0
+        self.deleted = False
+        self.proof_id = proof_id
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "L" if self.learnt else "O"
+        return f"Clause[{kind}]({[from_internal(l) for l in self.lits]})"
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    ``i`` is 1-based (``luby(1) == 1``).
+    """
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq

@@ -1,0 +1,31 @@
+"""Transition systems, circuits, traces, parsers, explicit oracle."""
+
+from .aiger_io import AigerError, parse_aiger, write_aiger
+from .bench_parser import BenchError, parse_bench
+from .circuit import Circuit
+from .model import TransitionSystem, is_primed, primed, unprimed
+from .oracle import ExplicitOracle
+from .random_model import random_circuit, random_predicate, random_system
+from .smv import SmvError, parse_smv
+from .trace import Trace, TraceError
+
+__all__ = [
+    "TransitionSystem",
+    "primed",
+    "unprimed",
+    "is_primed",
+    "Circuit",
+    "Trace",
+    "TraceError",
+    "ExplicitOracle",
+    "parse_bench",
+    "BenchError",
+    "parse_aiger",
+    "write_aiger",
+    "AigerError",
+    "random_circuit",
+    "random_system",
+    "random_predicate",
+    "parse_smv",
+    "SmvError",
+]

@@ -1,0 +1,231 @@
+"""AIGER ASCII (``aag``) reading and writing.
+
+Supports the AIGER 1.0 header ``aag M I L O A`` and the 1.9 extension
+``aag M I L O A B`` (bad-state properties), plus latch reset values and
+the symbol table (``i0/l0/o0/b0`` lines).  Binary ``aig`` files are out
+of scope — the synthetic suite exchanges ASCII only.
+
+Reading produces a :class:`repro.system.circuit.Circuit` whose latch
+update functions are the AIG cones converted back to expression DAGs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, TextIO
+
+from ..logic import expr as ex
+from ..logic.aig import AIG, aig_from_expr, aig_to_expr
+from .circuit import Circuit
+
+__all__ = ["parse_aiger", "write_aiger", "AigerError"]
+
+
+class AigerError(ValueError):
+    """Raised on malformed AIGER input."""
+
+
+def parse_aiger(source: str | TextIO, name: str = "aiger") -> Circuit:
+    """Parse an ASCII AIGER file into a Circuit."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    header = stream.readline().split()
+    if len(header) not in (6, 7) or header[0] != "aag":
+        raise AigerError(f"bad header: {' '.join(header)}")
+    try:
+        max_var, n_in, n_latch, n_out, n_and = (int(x) for x in header[1:6])
+        n_bad = int(header[6]) if len(header) == 7 else 0
+    except ValueError as exc:
+        raise AigerError("non-numeric header field") from exc
+
+    def read_ints(count: int, what: str) -> List[List[int]]:
+        rows = []
+        for _ in range(count):
+            line = stream.readline()
+            if not line:
+                raise AigerError(f"unexpected EOF in {what}")
+            rows.append([int(t) for t in line.split()])
+        return rows
+
+    input_rows = read_ints(n_in, "inputs")
+    latch_rows = read_ints(n_latch, "latches")
+    output_rows = read_ints(n_out, "outputs")
+    bad_rows = read_ints(n_bad, "bad")
+    and_rows = read_ints(n_and, "ands")
+
+    # Symbol table + comments.
+    symbols: Dict[str, str] = {}
+    for line in stream:
+        line = line.strip()
+        if line == "c":
+            break
+        if not line:
+            continue
+        key, _, label = line.partition(" ")
+        if label:
+            symbols[key] = label
+
+    aig = AIG()
+    lit_names: Dict[int, str] = {}
+    input_lits: List[int] = []
+    for idx, row in enumerate(input_rows):
+        lit = row[0]
+        if lit % 2 or lit == 0:
+            raise AigerError(f"invalid input literal {lit}")
+        wire = symbols.get(f"i{idx}", f"in{idx}")
+        input_lits.append(lit)
+        lit_names[lit] = wire
+    latch_lits: List[int] = []
+    latch_next: List[int] = []
+    latch_init: List[bool | None] = []
+    for idx, row in enumerate(latch_rows):
+        lit = row[0]
+        if lit % 2 or lit == 0:
+            raise AigerError(f"invalid latch literal {lit}")
+        nxt = row[1]
+        reset: bool | None = False
+        if len(row) >= 3:
+            reset = {0: False, 1: True}.get(row[2])
+            if reset is None and row[2] != lit:
+                raise AigerError(f"invalid reset value {row[2]}")
+        wire = symbols.get(f"l{idx}", f"latch{idx}")
+        latch_lits.append(lit)
+        latch_next.append(nxt)
+        latch_init.append(reset)
+        lit_names[lit] = wire
+
+    # Rebuild the AIG's internal tables so literal numbering matches.
+    aig._num_vars = max_var
+    for lhs_row in and_rows:
+        if len(lhs_row) != 3:
+            raise AigerError(f"bad and line: {lhs_row}")
+        lhs, a, b = lhs_row
+        if lhs % 2 or lhs == 0:
+            raise AigerError(f"invalid and literal {lhs}")
+        if a >= lhs or b >= lhs:
+            # The expression rebuilder relies on topological numbering,
+            # which the AIGER format mandates anyway.
+            raise AigerError(f"and gate {lhs} uses a later literal")
+        lo, hi = (a, b) if a <= b else (b, a)
+        aig._and_defs[lhs // 2] = (lo, hi)
+        aig._strash[(lo, hi)] = lhs
+
+    circuit = Circuit(name)
+    leaf_names = dict(lit_names)
+    for lit in input_lits:
+        circuit.add_input(leaf_names[lit])
+    for idx, lit in enumerate(latch_lits):
+        circuit.add_latch(leaf_names[lit], init=latch_init[idx])
+    for idx, lit in enumerate(latch_lits):
+        circuit.set_next(leaf_names[lit],
+                         aig_to_expr(aig, latch_next[idx], leaf_names))
+    for idx, row in enumerate(output_rows):
+        label = symbols.get(f"o{idx}", f"out{idx}")
+        circuit.add_output(label, aig_to_expr(aig, row[0], leaf_names))
+    for idx, row in enumerate(bad_rows):
+        label = symbols.get(f"b{idx}", f"bad{idx}")
+        circuit.add_bad(label, aig_to_expr(aig, row[0], leaf_names))
+    return circuit
+
+
+def write_aiger(circuit: Circuit) -> str:
+    """Serialize a Circuit to ASCII AIGER (aag, with bad lines if any).
+
+    Latch updates, outputs and bad expressions are rebuilt into a single
+    shared AIG; inputs and latches keep their declaration order.
+    """
+    roots: List[ex.Expr] = []
+    for latch in circuit.latch_names:
+        nxt = circuit._next_exprs[latch]
+        if nxt is None:
+            raise AigerError(f"latch {latch!r} has no next-state function")
+        roots.append(nxt)
+    output_items = list(circuit.outputs.items())
+    bad_items = list(circuit.bad.items())
+    roots.extend(expr for _, expr in output_items)
+    roots.extend(expr for _, expr in bad_items)
+
+    # Build the AIG with inputs forced into declaration order: inputs
+    # first, then latches (AIGER requires this variable layout).
+    aig = AIG()
+    leaf_lit: Dict[str, int] = {}
+    for wire in circuit.input_names:
+        leaf_lit[wire] = aig.add_input(wire)
+    latch_literal: Dict[str, int] = {}
+    for latch in circuit.latch_names:
+        lit = aig.add_latch(latch, init=circuit._init_values[latch])
+        leaf_lit[latch] = lit
+        latch_literal[latch] = lit
+
+    cache: Dict[int, int] = {}
+
+    def build(node: ex.Expr) -> int:
+        for sub in node.iter_dag():
+            if sub.uid in cache:
+                continue
+            if sub.is_const:
+                cache[sub.uid] = 1 if sub.value else 0
+            elif sub.is_var:
+                assert sub.name is not None
+                if sub.name not in leaf_lit:
+                    raise AigerError(f"free wire {sub.name!r} in expression")
+                cache[sub.uid] = leaf_lit[sub.name]
+            elif sub.op == "not":
+                cache[sub.uid] = cache[sub.args[0].uid] ^ 1
+            elif sub.op == "and":
+                acc = 1
+                for child in sub.args:
+                    acc = aig.mk_and(acc, cache[child.uid])
+                cache[sub.uid] = acc
+            elif sub.op == "or":
+                acc = 0
+                for child in sub.args:
+                    acc = aig.mk_or(acc, cache[child.uid])
+                cache[sub.uid] = acc
+            elif sub.op == "xor":
+                a, b = (cache[c.uid] for c in sub.args)
+                cache[sub.uid] = aig.mk_xor(a, b)
+            elif sub.op == "iff":
+                a, b = (cache[c.uid] for c in sub.args)
+                cache[sub.uid] = aig.mk_xor(a, b) ^ 1
+            elif sub.op == "ite":
+                c, t, e = (cache[x.uid] for x in sub.args)
+                cache[sub.uid] = aig.mk_ite(c, t, e)
+            else:
+                raise AigerError(f"unknown operator {sub.op!r}")
+        return cache[node.uid]
+
+    root_lits = [build(r) for r in roots]
+    n_latch = len(circuit.latch_names)
+    latch_out_lits = root_lits[:n_latch]
+    output_lits = root_lits[n_latch:n_latch + len(output_items)]
+    bad_lits = root_lits[n_latch + len(output_items):]
+
+    lines = [f"aag {aig.num_vars} {len(circuit.input_names)} {n_latch} "
+             f"{len(output_items)} {aig.num_ands}"
+             + (f" {len(bad_items)}" if bad_items else "")]
+    for wire in circuit.input_names:
+        lines.append(str(leaf_lit[wire]))
+    for latch, next_lit in zip(circuit.latch_names, latch_out_lits):
+        init = circuit._init_values[latch]
+        lit = latch_literal[latch]
+        if init is False:
+            lines.append(f"{lit} {next_lit}")
+        elif init is True:
+            lines.append(f"{lit} {next_lit} 1")
+        else:
+            lines.append(f"{lit} {next_lit} {lit}")
+    for lit in output_lits:
+        lines.append(str(lit))
+    for lit in bad_lits:
+        lines.append(str(lit))
+    for lhs, a, b in aig.iter_ands():
+        lines.append(f"{lhs} {b} {a}" if a < b else f"{lhs} {a} {b}")
+    for idx, wire in enumerate(circuit.input_names):
+        lines.append(f"i{idx} {wire}")
+    for idx, latch in enumerate(circuit.latch_names):
+        lines.append(f"l{idx} {latch}")
+    for idx, (label, _) in enumerate(output_items):
+        lines.append(f"o{idx} {label}")
+    for idx, (label, _) in enumerate(bad_items):
+        lines.append(f"b{idx} {label}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,142 @@
+"""ISCAS-89 ``.bench`` netlist parser.
+
+The ``.bench`` format is the classic sequential-benchmark exchange
+format (s27, s344, ...).  Supported constructs::
+
+    INPUT(a)
+    OUTPUT(z)
+    q = DFF(d)
+    z = AND(a, b)        # also OR, NAND, NOR, XOR, XNOR, NOT, BUFF
+
+DFFs power up to 0 by default (``init_value`` overrides).  The parser
+produces a :class:`repro.system.circuit.Circuit`; combinational gates
+become expression DAG nodes, so repeated fan-out is shared.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, List, TextIO, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from .circuit import Circuit
+
+__all__ = ["parse_bench", "BenchError"]
+
+
+class BenchError(ValueError):
+    """Raised on malformed .bench input."""
+
+
+_LINE = re.compile(r"^\s*(\w+)\s*=\s*(\w+)\s*\(([^)]*)\)\s*$")
+_DECL = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$",
+                   re.IGNORECASE)
+
+_GATES = {
+    "AND": lambda args: ex.mk_and(*args),
+    "OR": lambda args: ex.mk_or(*args),
+    "NAND": lambda args: ex.mk_not(ex.mk_and(*args)),
+    "NOR": lambda args: ex.mk_not(ex.mk_or(*args)),
+    "XOR": lambda args: _xor_chain(args),
+    "XNOR": lambda args: ex.mk_not(_xor_chain(args)),
+    "NOT": lambda args: ex.mk_not(_only(args)),
+    "BUFF": lambda args: _only(args),
+    "BUF": lambda args: _only(args),
+}
+
+
+def _only(args: List[Expr]) -> Expr:
+    if len(args) != 1:
+        raise BenchError(f"gate expects one operand, got {len(args)}")
+    return args[0]
+
+
+def _xor_chain(args: List[Expr]) -> Expr:
+    if not args:
+        raise BenchError("XOR with no operands")
+    out = args[0]
+    for a in args[1:]:
+        out = ex.mk_xor(out, a)
+    return out
+
+
+def parse_bench(source: str | TextIO, name: str = "bench",
+                init_value: bool | None = False) -> Circuit:
+    """Parse a ``.bench`` netlist into a :class:`Circuit`.
+
+    ``init_value`` is the power-up value given to every DFF (None keeps
+    the initial state unconstrained, the strict ISCAS-89 reading).
+    """
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gate_defs: Dict[str, Tuple[str, List[str]]] = {}
+    dffs: Dict[str, str] = {}           # latch name -> data wire
+
+    for raw in stream:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL.match(line)
+        if decl:
+            kind, wire = decl.group(1).upper(), decl.group(2)
+            (inputs if kind == "INPUT" else outputs).append(wire)
+            continue
+        m = _LINE.match(line)
+        if not m:
+            raise BenchError(f"cannot parse line: {line!r}")
+        lhs, gate, operand_text = m.group(1), m.group(2).upper(), m.group(3)
+        operands = [t.strip() for t in operand_text.split(",") if t.strip()]
+        if gate == "DFF":
+            if len(operands) != 1:
+                raise BenchError(f"DFF expects one operand: {line!r}")
+            dffs[lhs] = operands[0]
+        elif gate in _GATES:
+            gate_defs[lhs] = (gate, operands)
+        else:
+            raise BenchError(f"unknown gate {gate!r} in line {line!r}")
+
+    circuit = Circuit(name)
+    for wire in inputs:
+        circuit.add_input(wire)
+    for latch in dffs:
+        circuit.add_latch(latch, init=init_value)
+
+    # Resolve combinational wires to expressions (iterative, memoized).
+    cache: Dict[str, Expr] = {w: ex.var(w) for w in inputs}
+    cache.update({l: ex.var(l) for l in dffs})
+
+    def resolve(wire: str) -> Expr:
+        if wire in cache:
+            return cache[wire]
+        stack = [wire]
+        on_stack = {wire}
+        while stack:
+            top = stack[-1]
+            if top in cache:
+                on_stack.discard(top)
+                stack.pop()
+                continue
+            if top not in gate_defs:
+                raise BenchError(f"undefined wire {top!r}")
+            gate, operands = gate_defs[top]
+            missing = [op for op in operands if op not in cache]
+            if missing:
+                cycle = [op for op in missing if op in on_stack]
+                if cycle:
+                    raise BenchError(f"combinational cycle at {cycle[0]!r}")
+                stack.extend(missing)
+                on_stack.update(missing)
+                continue
+            cache[top] = _GATES[gate]([cache[op] for op in operands])
+            on_stack.discard(top)
+            stack.pop()
+        return cache[wire]
+
+    for latch, data in dffs.items():
+        circuit.set_next(latch, resolve(data))
+    for wire in outputs:
+        circuit.add_output(wire, resolve(wire))
+    return circuit

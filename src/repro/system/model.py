@@ -1,0 +1,191 @@
+"""Symbolic transition systems M = (S, I, TR).
+
+A :class:`TransitionSystem` describes a finite-state machine over Boolean
+state variables, exactly the object the paper's reachability formulae
+quantify over:
+
+* ``state_vars`` — the state encoding bits (the Z/U/V vectors);
+* ``input_vars`` — primary inputs (nondeterminism inside TR);
+* ``init`` — characteristic function I of the initial states, an
+  :class:`repro.logic.expr.Expr` over ``state_vars``;
+* ``trans`` — the transition relation TR(Z, X, Z'), an expression over
+  current-state variables, inputs, and *primed* next-state variables.
+
+Priming is by naming convention: the next-state copy of variable ``v``
+is ``v'`` (see :func:`primed`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+
+__all__ = ["TransitionSystem", "primed", "unprimed", "is_primed"]
+
+_PRIME = "'"
+
+
+def primed(name: str) -> str:
+    """Next-state copy of a variable name."""
+    return name + _PRIME
+
+
+def unprimed(name: str) -> str:
+    """Strip one prime from a primed name."""
+    if not name.endswith(_PRIME):
+        raise ValueError(f"{name!r} is not primed")
+    return name[:-1]
+
+
+def is_primed(name: str) -> bool:
+    return name.endswith(_PRIME)
+
+
+class TransitionSystem:
+    """A finite-state system with symbolic init and transition relation.
+
+    Example: a 2-bit counter.
+
+    >>> b0, b1 = ex.var("b0"), ex.var("b1")
+    >>> ts = TransitionSystem(
+    ...     state_vars=["b0", "b1"],
+    ...     init=~b0 & ~b1,
+    ...     trans=(ex.var("b0'").iff(~b0)
+    ...            & ex.var("b1'").iff(b1 ^ b0)))
+    >>> ts.num_state_bits
+    2
+    """
+
+    def __init__(self, state_vars: Sequence[str], init: Expr, trans: Expr,
+                 input_vars: Sequence[str] = (), name: str = "system") -> None:
+        self.state_vars = list(state_vars)
+        self.input_vars = list(input_vars)
+        self.init = init
+        self.trans = trans
+        self.name = name
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if len(set(self.state_vars)) != len(self.state_vars):
+            raise ValueError("duplicate state variables")
+        if len(set(self.input_vars)) != len(self.input_vars):
+            raise ValueError("duplicate input variables")
+        overlap = set(self.state_vars) & set(self.input_vars)
+        if overlap:
+            raise ValueError(f"variables both state and input: {overlap}")
+        state = set(self.state_vars)
+        allowed_init = state
+        stray = self.init.support() - allowed_init
+        if stray:
+            raise ValueError(f"init depends on non-state variables: {stray}")
+        allowed_trans = (state | set(self.input_vars)
+                         | {primed(v) for v in self.state_vars})
+        stray = self.trans.support() - allowed_trans
+        if stray:
+            raise ValueError(f"trans depends on unknown variables: {stray}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_state_bits(self) -> int:
+        return len(self.state_vars)
+
+    @property
+    def next_vars(self) -> List[str]:
+        return [primed(v) for v in self.state_vars]
+
+    def state_exprs(self) -> List[Expr]:
+        return [ex.var(v) for v in self.state_vars]
+
+    def trans_size(self) -> int:
+        """DAG size of TR — the paper's |TR| in the growth analyses."""
+        return self.trans.size()
+
+    # ------------------------------------------------------------------
+    # Renaming helpers used by the BMC encoders
+    # ------------------------------------------------------------------
+    def rename_state_expr(self, root: Expr, target: Sequence[str]) -> Expr:
+        """Rename ``state_vars`` to ``target`` names inside ``root``."""
+        if len(target) != len(self.state_vars):
+            raise ValueError("target vector length mismatch")
+        mapping = {old: ex.var(new)
+                   for old, new in zip(self.state_vars, target)}
+        return ex.substitute(root, mapping)
+
+    def trans_between(self, current: Sequence[str], nxt: Sequence[str],
+                      input_suffix: str = "") -> Expr:
+        """TR instantiated over explicit vectors: TR(current, inputs, nxt).
+
+        ``input_suffix`` disambiguates input copies across timeframes.
+        """
+        if len(current) != len(self.state_vars) or \
+                len(nxt) != len(self.state_vars):
+            raise ValueError("state vector length mismatch")
+        mapping: Dict[str, Expr] = {}
+        for old, new in zip(self.state_vars, current):
+            mapping[old] = ex.var(new)
+        for old, new in zip(self.next_vars, nxt):
+            mapping[old] = ex.var(new)
+        for inp in self.input_vars:
+            mapping[inp] = ex.var(inp + input_suffix)
+        return ex.substitute(self.trans, mapping)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_self_loops(self) -> "TransitionSystem":
+        """Add a stutter step to every state: TR' = TR ∨ (Z' = Z).
+
+        This is the paper's §2 trick that turns "reachable in exactly k
+        steps" into "reachable in at most k steps" (needed to use the
+        iterative-squaring formula (3) at non-power-of-two bounds).
+        """
+        stutter = ex.conjoin(
+            ex.mk_iff(ex.var(primed(v)), ex.var(v))
+            for v in self.state_vars)
+        return TransitionSystem(self.state_vars,
+                                self.init,
+                                ex.mk_or(self.trans, stutter),
+                                self.input_vars,
+                                name=f"{self.name}+stutter")
+
+    def reversed(self) -> "TransitionSystem":
+        """Swap the roles of current and next state (backward TR).
+
+        Note: ``init`` is carried over unchanged; callers doing backward
+        reachability supply their own target as the new init.
+        """
+        mapping: Dict[str, Expr] = {}
+        for v in self.state_vars:
+            mapping[v] = ex.var(primed(v))
+            mapping[primed(v)] = ex.var(v)
+        return TransitionSystem(self.state_vars, self.init,
+                                ex.substitute(self.trans, mapping),
+                                self.input_vars,
+                                name=f"{self.name}.reversed")
+
+    # ------------------------------------------------------------------
+    # Concrete-state evaluation (used by the explicit oracle & traces)
+    # ------------------------------------------------------------------
+    def state_dict(self, bits: Sequence[bool]) -> Dict[str, bool]:
+        """Assignment mapping for a concrete state given as a bit tuple."""
+        if len(bits) != len(self.state_vars):
+            raise ValueError("state width mismatch")
+        return dict(zip(self.state_vars, bits))
+
+    def holds_init(self, bits: Sequence[bool]) -> bool:
+        return self.init.evaluate(self.state_dict(bits))
+
+    def holds_trans(self, current: Sequence[bool], inputs: Mapping[str, bool],
+                    nxt: Sequence[bool]) -> bool:
+        env = self.state_dict(current)
+        env.update({primed(v): b for v, b in zip(self.state_vars, nxt)})
+        for name in self.input_vars:
+            env[name] = bool(inputs[name])
+        return self.trans.evaluate(env)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"TransitionSystem({self.name!r}, bits={self.num_state_bits},"
+                f" inputs={len(self.input_vars)}, |TR|={self.trans.size()})")

@@ -1,0 +1,153 @@
+"""Explicit-state reachability oracle.
+
+Enumerates the concrete state graph of a (small) transition system and
+answers exact-k / within-k reachability queries by BFS.  This is the
+ground truth against which all four symbolic methods are tested; it is
+deliberately brute-force and only usable up to ~20 state+input bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..logic.expr import Expr
+from .model import TransitionSystem, primed
+
+__all__ = ["ExplicitOracle"]
+
+State = Tuple[bool, ...]
+
+
+class ExplicitOracle:
+    """Explicit enumeration of a transition system's state graph."""
+
+    def __init__(self, system: TransitionSystem, max_bits: int = 22) -> None:
+        total_bits = system.num_state_bits + len(system.input_vars)
+        if system.num_state_bits * 2 + len(system.input_vars) > max_bits:
+            raise ValueError(
+                f"system too large for the explicit oracle "
+                f"({total_bits} bits)")
+        self.system = system
+        self._succ: Dict[State, Set[State]] = {}
+        self._initial: List[State] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        system = self.system
+        n = system.num_state_bits
+        state_vars = system.state_vars
+        next_vars = [primed(v) for v in state_vars]
+        input_vars = system.input_vars
+
+        all_states = [tuple(bits)
+                      for bits in itertools.product((False, True), repeat=n)]
+        for s in all_states:
+            if system.init.evaluate(dict(zip(state_vars, s))):
+                self._initial.append(s)
+
+        all_inputs = [dict(zip(input_vars, bits))
+                      for bits in itertools.product((False, True),
+                                                    repeat=len(input_vars))]
+        for s in all_states:
+            successors: Set[State] = set()
+            base_env = dict(zip(state_vars, s))
+            for inp in all_inputs:
+                env = dict(base_env)
+                env.update(inp)
+                for t in all_states:
+                    env.update(zip(next_vars, t))
+                    if system.trans.evaluate(env):
+                        successors.add(t)
+            self._succ[s] = successors
+
+    # ------------------------------------------------------------------
+    @property
+    def initial_states(self) -> List[State]:
+        return list(self._initial)
+
+    def successors(self, state: State) -> Set[State]:
+        return set(self._succ[state])
+
+    def states_satisfying(self, predicate: Expr) -> Set[State]:
+        state_vars = self.system.state_vars
+        return {s for s in self._succ
+                if predicate.evaluate(dict(zip(state_vars, s)))}
+
+    # ------------------------------------------------------------------
+    def layers(self, max_depth: int) -> List[Set[State]]:
+        """``layers[i]`` = states reachable in exactly i steps."""
+        current: Set[State] = set(self._initial)
+        out = [set(current)]
+        for _ in range(max_depth):
+            nxt: Set[State] = set()
+            for s in current:
+                nxt |= self._succ[s]
+            out.append(nxt)
+            current = nxt
+        return out
+
+    def reachable_in_exactly(self, predicate: Expr, k: int) -> bool:
+        """Is a state satisfying ``predicate`` reachable in exactly k steps?"""
+        targets = self.states_satisfying(predicate)
+        if not targets:
+            return False
+        return bool(self.layers(k)[k] & targets)
+
+    def reachable_within(self, predicate: Expr, k: int) -> bool:
+        """Is a target reachable in at most k steps?"""
+        targets = self.states_satisfying(predicate)
+        if not targets:
+            return False
+        layer = set(self._initial)
+        seen: Set[State] = set(layer)
+        if layer & targets:
+            return True
+        for _ in range(k):
+            nxt: Set[State] = set()
+            for s in layer:
+                nxt |= self._succ[s]
+            if nxt & targets:
+                return True
+            layer = nxt - seen
+            seen |= nxt
+            if not layer:
+                # Fixed point: in *within* semantics nothing new can come.
+                return False
+        return False
+
+    def shortest_distance(self, predicate: Expr,
+                          max_depth: int = 1 << 16) -> Optional[int]:
+        """BFS distance from init to the predicate (None if unreachable)."""
+        targets = self.states_satisfying(predicate)
+        if not targets:
+            return None
+        layer = set(self._initial)
+        seen: Set[State] = set(layer)
+        depth = 0
+        while layer and depth <= max_depth:
+            if layer & targets:
+                return depth
+            nxt: Set[State] = set()
+            for s in layer:
+                nxt |= self._succ[s]
+            layer = nxt - seen
+            seen |= nxt
+            depth += 1
+        return None
+
+    def diameter_bound(self) -> int:
+        """Number of BFS layers until fixpoint (longest shortest path)."""
+        layer = set(self._initial)
+        seen: Set[State] = set(layer)
+        depth = 0
+        while True:
+            nxt: Set[State] = set()
+            for s in layer:
+                nxt |= self._succ[s]
+            layer = nxt - seen
+            if not layer:
+                return depth
+            seen |= nxt
+            depth += 1

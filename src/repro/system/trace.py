@@ -1,0 +1,110 @@
+"""Counterexample traces and their validation.
+
+Every BMC backend in this library returns, on SAT, a :class:`Trace` —
+the witness path Z0 → Z1 → ... → Zk.  ``validate`` replays the trace
+against the transition system, which is how the test-suite proves that
+the four different decision procedures (formulae (1)–(3) and jSAT) all
+find *real* paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..logic.expr import Expr
+from .model import TransitionSystem, primed
+
+__all__ = ["Trace", "TraceError"]
+
+
+class TraceError(ValueError):
+    """Raised when a trace does not replay against its system."""
+
+
+class Trace:
+    """A finite path through a transition system.
+
+    Attributes
+    ----------
+    states:
+        ``states[i]`` maps every state variable name to its value at
+        step i.  ``len(states) == k + 1`` for a k-step trace.
+    inputs:
+        ``inputs[i]`` gives the primary-input values driving the step
+        from state i to state i+1 (``len(inputs) == k``).  May be empty
+        per-step dicts for systems without inputs.
+    """
+
+    def __init__(self, states: Sequence[Dict[str, bool]],
+                 inputs: Optional[Sequence[Dict[str, bool]]] = None) -> None:
+        self.states: List[Dict[str, bool]] = [dict(s) for s in states]
+        if inputs is None:
+            inputs = [{} for _ in range(max(0, len(self.states) - 1))]
+        self.inputs: List[Dict[str, bool]] = [dict(i) for i in inputs]
+        if len(self.inputs) != max(0, len(self.states) - 1):
+            raise ValueError("need exactly one input valuation per step")
+
+    @property
+    def length(self) -> int:
+        """Number of steps (k), not states."""
+        return len(self.states) - 1
+
+    def state_bits(self, index: int, order: Sequence[str]) -> List[bool]:
+        """State at a step as a bit vector in the given variable order."""
+        return [self.states[index][v] for v in order]
+
+    # ------------------------------------------------------------------
+    def validate(self, system: TransitionSystem,
+                 final: Expr | None = None) -> None:
+        """Replay the trace; raises :class:`TraceError` on any violation.
+
+        Checks: (a) state 0 satisfies init, (b) every consecutive pair
+        satisfies TR under the recorded inputs, (c) the last state
+        satisfies ``final`` if given.
+        """
+        if not self.states:
+            raise TraceError("empty trace")
+        for i, state in enumerate(self.states):
+            missing = set(system.state_vars) - set(state)
+            if missing:
+                raise TraceError(f"state {i} missing variables {missing}")
+        if not system.init.evaluate(self.states[0]):
+            raise TraceError("state 0 does not satisfy init")
+        for i in range(self.length):
+            env = dict(self.states[i])
+            env.update({primed(v): self.states[i + 1][v]
+                        for v in system.state_vars})
+            for name in system.input_vars:
+                if name not in self.inputs[i]:
+                    raise TraceError(f"step {i} missing input {name!r}")
+                env[name] = self.inputs[i][name]
+            if not system.trans.evaluate(env):
+                raise TraceError(f"transition {i} -> {i + 1} violates TR")
+        if final is not None and not final.evaluate(self.states[-1]):
+            raise TraceError("last state does not satisfy the target")
+
+    def is_valid(self, system: TransitionSystem,
+                 final: Expr | None = None) -> bool:
+        """Boolean version of :meth:`validate`."""
+        try:
+            self.validate(system, final)
+        except TraceError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def format(self, variables: Sequence[str] | None = None) -> str:
+        """Pretty waveform-style rendering (one row per variable)."""
+        if not self.states:
+            return "(empty trace)"
+        if variables is None:
+            variables = sorted(self.states[0])
+        width = max(len(v) for v in variables) if variables else 0
+        lines = [f"trace of length {self.length}:"]
+        for v in variables:
+            row = "".join("1" if s.get(v) else "0" for s in self.states)
+            lines.append(f"  {v:<{width}} {row}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Trace(length={self.length})"

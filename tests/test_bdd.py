@@ -1,0 +1,120 @@
+"""ROBDD engine and BDD-based reachability tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BddManager, BddReachability
+from repro.logic import expr as ex
+from repro.models import counter, shift_register
+from repro.system import ExplicitOracle, random_predicate, random_system
+from repro.system.random_model import random_expr
+
+
+class TestManager:
+    def test_terminals_and_vars(self):
+        m = BddManager(["a", "b"])
+        assert m.true == 1 and m.false == 0
+        assert m.var("a") == m.var("a")          # canonical
+        with pytest.raises(KeyError):
+            m.var("zz")
+
+    def test_canonicity_random(self):
+        """Equivalent formulas compile to the identical node."""
+        rng = random.Random(5)
+        names = ["a", "b", "c", "d"]
+        for _ in range(60):
+            m = BddManager(names)
+            leaves = [ex.var(n) for n in names]
+            e1 = random_expr(rng, leaves, depth=3)
+            # Build a syntactically different equivalent: double negation
+            # distributed via ite.
+            f1 = m.from_expr(e1)
+            f2 = m.apply_not(m.apply_not(f1))
+            assert f1 == f2
+            for bits in itertools.product([False, True], repeat=4):
+                env = dict(zip(names, bits))
+                want = e1.evaluate(env) if not e1.is_const else e1.is_true
+                assert m.evaluate(f1, env) == want
+
+    def test_quantification(self):
+        m = BddManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.var("b"))
+        assert m.exists(["a"], f) == m.var("b")
+        assert m.forall(["a"], f) == m.false
+        g = m.apply_or(m.var("a"), m.var("b"))
+        assert m.forall(["a"], g) == m.var("b")
+
+    def test_rename_order_compatible(self):
+        m = BddManager(["x", "x'", "y", "y'"])
+        f = m.apply_and(m.var("x"), m.apply_not(m.var("y")))
+        g = m.rename(f, {"x": "x'", "y": "y'"})
+        assert g == m.apply_and(m.var("x'"), m.apply_not(m.var("y'")))
+
+    def test_rename_order_incompatible_falls_back(self):
+        m = BddManager(["a", "b"])
+        f = m.apply_and(m.var("a"), m.apply_not(m.var("b")))
+        g = m.rename(f, {"a": "b", "b": "a"})    # swap
+        assert g == m.apply_and(m.var("b"), m.apply_not(m.var("a")))
+
+    def test_count_and_one_sat(self):
+        m = BddManager(["a", "b", "c"])
+        f = m.apply_or(m.var("a"), m.var("b"))
+        assert m.count_sat(f, ["a", "b", "c"]) == 6
+        model = m.one_sat(f)
+        env = {"a": False, "b": False, "c": False}
+        env.update(model)
+        assert m.evaluate(f, env)
+        assert m.one_sat(m.false) is None
+
+
+class TestReachability:
+    def test_matches_oracle_random(self):
+        rng = random.Random(31)
+        for _ in range(10):
+            system = random_system(rng, num_latches=3, num_inputs=1,
+                                   depth=2)
+            predicate = random_predicate(rng, system)
+            oracle = ExplicitOracle(system)
+            reach = BddReachability(system)
+            assert reach.shortest_distance(predicate) == \
+                oracle.shortest_distance(predicate)
+            for k in (0, 2, 4):
+                assert reach.reachable_in_exactly(predicate, k) == \
+                    oracle.reachable_in_exactly(predicate, k)
+                assert reach.reachable_within(predicate, k) == \
+                    oracle.reachable_within(predicate, k)
+
+    def test_count_reachable_counter(self):
+        system, _, _ = counter.make(4, 1)
+        reach = BddReachability(system)
+        assert reach.count_reachable() == 16      # full count cycle
+
+    def test_fixpoint_iterations_ring(self):
+        system, _, _ = shift_register.make(5)
+        reach = BddReachability(system)
+        reached, iterations = reach.reachable_fixpoint()
+        assert reach.manager.count_sat(reached, system.state_vars) == 5
+        assert iterations == 5                    # 4 new layers + 1 empty
+
+    def test_squared_relations_double_steps(self):
+        system, _, _ = shift_register.make(8)
+        reach = BddReachability(system)
+        relations = reach.squared_relations(3)    # TR_1..TR_8
+        m = reach.manager
+        state = reach.init_bdd
+        # Apply TR_4 once: token should be at position 4.
+        step4 = m.apply_and(state, relations[2])
+        step4 = m.rename(m.exists(reach._curr, step4),
+                         dict(zip(reach._next, reach._curr)))
+        want = m.from_expr(ex.conjoin(
+            ex.var(f"t{i}") if i == 4 else ex.mk_not(ex.var(f"t{i}"))
+            for i in range(8)))
+        assert step4 == want
+
+    def test_node_limit_raises(self):
+        system, _, _ = counter.make(5, 1)
+        reach = BddReachability(system, max_nodes=10)
+        with pytest.raises(MemoryError):
+            reach.reachable_fixpoint()

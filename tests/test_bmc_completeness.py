@@ -1,0 +1,61 @@
+"""Complete (unbounded) verification via recurrence diameter."""
+
+import random
+
+import pytest
+
+from repro.bmc import (longest_simple_path_reached, verify_unbounded)
+from repro.models import counter, shift_register, traffic
+from repro.system import ExplicitOracle, random_predicate, random_system
+
+
+class TestRecurrenceDiameter:
+    def test_ring_longest_simple_path(self):
+        system, _, _ = shift_register.make(4)
+        # The deterministic ring has loop-free paths of length exactly 3.
+        assert longest_simple_path_reached(system, 3) is False
+        assert longest_simple_path_reached(system, 4) is True
+
+    def test_k0_never_reached(self):
+        system, _, _ = shift_register.make(3)
+        assert longest_simple_path_reached(system, 0) is False
+
+
+class TestVerifyUnbounded:
+    def test_safe_property(self):
+        system, bad, _ = shift_register.make_invariant_violation(4)
+        out = verify_unbounded(system, bad, method="jsat", max_bound=10)
+        assert out.status == "safe"
+        assert out.bound <= 4
+
+    def test_counterexample_found_at_exact_depth(self):
+        system, final, depth = counter.make(3, 5)
+        out = verify_unbounded(system, final, method="jsat")
+        assert out.status == "cex" and out.bound == depth
+        out.result.trace.validate(system, final)
+
+    def test_traffic_safety_closes(self):
+        system, bad, _ = traffic.make_safety_check(1)
+        out = verify_unbounded(system, bad, method="sat-unroll",
+                               max_bound=32)
+        assert out.status == "safe"
+
+    def test_matches_oracle_on_random_systems(self):
+        rng = random.Random(77)
+        checked = 0
+        for _ in range(12):
+            system = random_system(rng, num_latches=3, num_inputs=1,
+                                   depth=2)
+            final = random_predicate(rng, system)
+            oracle = ExplicitOracle(system)
+            expected = oracle.shortest_distance(final)
+            out = verify_unbounded(system, final, method="jsat",
+                                   max_bound=20)
+            if out.status == "unknown":
+                continue
+            checked += 1
+            if expected is None:
+                assert out.status == "safe"
+            else:
+                assert out.status == "cex" and out.bound == expected
+        assert checked >= 10

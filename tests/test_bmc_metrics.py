@@ -1,0 +1,61 @@
+"""Formula-size metric tests — the quantitative space claims (E2/E6)."""
+
+from repro.bmc import encoding_sizes, growth_table, jsat_resident_size
+from repro.models import mixer
+
+
+def setup_module(module):
+    module.SYSTEM, module.FINAL, _ = mixer.make(8, 3)
+
+
+def test_encoding_sizes_has_all_methods():
+    sizes = encoding_sizes(SYSTEM, FINAL, 4)
+    assert set(sizes) == {"sat-unroll", "qbf", "qbf-squaring", "jsat"}
+    for row in sizes.values():
+        assert row["literals"] > 0
+
+
+def test_unroll_copies_tr_k_times():
+    sizes = encoding_sizes(SYSTEM, FINAL, 6)
+    assert sizes["sat-unroll"]["trans_copies"] == 6
+    assert sizes["qbf"]["trans_copies"] == 1
+    assert sizes["jsat"]["trans_copies"] == 1
+
+
+def test_growth_shapes():
+    bounds = [1, 2, 4, 8, 16]
+    table = growth_table(SYSTEM, FINAL, bounds)
+    unroll = [row["literals"] for row in table["sat-unroll"]]
+    qbf = [row["literals"] for row in table["qbf"]]
+    jsat = [row["literals"] for row in table["jsat"]]
+
+    # (1) grows linearly and fastest.
+    assert unroll[-1] > qbf[-1] > jsat[-1]
+    # jSAT resident encoding is constant in k.
+    assert len(set(jsat)) == 1
+    # QBF per-step slope is much smaller than unrolling's.
+    unroll_slope = (unroll[-1] - unroll[-2]) / 8
+    qbf_slope = (qbf[-1] - qbf[-2]) / 8
+    assert qbf_slope < unroll_slope / 2
+
+
+def test_squaring_only_at_powers_of_two():
+    table = growth_table(SYSTEM, FINAL, [1, 2, 3, 4])
+    ks = [row["k"] for row in table["qbf-squaring"]]
+    assert ks == [1, 2, 4]
+
+
+def test_qbf_universals_constant_vs_squaring_growing():
+    sizes8 = encoding_sizes(SYSTEM, FINAL, 8)
+    sizes16 = encoding_sizes(SYSTEM, FINAL, 16)
+    assert sizes8["qbf"]["universals"] == sizes16["qbf"]["universals"]
+    assert sizes16["qbf-squaring"]["universals"] > \
+        sizes8["qbf-squaring"]["universals"]
+    assert sizes16["qbf-squaring"]["alternations"] > \
+        sizes16["qbf"]["alternations"]
+
+
+def test_jsat_resident_reports_state_tracking():
+    row = jsat_resident_size(SYSTEM, FINAL, 10)
+    assert row["state_bits_tracked"] == SYSTEM.num_state_bits * 11
+    assert row["clauses"] > 0

@@ -1,0 +1,56 @@
+"""CLI integration tests (run in-process through cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "234 instances" in out
+
+
+def test_bmc_command_sat(capsys):
+    assert main(["bmc", "counter", "-k", "3", "--method", "jsat"]) == 0
+    out = capsys.readouterr().out
+    assert "UNSAT" in out or "SAT" in out
+
+
+def test_bmc_unknown_family(capsys):
+    assert main(["bmc", "nonexistent"]) == 1
+
+
+def test_solve_cnf(tmp_path, capsys):
+    path = tmp_path / "f.cnf"
+    path.write_text("p cnf 2 2\n1 2 0\n-1 0\n")
+    assert main(["solve-cnf", str(path), "--model"]) == 0
+    out = capsys.readouterr().out
+    assert "s SAT" in out and "v " in out
+
+
+def test_solve_cnf_unsat(tmp_path, capsys):
+    path = tmp_path / "f.cnf"
+    path.write_text("p cnf 1 2\n1 0\n-1 0\n")
+    assert main(["solve-cnf", str(path)]) == 0
+    assert "s UNSAT" in capsys.readouterr().out
+
+
+def test_solve_qbf(tmp_path, capsys):
+    path = tmp_path / "f.qdimacs"
+    path.write_text("p cnf 2 2\na 1 0\ne 2 0\n1 -2 0\n-1 2 0\n")
+    assert main(["solve-qbf", str(path)]) == 0
+    assert "s SAT" in capsys.readouterr().out
+    assert main(["solve-qbf", str(path), "--backend", "expansion"]) == 0
+
+
+def test_experiment_e3(capsys):
+    assert main(["experiment", "e3"]) == 0
+    out = capsys.readouterr().out
+    assert "E3" in out and "iterations" in out
+
+
+def test_bmc_with_budget_flags(capsys):
+    code = main(["--timeout", "5", "--conflicts", "10000",
+                 "bmc", "ring", "--method", "sat-unroll"])
+    assert code == 0

@@ -1,0 +1,71 @@
+"""Property-based round-trip tests for the exchange formats."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.logic import expr as ex
+from repro.logic.cnf import CNF
+from repro.logic.dimacs import (parse_dimacs, parse_qdimacs, write_dimacs,
+                                write_qdimacs)
+from repro.system import ExplicitOracle, parse_aiger, write_aiger
+from repro.system.random_model import random_circuit
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def cnfs(draw):
+    n = draw(st.integers(1, 12))
+    cnf = CNF(n)
+    for _ in range(draw(st.integers(0, 25))):
+        clause = [draw(st.integers(1, n)) * draw(st.sampled_from((1, -1)))
+                  for _ in range(draw(st.integers(1, 4)))]
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestDimacsRoundTrip:
+    @given(cnfs())
+    @settings(max_examples=60, **COMMON)
+    def test_cnf_round_trip(self, cnf):
+        back = parse_dimacs(write_dimacs(cnf))
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == cnf.num_vars
+
+    @given(cnfs(), st.data())
+    @settings(max_examples=40, **COMMON)
+    def test_qdimacs_round_trip(self, cnf, data):
+        variables = list(range(1, cnf.num_vars + 1))
+        data.draw(st.randoms()).shuffle(variables)
+        prefix = []
+        i = 0
+        while i < len(variables):
+            size = data.draw(st.integers(1, len(variables) - i))
+            quantifier = data.draw(st.sampled_from("ae"))
+            if prefix and prefix[-1][0] == quantifier:
+                prefix[-1] = (quantifier,
+                              prefix[-1][1] + tuple(variables[i:i + size]))
+            else:
+                prefix.append((quantifier, tuple(variables[i:i + size])))
+            i += size
+        text = write_qdimacs(prefix, cnf)
+        prefix2, cnf2 = parse_qdimacs(text)
+        assert prefix2 == [b for b in prefix if b[1]]
+        assert cnf2.clauses == cnf.clauses
+
+
+class TestAigerRoundTrip:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=25, **COMMON)
+    def test_semantics_preserved(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, num_latches=3, num_inputs=1, depth=2)
+        circuit.add_bad("target", ex.var("s0") ^ ex.var("s1"))
+        back = parse_aiger(write_aiger(circuit))
+        o1 = ExplicitOracle(circuit.to_transition_system())
+        o2 = ExplicitOracle(back.to_transition_system())
+        assert set(o1.initial_states) == set(o2.initial_states)
+        for state in o1._succ:
+            assert o1.successors(state) == o2.successors(state)

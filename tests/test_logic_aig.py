@@ -1,0 +1,78 @@
+"""AIG structural hashing, rewrites, and Expr round-trip tests."""
+
+import itertools
+import random
+
+from repro.logic import expr as ex
+from repro.logic.aig import AIG, AIG_FALSE, AIG_TRUE, aig_from_expr, aig_to_expr
+from repro.system.random_model import random_expr
+
+
+class TestAigRewrites:
+    def test_constants(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.mk_and(a, AIG_FALSE) == AIG_FALSE
+        assert aig.mk_and(a, AIG_TRUE) == a
+        assert aig.mk_and(a, a) == a
+        assert aig.mk_and(a, a ^ 1) == AIG_FALSE
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        n1 = aig.mk_and(a, b)
+        n2 = aig.mk_and(b, a)
+        assert n1 == n2
+        assert aig.num_ands == 1
+
+    def test_or_demorgan(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        o = aig.mk_or(a, b)
+        assert aig.evaluate({a: True, b: False}, [o]) == [True]
+        assert aig.evaluate({a: False, b: False}, [o]) == [False]
+
+    def test_xor_ite(self):
+        aig = AIG()
+        a, b, c = (aig.add_input(n) for n in "abc")
+        x = aig.mk_xor(a, b)
+        i = aig.mk_ite(c, a, b)
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            vx, vi = aig.evaluate({a: va, b: vb, c: vc}, [x, i])
+            assert vx == (va != vb)
+            assert vi == (va if vc else vb)
+
+
+class TestLatches:
+    def test_latch_next_assignment(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=False)
+        a = aig.add_input("a")
+        aig.set_latch_next(q, a ^ 1)
+        assert aig.latches[0][1] == a ^ 1
+        assert aig.latches[0][2] == 0 or aig.latches[0][2] is False
+
+
+class TestExprRoundTrip:
+    def test_round_trip_random(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            leaves = [ex.var(n) for n in ("a", "b", "c", "d")]
+            expression = random_expr(rng, leaves, depth=3)
+            aig, (lit,) = aig_from_expr([expression])
+            back = aig_to_expr(aig, lit)
+            names = sorted(expression.support() | back.support())
+            for bits in itertools.product([False, True],
+                                          repeat=len(names)):
+                env = dict(zip(names, bits))
+                assert expression.evaluate(env) == back.evaluate(env)
+
+    def test_shared_roots(self):
+        a, b = ex.var("a"), ex.var("b")
+        aig, lits = aig_from_expr([a & b, ~(a & b)])
+        assert lits[0] == lits[1] ^ 1
+        assert aig.num_ands == 1
+
+    def test_constant_root(self):
+        aig, (lit,) = aig_from_expr([ex.TRUE])
+        assert lit == AIG_TRUE

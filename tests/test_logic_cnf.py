@@ -1,0 +1,93 @@
+"""Unit tests for the CNF container and variable pool."""
+
+import pytest
+
+from repro.logic.cnf import CNF, VarPool, lit_sign, lit_var, neg
+
+
+class TestLiterals:
+    def test_helpers(self):
+        assert neg(3) == -3
+        assert lit_var(-7) == 7
+        assert lit_sign(4) and not lit_sign(-4)
+
+
+class TestVarPool:
+    def test_named_is_idempotent(self):
+        pool = VarPool()
+        assert pool.named("x") == pool.named("x") == 1
+
+    def test_fresh_always_new(self):
+        pool = VarPool()
+        assert pool.fresh() != pool.fresh()
+
+    def test_lookup_and_names(self):
+        pool = VarPool()
+        v = pool.named("x")
+        assert pool.lookup("x") == v
+        assert pool.lookup("y") is None
+        assert pool.name_of(v) == "x"
+
+    def test_reserve(self):
+        pool = VarPool()
+        block = pool.reserve(5)
+        assert block == [1, 2, 3, 4, 5]
+        assert pool.num_vars == 5
+
+
+class TestCNF:
+    def test_add_clause_normalizes_duplicates(self):
+        cnf = CNF()
+        cnf.add_clause([1, 1, 2])
+        assert cnf.clauses == [(1, 2)]
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        assert not cnf.add_clause([1, -1, 2])
+        assert cnf.clauses == []
+
+    def test_empty_clause_flag(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert cnf.has_empty_clause
+
+    def test_num_vars_tracks_max(self):
+        cnf = CNF()
+        cnf.add_clause([3, -7])
+        assert cnf.num_vars == 7
+
+    def test_invalid_literal(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_evaluate_mapping_and_sequence(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2])
+        model = {1: True, 2: True}
+        assert cnf.evaluate(model)
+        assert not cnf.evaluate({1: False, 2: False})
+        assert cnf.evaluate([None, True, True])
+
+    def test_stats(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.stats() == {"vars": 2, "clauses": 2, "literals": 3}
+
+    def test_extend_and_copy(self):
+        a = CNF()
+        a.add_clause([1, 2])
+        b = CNF()
+        b.add_clause([-3])
+        a.extend(b)
+        assert len(a) == 2 and a.num_vars == 3
+        c = a.copy()
+        c.add_clause([4])
+        assert len(a) == 2 and len(c) == 3
+
+    def test_variables_occurring(self):
+        cnf = CNF(10)
+        cnf.add_clause([1, -5])
+        assert cnf.variables() == {1, 5}

@@ -1,0 +1,83 @@
+"""DIMACS / QDIMACS round-trip and error-handling tests."""
+
+import pytest
+
+from repro.logic.cnf import CNF
+from repro.logic.dimacs import (DimacsError, parse_dimacs, parse_qdimacs,
+                                write_dimacs, write_qdimacs)
+
+
+SAMPLE = """c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+
+class TestDimacs:
+    def test_parse_basic(self):
+        cnf = parse_dimacs(SAMPLE)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (2, 3)]
+
+    def test_clause_across_lines(self):
+        cnf = parse_dimacs("p cnf 2 1\n1\n-2 0\n")
+        assert cnf.clauses == [(1, -2)]
+
+    def test_missing_terminator_tolerated(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 -2\n")
+        assert cnf.clauses == [(1, -2)]
+
+    def test_bad_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 3 2\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_round_trip(self):
+        cnf = parse_dimacs(SAMPLE)
+        again = parse_dimacs(write_dimacs(cnf, comments=["round trip"]))
+        assert again.clauses == cnf.clauses
+        assert again.num_vars == cnf.num_vars
+
+
+QSAMPLE = """c qbf
+p cnf 4 2
+e 1 2 0
+a 3 0
+e 4 0
+1 3 -4 0
+-2 4 0
+"""
+
+
+class TestQdimacs:
+    def test_parse(self):
+        prefix, cnf = parse_qdimacs(QSAMPLE)
+        assert prefix == [("e", (1, 2)), ("a", (3,)), ("e", (4,))]
+        assert cnf.clauses == [(1, 3, -4), (-2, 4)]
+
+    def test_merges_adjacent_same_quantifier(self):
+        prefix, _ = parse_qdimacs("p cnf 2 0\ne 1 0\ne 2 0\n")
+        assert prefix == [("e", (1, 2))]
+
+    def test_quantifier_after_matrix_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_qdimacs("p cnf 2 1\n1 0\ne 2 0\n")
+
+    def test_unterminated_quantifier_line(self):
+        with pytest.raises(DimacsError):
+            parse_qdimacs("p cnf 2 0\ne 1 2\n")
+
+    def test_round_trip(self):
+        prefix, cnf = parse_qdimacs(QSAMPLE)
+        text = write_qdimacs(prefix, cnf)
+        prefix2, cnf2 = parse_qdimacs(text)
+        assert prefix2 == prefix
+        assert cnf2.clauses == cnf.clauses
+
+    def test_write_rejects_bad_quantifier(self):
+        with pytest.raises(DimacsError):
+            write_qdimacs([("x", (1,))], CNF(1))

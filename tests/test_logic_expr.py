@@ -1,0 +1,165 @@
+"""Unit tests for the hash-consed expression DAG."""
+
+import pytest
+
+from repro.logic import expr as ex
+
+
+class TestConstruction:
+    def test_hash_consing_identity(self):
+        assert ex.var("a") is ex.var("a")
+        assert (ex.var("a") & ex.var("b")) is (ex.var("a") & ex.var("b"))
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            ex.var("")
+
+    def test_constants(self):
+        assert ex.const(True) is ex.TRUE
+        assert ex.const(False) is ex.FALSE
+        assert ex.TRUE.is_true and ex.FALSE.is_false
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            ex.var("a").op = "const"
+
+
+class TestSimplification:
+    def test_double_negation(self):
+        a = ex.var("a")
+        assert ex.mk_not(ex.mk_not(a)) is a
+
+    def test_not_constant(self):
+        assert ex.mk_not(ex.TRUE) is ex.FALSE
+        assert ex.mk_not(ex.FALSE) is ex.TRUE
+
+    def test_and_neutral_dominant(self):
+        a = ex.var("a")
+        assert ex.mk_and(a, ex.TRUE) is a
+        assert ex.mk_and(a, ex.FALSE) is ex.FALSE
+        assert ex.mk_and() is ex.TRUE
+
+    def test_or_neutral_dominant(self):
+        a = ex.var("a")
+        assert ex.mk_or(a, ex.FALSE) is a
+        assert ex.mk_or(a, ex.TRUE) is ex.TRUE
+        assert ex.mk_or() is ex.FALSE
+
+    def test_and_complement(self):
+        a = ex.var("a")
+        assert ex.mk_and(a, ex.mk_not(a)) is ex.FALSE
+        assert ex.mk_or(a, ex.mk_not(a)) is ex.TRUE
+
+    def test_and_flattens_and_dedupes(self):
+        a, b, c = ex.var("a"), ex.var("b"), ex.var("c")
+        nested = ex.mk_and(ex.mk_and(a, b), ex.mk_and(b, c))
+        assert nested is ex.mk_and(a, b, c)
+
+    def test_and_is_commutative_by_construction(self):
+        a, b = ex.var("a"), ex.var("b")
+        assert ex.mk_and(a, b) is ex.mk_and(b, a)
+
+    def test_xor_rules(self):
+        a, b = ex.var("a"), ex.var("b")
+        assert ex.mk_xor(a, a) is ex.FALSE
+        assert ex.mk_xor(a, ex.mk_not(a)) is ex.TRUE
+        assert ex.mk_xor(a, ex.FALSE) is a
+        assert ex.mk_xor(a, ex.TRUE) is ex.mk_not(a)
+        assert ex.mk_xor(ex.mk_not(a), ex.mk_not(b)) is ex.mk_xor(a, b)
+
+    def test_iff_via_xor(self):
+        a, b = ex.var("a"), ex.var("b")
+        assert ex.mk_iff(a, b) is ex.mk_not(ex.mk_xor(a, b))
+        assert ex.mk_iff(a, a) is ex.TRUE
+
+    def test_ite_folding(self):
+        a, t, e = ex.var("a"), ex.var("t"), ex.var("e")
+        assert ex.mk_ite(ex.TRUE, t, e) is t
+        assert ex.mk_ite(ex.FALSE, t, e) is e
+        assert ex.mk_ite(a, t, t) is t
+        assert ex.mk_ite(a, ex.TRUE, ex.FALSE) is a
+        assert ex.mk_ite(a, ex.FALSE, ex.TRUE) is ex.mk_not(a)
+        assert ex.mk_ite(a, t, ex.FALSE) is ex.mk_and(a, t)
+        assert ex.mk_ite(a, ex.TRUE, e) is ex.mk_or(a, e)
+
+
+class TestEvaluation:
+    def test_simple(self):
+        a, b = ex.var("a"), ex.var("b")
+        f = (a & ~b) | (~a & b)
+        assert f.evaluate({"a": True, "b": False})
+        assert not f.evaluate({"a": True, "b": True})
+
+    def test_missing_var_raises(self):
+        with pytest.raises(KeyError):
+            ex.var("a").evaluate({})
+
+    def test_ite_evaluation(self):
+        c, t, e = ex.var("c"), ex.var("t"), ex.var("e")
+        f = ex.mk_ite(c, t, e)
+        assert f.evaluate({"c": True, "t": True, "e": False})
+        assert not f.evaluate({"c": False, "t": True, "e": False})
+
+    def test_deep_chain_no_recursion_error(self):
+        f = ex.var("x0")
+        for i in range(1, 3000):
+            f = ex.mk_xor(f, ex.var(f"x{i}"))
+        env = {f"x{i}": (i % 2 == 0) for i in range(3000)}
+        f.evaluate(env)         # must not hit the recursion limit
+
+
+class TestQueries:
+    def test_support(self):
+        f = ex.var("a") & (ex.var("b") | ~ex.var("c"))
+        assert f.support() == {"a", "b", "c"}
+
+    def test_size_counts_dag_nodes_once(self):
+        a, b = ex.var("a"), ex.var("b")
+        shared = a & b
+        f = shared | ~shared
+        # f folds to TRUE (complement rule), so build a non-folding one:
+        g = ex.mk_xor(shared, ex.var("c"))
+        assert g.size() == shared.size() + 2   # xor node + var c
+
+    def test_depth(self):
+        a, b, c = ex.var("a"), ex.var("b"), ex.var("c")
+        assert a.depth() == 0
+        assert (a & b).depth() == 1
+        assert ((a & b) | c).depth() == 2
+
+
+class TestTransforms:
+    def test_substitute(self):
+        a, b = ex.var("a"), ex.var("b")
+        f = a & b
+        g = ex.substitute(f, {"a": ex.var("x")})
+        assert g is (ex.var("x") & b)
+
+    def test_substitute_folds_constants(self):
+        a, b = ex.var("a"), ex.var("b")
+        f = a & b
+        assert ex.substitute(f, {"a": ex.TRUE}) is b
+        assert ex.substitute(f, {"a": ex.FALSE}) is ex.FALSE
+
+    def test_simplify_with(self):
+        a, b = ex.var("a"), ex.var("b")
+        f = (a | b) & ~a
+        assert ex.simplify_with(f, {"a": False}) is b
+
+    def test_rename_vars(self):
+        f = ex.var("a") & ex.var("b")
+        g = ex.rename_vars(f, {"a": "a@1", "b": "b@1"})
+        assert g.support() == {"a@1", "b@1"}
+
+    def test_equal_vectors(self):
+        xs = [ex.var("x0"), ex.var("x1")]
+        ys = [ex.var("y0"), ex.var("y1")]
+        eq = ex.equal_vectors(xs, ys)
+        assert eq.evaluate({"x0": True, "x1": False,
+                            "y0": True, "y1": False})
+        assert not eq.evaluate({"x0": True, "x1": False,
+                                "y0": True, "y1": True})
+
+    def test_equal_vectors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ex.equal_vectors([ex.var("a")], [])

@@ -1,0 +1,76 @@
+"""CNF preprocessor tests: unit propagation, pures, subsumption."""
+
+import random
+
+from repro.logic.cnf import CNF
+from repro.logic.simplify import (propagate_units, pure_literals, simplify_cnf,
+                                  subsume)
+from repro.sat.dpll import brute_force_sat
+from repro.sat.types import SolveResult
+
+
+def test_propagate_units_chains():
+    cnf = CNF()
+    cnf.add_clause([1])
+    cnf.add_clause([-1, 2])
+    cnf.add_clause([-2, 3])
+    simplified, assignment = propagate_units(cnf)
+    assert simplified is not None and not simplified.clauses
+    assert assignment == {1: True, 2: True, 3: True}
+
+
+def test_propagate_units_conflict():
+    cnf = CNF()
+    cnf.add_clause([1])
+    cnf.add_clause([-1])
+    simplified, _ = propagate_units(cnf)
+    assert simplified is None
+
+
+def test_pure_literals():
+    cnf = CNF()
+    cnf.add_clause([1, 2])
+    cnf.add_clause([1, -2])
+    assert pure_literals(cnf) == {1: True}
+
+
+def test_subsume_removes_supersets_and_duplicates():
+    cnf = CNF()
+    cnf.add_clause([1])
+    cnf.add_clause([1, 2])
+    cnf.add_clause([1, 2])
+    cnf.add_clause([2, 3])
+    out = subsume(cnf)
+    assert sorted(out.clauses) == [(1,), (2, 3)]
+
+
+def test_simplify_preserves_satisfiability():
+    rng = random.Random(99)
+    for _ in range(150):
+        n = rng.randint(1, 8)
+        cnf = CNF(n)
+        for _ in range(rng.randint(1, 25)):
+            clause = [rng.choice([1, -1]) * rng.randint(1, n)
+                      for _ in range(rng.randint(1, 3))]
+            cnf.add_clause(clause)
+        before, _ = brute_force_sat(cnf)
+        result = simplify_cnf(cnf)
+        if result.unsat:
+            after = SolveResult.UNSAT
+        else:
+            reduced = result.cnf.copy()
+            for var, val in result.forced.items():
+                reduced.add_clause([var if val else -var])
+            after, _ = brute_force_sat(reduced)
+        assert after is before
+
+
+def test_simplify_forced_literals_extend_models():
+    cnf = CNF()
+    cnf.add_clause([1])
+    cnf.add_clause([-1, 2])
+    cnf.add_clause([3, 4])
+    result = simplify_cnf(cnf)
+    assert not result.unsat
+    assert result.forced[1] is True
+    assert result.forced[2] is True

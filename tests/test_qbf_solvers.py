@@ -1,0 +1,141 @@
+"""QBF solver tests: QDPLL and expansion vs the semantic oracle."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import CNF
+from repro.qbf import (PCNF, ExpansionSolver, QdpllSolver, evaluate_qbf)
+from repro.sat.types import Budget, SolveResult
+
+
+def _pcnf(prefix, clauses, num_vars=0):
+    cnf = CNF(num_vars)
+    for c in clauses:
+        cnf.add_clause(c)
+    return PCNF(prefix, cnf)
+
+
+class TestPcnf:
+    def test_block_merging(self):
+        p = _pcnf([("e", (1,)), ("e", (2,))], [[1, 2]])
+        assert p.prefix == [("e", (1, 2))]
+
+    def test_double_quantification_rejected(self):
+        with pytest.raises(ValueError):
+            _pcnf([("e", (1,)), ("a", (1,))], [[1]])
+
+    def test_free_vars_and_close(self):
+        p = _pcnf([("a", (2,))], [[1, 2]])
+        assert p.free_vars() == {1}
+        p.close()
+        assert p.prefix[0] == ("e", (1,))
+
+    def test_levels_and_stats(self):
+        p = _pcnf([("e", (1,)), ("a", (2,)), ("e", (3,))],
+                  [[1, 2, 3]])
+        assert p.level_of(1) == 0 and p.level_of(2) == 1
+        assert p.quantifier_of(2) == "a"
+        assert p.num_alternations() == 2
+        stats = p.stats()
+        assert stats["universals"] == 1 and stats["existentials"] == 2
+
+
+class TestKnownFormulas:
+    def test_forall_exists_sat(self):
+        # ∀x ∃y: (x ∨ ¬y) ∧ (¬x ∨ y) — y can copy x: TRUE.
+        p = _pcnf([("a", (1,)), ("e", (2,))], [[1, -2], [-1, 2]])
+        assert QdpllSolver(p).solve() is SolveResult.SAT
+        assert ExpansionSolver(p).solve() is SolveResult.SAT
+        assert evaluate_qbf(p)
+
+    def test_exists_forall_unsat(self):
+        # ∃y ∀x: (x ∨ ¬y) ∧ (¬x ∨ y) — y must equal both values: FALSE.
+        p = _pcnf([("e", (2,)), ("a", (1,))], [[1, -2], [-1, 2]])
+        assert QdpllSolver(p).solve() is SolveResult.UNSAT
+        assert ExpansionSolver(p).solve() is SolveResult.UNSAT
+        assert not evaluate_qbf(p)
+
+    def test_universal_reduction_conflict(self):
+        # ∀x: (x) is false.
+        p = _pcnf([("a", (1,))], [[1]])
+        assert QdpllSolver(p).solve() is SolveResult.UNSAT
+        assert ExpansionSolver(p).solve() is SolveResult.UNSAT
+
+    def test_empty_matrix_true(self):
+        p = _pcnf([("a", (1,))], [])
+        assert QdpllSolver(p).solve() is SolveResult.SAT
+
+    def test_empty_clause_false(self):
+        p = _pcnf([("e", (1,))], [[]])
+        assert QdpllSolver(p).solve() is SolveResult.UNSAT
+
+
+class TestRandomizedAgainstOracle:
+    def _random_pcnf(self, rng):
+        n = rng.randint(2, 8)
+        cnf = CNF(n)
+        for _ in range(rng.randint(1, 20)):
+            cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, n)
+                            for _ in range(rng.randint(1, 3))])
+        variables = list(range(1, n + 1))
+        rng.shuffle(variables)
+        pcnf = PCNF(matrix=cnf)
+        i = 0
+        while i < len(variables):
+            size = rng.randint(1, len(variables) - i)
+            pcnf.add_block(rng.choice("ae"), variables[i:i + size])
+            i += size
+        return pcnf
+
+    def test_qdpll_matches_oracle(self):
+        rng = random.Random(55)
+        for _ in range(150):
+            pcnf = self._random_pcnf(rng)
+            expected = evaluate_qbf(pcnf)
+            got = QdpllSolver(pcnf).solve()
+            want = SolveResult.SAT if expected else SolveResult.UNSAT
+            assert got is want
+
+    def test_expansion_matches_oracle(self):
+        rng = random.Random(56)
+        for _ in range(150):
+            pcnf = self._random_pcnf(rng)
+            expected = evaluate_qbf(pcnf)
+            got = ExpansionSolver(pcnf).solve()
+            want = SolveResult.SAT if expected else SolveResult.UNSAT
+            assert got is want
+
+    def test_solvers_agree_with_each_other(self):
+        rng = random.Random(57)
+        for _ in range(80):
+            pcnf = self._random_pcnf(rng)
+            assert QdpllSolver(pcnf).solve() is ExpansionSolver(pcnf).solve()
+
+
+class TestBudgets:
+    def test_qdpll_budget_unknown(self):
+        rng = random.Random(4)
+        n = 24
+        cnf = CNF(n)
+        for _ in range(60):
+            cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, n)
+                            for _ in range(3)])
+        prefix = [("e", tuple(range(1, 9))), ("a", tuple(range(9, 17))),
+                  ("e", tuple(range(17, n + 1)))]
+        pcnf = PCNF(prefix, cnf)
+        # A zero-second deadline trips on the first decision, conflict
+        # or solution, whichever the search reaches first.
+        result = QdpllSolver(pcnf).solve(budget=Budget(max_seconds=0.0))
+        assert result is SolveResult.UNKNOWN
+
+    def test_expansion_literal_cap(self):
+        rng = random.Random(9)
+        n = 20
+        cnf = CNF(n)
+        for _ in range(40):
+            cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, n)
+                            for _ in range(3)])
+        prefix = [("a", tuple(range(1, 11))), ("e", tuple(range(11, n + 1)))]
+        solver = ExpansionSolver(PCNF(prefix, cnf), max_literals=200)
+        assert solver.solve() is SolveResult.UNKNOWN

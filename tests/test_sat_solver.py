@@ -1,0 +1,216 @@
+"""CDCL solver unit and randomized tests."""
+
+import random
+
+import pytest
+
+from repro.logic.cnf import CNF
+from repro.sat import (Budget, CdclSolver, ResolutionProof, SolveResult,
+                       brute_force_sat)
+from repro.sat.types import from_internal, luby, to_internal
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert CdclSolver().solve() is SolveResult.SAT
+
+    def test_unit_conflict(self):
+        s = CdclSolver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert s.solve() is SolveResult.UNSAT
+
+    def test_simple_sat_model(self):
+        s = CdclSolver()
+        s.add_clause([1, 2])
+        s.add_clause([-1])
+        assert s.solve() is SolveResult.SAT
+        assert s.model_value(1) is False
+        assert s.model_value(2) is True
+        assert s.model_value(-2) is False
+
+    def test_pigeonhole_3_2_unsat(self):
+        # 3 pigeons, 2 holes: p_ij = pigeon i in hole j.
+        s = CdclSolver()
+        def v(i, j):
+            return i * 2 + j + 1
+        for i in range(3):
+            s.add_clause([v(i, 0), v(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    s.add_clause([-v(i1, j), -v(i2, j)])
+        assert s.solve() is SolveResult.UNSAT
+
+    def test_tautology_ignored(self):
+        s = CdclSolver()
+        s.add_clause([1, -1])
+        assert s.solve() is SolveResult.SAT
+
+    def test_model_covers_all_vars(self):
+        s = CdclSolver()
+        s.ensure_vars(5)
+        s.add_clause([1, 2])
+        assert s.solve() is SolveResult.SAT
+        assert all(s.model_value(v) is not None for v in range(1, 6))
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = CdclSolver()
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1]) is SolveResult.SAT
+        assert s.model_value(2) is True
+
+    def test_unsat_under_assumptions_recovers(self):
+        s = CdclSolver()
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve(assumptions=[1, -3]) is SolveResult.UNSAT
+        core = s.core()
+        assert set(core) <= {1, -3} and core
+        # Still satisfiable without assumptions.
+        assert s.solve() is SolveResult.SAT
+
+    def test_core_is_unsat_subset(self):
+        rng = random.Random(17)
+        for _ in range(80):
+            n = rng.randint(2, 8)
+            cnf = CNF(n)
+            for _ in range(rng.randint(2, 25)):
+                cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, n)
+                                for _ in range(rng.randint(1, 3))])
+            assumptions = [rng.choice([1, -1]) * v
+                           for v in rng.sample(range(1, n + 1),
+                                               rng.randint(1, n))]
+            s = CdclSolver()
+            s.add_clauses(cnf.clauses)
+            if s.solve(assumptions) is SolveResult.UNSAT:
+                with_core = cnf.copy()
+                for lit in s.core():
+                    with_core.add_clause([lit])
+                status, _ = brute_force_sat(with_core)
+                assert status is SolveResult.UNSAT
+
+    def test_contradictory_assumptions(self):
+        s = CdclSolver()
+        s.ensure_vars(1)
+        assert s.solve(assumptions=[1, -1]) is SolveResult.UNSAT
+        assert 1 in set(map(abs, s.core()))
+
+
+class TestBudgets:
+    def test_conflict_budget_returns_unknown(self):
+        # A hard random instance at the phase transition.
+        rng = random.Random(1)
+        n = 60
+        s = CdclSolver()
+        for _ in range(int(4.26 * n)):
+            clause = rng.sample(range(1, n + 1), 3)
+            s.add_clause([rng.choice([1, -1]) * v for v in clause])
+        result = s.solve(budget=Budget(max_conflicts=3))
+        assert result in (SolveResult.UNKNOWN, SolveResult.SAT,
+                          SolveResult.UNSAT)
+        # With a tiny budget on a hard instance UNKNOWN is expected;
+        # a solved outcome just means the instance was easy.
+
+    def test_memory_budget(self):
+        rng = random.Random(2)
+        n = 50
+        s = CdclSolver()
+        for _ in range(int(4.26 * n)):
+            clause = rng.sample(range(1, n + 1), 3)
+            s.add_clause([rng.choice([1, -1]) * v for v in clause])
+        result = s.solve(budget=Budget(max_literals=10))
+        assert result is SolveResult.UNKNOWN
+
+
+class TestGroupsAndPurge:
+    def test_group_retirement_reclaims_clauses(self):
+        s = CdclSolver()
+        g = s.new_var()
+        x = s.new_var()
+        s.add_clause([-g, x])
+        s.add_clause([-g, -x])
+        assert s.solve(assumptions=[g]) is SolveResult.UNSAT
+        assert s.solve() is SolveResult.SAT
+        s.add_clause([-g])
+        purged = s.purge_satisfied()
+        assert purged >= 2
+        assert s.solve() is SolveResult.SAT
+
+    def test_purge_keeps_semantics(self):
+        rng = random.Random(3)
+        s = CdclSolver()
+        n = 10
+        cnf = CNF(n)
+        for _ in range(30):
+            clause = [rng.choice([1, -1]) * rng.randint(1, n)
+                      for _ in range(3)]
+            cnf.add_clause(clause)
+        s.add_clauses(cnf.clauses)
+        expected = s.solve()
+        s.purge_satisfied()
+        assert s.solve() is expected
+
+
+class TestRandomizedAgainstBruteForce:
+    def test_random_formulas(self):
+        rng = random.Random(123)
+        for trial in range(200):
+            n = rng.randint(1, 10)
+            cnf = CNF(n)
+            for _ in range(rng.randint(1, 40)):
+                clause = [rng.choice([1, -1]) * rng.randint(1, n)
+                          for _ in range(rng.randint(1, 4))]
+                cnf.add_clause(clause)
+            expected, _ = brute_force_sat(cnf)
+            s = CdclSolver()
+            s.add_clauses(cnf.clauses)
+            got = s.solve()
+            assert got is expected, f"trial {trial}"
+            if got is SolveResult.SAT:
+                model = {v: bool(s.model_value(v))
+                         for v in range(1, n + 1)}
+                assert cnf.evaluate(model)
+
+    def test_incremental_clause_addition(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            n = rng.randint(2, 8)
+            s = CdclSolver()
+            cnf = CNF(n)
+            for _ in range(12):
+                clause = [rng.choice([1, -1]) * rng.randint(1, n)
+                          for _ in range(rng.randint(1, 3))]
+                cnf.add_clause(clause)
+                s.add_clause(clause)
+                expected, _ = brute_force_sat(cnf)
+                assert s.solve() is expected
+                if expected is SolveResult.UNSAT:
+                    break
+
+
+class TestInternals:
+    def test_literal_conversion_round_trip(self):
+        for lit in (1, -1, 5, -17):
+            assert from_internal(to_internal(lit)) == lit
+
+    def test_luby_sequence(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    def test_tri_valued_result_guards_bool(self):
+        with pytest.raises(TypeError):
+            bool(SolveResult.SAT)
+
+    def test_stats_counted(self):
+        s = CdclSolver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        s.add_clause([1, -2])
+        s.add_clause([-1, -2, 3])
+        s.solve()
+        assert s.stats.solve_calls == 1
+        assert s.stats.propagations > 0
+        assert s.stats.peak_db_literals >= 9

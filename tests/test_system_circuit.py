@@ -1,0 +1,115 @@
+"""Circuit DSL, simulation, and trace tests."""
+
+import pytest
+
+from repro.logic import expr as ex
+from repro.system import Circuit, Trace, TraceError
+
+
+def toggler():
+    c = Circuit("toggler")
+    en = c.add_input("en")
+    q = c.add_latch("q", init=False)
+    c.set_next("q", q ^ en)
+    c.add_output("state", q)
+    return c
+
+
+class TestCircuitConstruction:
+    def test_duplicate_wire_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_latch("a")
+
+    def test_unknown_latch_rejected(self):
+        c = Circuit()
+        with pytest.raises(KeyError):
+            c.set_next("nope", ex.TRUE)
+
+    def test_missing_next_rejected_at_compile(self):
+        c = Circuit()
+        c.add_latch("q")
+        with pytest.raises(ValueError):
+            c.to_transition_system()
+
+    def test_init_expr(self):
+        c = Circuit()
+        c.add_latch("a", init=True)
+        c.add_latch("b", init=False)
+        c.add_latch("c", init=None)          # unconstrained
+        init = c.init_expr()
+        assert init.evaluate({"a": True, "b": False, "c": True})
+        assert init.evaluate({"a": True, "b": False, "c": False})
+        assert not init.evaluate({"a": False, "b": False, "c": True})
+
+    def test_constraint_restricts_trans(self):
+        c = Circuit()
+        q = c.add_latch("q", init=False)
+        c.set_next("q", ~q)
+        c.add_constraint(~q)                 # only from q=0 states
+        ts = c.to_transition_system()
+        assert ts.holds_trans([False], {}, [True])
+        assert not ts.holds_trans([True], {}, [False])
+
+
+class TestSimulation:
+    def test_toggler_sequence(self):
+        c = toggler()
+        states = c.simulate([{"en": True}, {"en": False}, {"en": True}])
+        assert [s["q"] for s in states] == [False, True, True, False]
+
+    def test_unconstrained_init_needs_value(self):
+        c = Circuit()
+        c.add_latch("q", init=None)
+        c.set_next("q", ex.var("q"))
+        with pytest.raises(ValueError):
+            c.simulate([])
+        states = c.simulate([], initial={"q": True})
+        assert states[0]["q"] is True
+
+    def test_output_values(self):
+        c = toggler()
+        out = c.output_values({"q": True}, {"en": False})
+        assert out == {"state": True}
+
+
+class TestTrace:
+    def test_valid_trace(self):
+        c = toggler()
+        ts = c.to_transition_system()
+        tr = Trace([{"q": False}, {"q": True}], [{"en": True}])
+        tr.validate(ts, ex.var("q"))
+        assert tr.is_valid(ts)
+
+    def test_bad_init_detected(self):
+        ts = toggler().to_transition_system()
+        tr = Trace([{"q": True}], [])
+        with pytest.raises(TraceError):
+            tr.validate(ts)
+
+    def test_bad_step_detected(self):
+        ts = toggler().to_transition_system()
+        tr = Trace([{"q": False}, {"q": True}], [{"en": False}])
+        with pytest.raises(TraceError):
+            tr.validate(ts)
+
+    def test_missing_input_detected(self):
+        ts = toggler().to_transition_system()
+        tr = Trace([{"q": False}, {"q": True}], [{}])
+        with pytest.raises(TraceError):
+            tr.validate(ts)
+
+    def test_final_predicate_checked(self):
+        ts = toggler().to_transition_system()
+        tr = Trace([{"q": False}], [])
+        with pytest.raises(TraceError):
+            tr.validate(ts, ex.var("q"))
+
+    def test_format_waveform(self):
+        tr = Trace([{"q": False}, {"q": True}], [{}])
+        assert "q" in tr.format() and "01" in tr.format()
+
+    def test_input_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Trace([{"q": False}, {"q": True}], [])

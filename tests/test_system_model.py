@@ -1,0 +1,104 @@
+"""Transition system, priming, and transformation tests."""
+
+import pytest
+
+from repro.logic import expr as ex
+from repro.system import TransitionSystem, primed, unprimed, is_primed
+from repro.system.oracle import ExplicitOracle
+
+
+def two_bit_counter():
+    b0, b1 = ex.var("b0"), ex.var("b1")
+    return TransitionSystem(
+        state_vars=["b0", "b1"],
+        init=~b0 & ~b1,
+        trans=(ex.var(primed("b0")).iff(~b0)
+               & ex.var(primed("b1")).iff(b1 ^ b0)))
+
+
+class TestPriming:
+    def test_primed_unprimed(self):
+        assert primed("x") == "x'"
+        assert unprimed("x'") == "x"
+        assert is_primed("x'") and not is_primed("x")
+
+    def test_unprimed_requires_prime(self):
+        with pytest.raises(ValueError):
+            unprimed("x")
+
+
+class TestValidation:
+    def test_duplicate_state_vars(self):
+        with pytest.raises(ValueError):
+            TransitionSystem(["a", "a"], ex.TRUE, ex.TRUE)
+
+    def test_init_over_non_state_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionSystem(["a"], ex.var("b"), ex.TRUE)
+
+    def test_trans_over_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionSystem(["a"], ex.TRUE, ex.var("zzz"))
+
+    def test_state_input_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionSystem(["a"], ex.TRUE, ex.TRUE, input_vars=["a"])
+
+
+class TestRenaming:
+    def test_rename_state_expr(self):
+        ts = two_bit_counter()
+        renamed = ts.rename_state_expr(ts.init, ["x@0", "y@0"])
+        assert renamed.support() == {"x@0", "y@0"}
+
+    def test_trans_between(self):
+        ts = two_bit_counter()
+        step = ts.trans_between(["a0", "a1"], ["b0n", "b1n"])
+        assert step.support() == {"a0", "a1", "b0n", "b1n"}
+        # 00 -> 01 is a counter step (b0 flips).
+        assert step.evaluate({"a0": False, "a1": False,
+                              "b0n": True, "b1n": False})
+        assert not step.evaluate({"a0": False, "a1": False,
+                                  "b0n": False, "b1n": True})
+
+    def test_vector_length_checked(self):
+        ts = two_bit_counter()
+        with pytest.raises(ValueError):
+            ts.trans_between(["a"], ["b", "c"])
+
+
+class TestTransformations:
+    def test_self_loops_allow_stutter(self):
+        ts = two_bit_counter()
+        looped = ts.with_self_loops()
+        assert looped.holds_trans([False, False], {}, [False, False])
+        assert looped.holds_trans([False, False], {}, [True, False])
+        assert not looped.holds_trans([False, False], {}, [False, True])
+
+    def test_self_loops_preserve_within_reachability(self):
+        ts = two_bit_counter()
+        target = ex.var("b0") & ex.var("b1")
+        plain = ExplicitOracle(ts)
+        looped = ExplicitOracle(ts.with_self_loops())
+        for k in range(6):
+            assert (plain.reachable_within(target, k)
+                    == looped.reachable_in_exactly(target, k)
+                    == looped.reachable_within(target, k))
+
+    def test_reversed_swaps_edges(self):
+        ts = two_bit_counter()
+        rev = ts.reversed()
+        # Forward: 00 -> 01. Backward: 01 -> 00.
+        assert rev.holds_trans([True, False], {}, [False, False])
+        assert not rev.holds_trans([False, False], {}, [True, False])
+
+
+class TestConcreteEvaluation:
+    def test_holds_init(self):
+        ts = two_bit_counter()
+        assert ts.holds_init([False, False])
+        assert not ts.holds_init([True, False])
+
+    def test_trans_size_proxy(self):
+        ts = two_bit_counter()
+        assert ts.trans_size() == ts.trans.size() > 0

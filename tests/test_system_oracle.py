@@ -1,0 +1,68 @@
+"""Explicit-state oracle tests."""
+
+import pytest
+
+from repro.logic import expr as ex
+from repro.models import counter, shift_register
+from repro.system import ExplicitOracle, TransitionSystem
+from repro.system.model import primed
+
+
+def ring3():
+    system, final, depth = shift_register.make(3, position=2)
+    return system, final, depth
+
+
+class TestBasics:
+    def test_initial_states(self):
+        system, _, _ = ring3()
+        oracle = ExplicitOracle(system)
+        assert oracle.initial_states == [(True, False, False)]
+
+    def test_successors_deterministic_ring(self):
+        system, _, _ = ring3()
+        oracle = ExplicitOracle(system)
+        assert oracle.successors((True, False, False)) == \
+            {(False, True, False)}
+
+    def test_layers_and_exact(self):
+        system, final, depth = ring3()
+        oracle = ExplicitOracle(system)
+        assert oracle.reachable_in_exactly(final, depth)
+        assert not oracle.reachable_in_exactly(final, depth - 1)
+        assert oracle.reachable_in_exactly(final, depth + 3)  # period 3
+
+    def test_within_uses_fixpoint(self):
+        system, final, depth = ring3()
+        oracle = ExplicitOracle(system)
+        assert oracle.reachable_within(final, depth)
+        assert oracle.reachable_within(final, 100)
+        assert not oracle.reachable_within(final, depth - 1)
+
+    def test_shortest_distance(self):
+        system, final, depth = ring3()
+        oracle = ExplicitOracle(system)
+        assert oracle.shortest_distance(final) == depth
+        unreachable = ex.conjoin(
+            ex.var(f"t{i}") for i in range(3))    # 3 tokens at once
+        assert oracle.shortest_distance(unreachable) is None
+
+    def test_diameter_bound(self):
+        # The longest shortest path from the init token position is 2
+        # (all three ring states are within two rotations).
+        system, _, _ = ring3()
+        oracle = ExplicitOracle(system)
+        assert oracle.diameter_bound() == 2
+
+    def test_nondeterministic_inputs(self):
+        system, final, depth = counter.make(3, 2)
+        oracle = ExplicitOracle(system)
+        # With enable, state can stay or advance.
+        succ = oracle.successors((False, False, False))
+        assert succ == {(False, False, False), (True, False, False)}
+
+    def test_too_large_rejected(self):
+        wide = TransitionSystem(
+            [f"b{i}" for i in range(16)], ex.TRUE, ex.TRUE)
+        with pytest.raises(ValueError):
+            ExplicitOracle(wide)

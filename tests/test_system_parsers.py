@@ -1,0 +1,116 @@
+"""ISCAS-89 .bench and AIGER parser tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.logic import expr as ex
+from repro.system import (AigerError, BenchError, Circuit, ExplicitOracle,
+                          parse_aiger, parse_bench, random_circuit,
+                          write_aiger)
+
+
+S27ISH = """
+# small sequential netlist in the s27 style
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G10 = NAND(G0, G5)
+G11 = NOR(G1, G6)
+G17 = AND(G10, G11)
+"""
+
+
+class TestBench:
+    def test_parse_structure(self):
+        c = parse_bench(S27ISH, "s27ish")
+        assert c.input_names == ["G0", "G1"]
+        assert set(c.latch_names) == {"G5", "G6"}
+        assert "G17" in c.outputs
+
+    def test_semantics(self):
+        c = parse_bench(S27ISH)
+        states = c.simulate([{"G0": False, "G1": False}])
+        # G10 = NAND(0, 0) = 1 -> G5 becomes 1.
+        assert states[1]["G5"] is True
+        assert states[1]["G6"] is True          # NOR(0, 0) = 1
+
+    def test_comment_and_blank_lines(self):
+        c = parse_bench("# nothing\n\nINPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")
+        assert c.input_names == ["a"]
+
+    def test_undefined_wire(self):
+        with pytest.raises(BenchError):
+            parse_bench("OUTPUT(z)\nz = AND(p, q)\n")
+
+    def test_combinational_cycle(self):
+        with pytest.raises(BenchError):
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(y, a)\ny = AND(x, a)\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(BenchError):
+            parse_bench("INPUT(a)\nOUTPUT(b)\nb = MAJ3(a, a, a)\n")
+
+    def test_xor_gates(self):
+        c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = XNOR(a, b)\n")
+        vals = c.output_values({}, {"a": True, "b": True})
+        assert vals["x"] is True
+
+
+AIG_TOGGLE = """aag 3 1 1 1 1
+2
+4 6
+4
+6 5 3
+i0 en
+l0 q
+o0 out
+"""
+
+
+class TestAiger:
+    def test_parse_toggle(self):
+        c = parse_aiger(AIG_TOGGLE)
+        assert c.input_names == ["en"]
+        assert c.latch_names == ["q"]
+        # next(q) = AND(~q, ~en)... literal 6 = and(5, 3) = ~q & ~en
+        states = c.simulate([{"en": False}, {"en": False}])
+        assert [s["q"] for s in states] == [False, True, False]
+
+    def test_bad_header(self):
+        with pytest.raises(AigerError):
+            parse_aiger("aig 1 0 0 0 1\n")
+
+    def test_forward_reference_rejected(self):
+        bad = "aag 2 0 0 1 2\n2\n2 4 4\n4 2 2\n"
+        with pytest.raises(AigerError):
+            parse_aiger(bad)
+
+    def test_round_trip_random_circuits(self):
+        rng = random.Random(21)
+        for _ in range(15):
+            c = random_circuit(rng, num_latches=3, num_inputs=1, depth=3)
+            c.add_bad("b", ex.var("s0") & ex.var("s2"))
+            text = write_aiger(c)
+            back = parse_aiger(text)
+            o1 = ExplicitOracle(c.to_transition_system())
+            o2 = ExplicitOracle(back.to_transition_system())
+            assert set(o1.initial_states) == set(o2.initial_states)
+            for state in o1._succ:
+                assert o1.successors(state) == o2.successors(state)
+            # bad expressions survive the round trip semantically
+            assert set(back.bad) == {"b"}
+            for bits in itertools.product([False, True], repeat=3):
+                env = {f"s{i}": b for i, b in enumerate(bits)}
+                assert (c.bad["b"].evaluate(env)
+                        == back.bad["b"].evaluate(env))
+
+    def test_uninitialized_latch_round_trip(self):
+        c = Circuit("u")
+        c.add_latch("q", init=None)
+        c.set_next("q", ex.var("q"))
+        back = parse_aiger(write_aiger(c))
+        assert back._init_values["q"] is None
