@@ -1,0 +1,100 @@
+"""Portfolio subsystem benchmarks: batch speedup and race cancellation.
+
+Two measurements back the subsystem's claims:
+
+* **batch speedup** — the E1 (suite × methods) matrix run serially vs
+  sharded over a 4-worker pool.  Wall clock should drop ~linearly with
+  cores while summed worker CPU stays put; on a single-core runner the
+  wall times converge instead (parallelism cannot beat physics), so
+  the ≥2x assertion is gated on available CPUs.
+* **cancellation latency** — how long after the winning method answers
+  do the loser processes take to actually die.  This bounds the cost
+  of racing: a portfolio is only cheap if losers stop burning CPU
+  promptly.
+"""
+
+import os
+import time
+
+from repro.harness.runner import run_matrix
+from repro.models import build_suite, counter
+from repro.portfolio import race
+from repro.sat.types import Budget, SolveResult
+
+# Deterministic limits: serial and parallel runs take identical solver
+# paths, so the comparison measures scheduling, not budget noise.
+BATCH_BUDGET = Budget(max_conflicts=10_000, max_literals=1_000_000)
+SUBSET_STRIDE = 6
+JOBS = 4
+
+
+def _e1_subset():
+    return build_suite()[::SUBSET_STRIDE]
+
+
+def bench_portfolio_batch_speedup(benchmark):
+    """Serial vs jobs=4 wall clock on the E1 matrix."""
+    instances = _e1_subset()
+    methods = ["sat-unroll", "jsat"]
+
+    def run():
+        t0 = time.perf_counter()
+        serial = run_matrix(instances, methods, budget=BATCH_BUDGET)
+        serial_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_matrix(instances, methods, budget=BATCH_BUDGET,
+                              jobs=JOBS)
+        parallel_wall = time.perf_counter() - t0
+        return serial, serial_wall, parallel, parallel_wall
+
+    serial, serial_wall, parallel, parallel_wall = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    # Deterministic assembly: the parallel run is cell-for-cell
+    # identical to the serial one.
+    assert len(serial) == len(parallel)
+    for s, p in zip(serial, parallel):
+        assert (s.instance.name, s.method) == (p.instance.name, p.method)
+        assert s.status is p.status
+        assert s.stats == p.stats
+
+    cpu = sum(c.cpu_seconds for c in parallel)
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    print()
+    print(f"E1 subset: {len(instances)} instances x {len(methods)} "
+          f"methods = {len(serial)} cells")
+    print(f"serial   {serial_wall:.2f} s wall")
+    print(f"jobs={JOBS}   {parallel_wall:.2f} s wall, "
+          f"{cpu:.2f} s summed worker cpu")
+    print(f"speedup  {speedup:.2f}x on {os.cpu_count()} cpu(s)")
+    # Real parallel speedup needs real cores; with 4 workers on >= 4
+    # cores the LPT schedule comfortably clears 2x.
+    if (os.cpu_count() or 1) >= JOBS:
+        assert speedup >= 2.0
+    else:
+        # Single/low-core runner: require the pool's overhead to stay
+        # sane rather than asserting impossible parallelism.
+        assert parallel_wall < serial_wall * 4 + 2.0
+
+
+def bench_portfolio_cancellation_latency(benchmark):
+    """Time from the winning answer to confirmed-dead losers."""
+    # counter(5): jsat answers quickly, the raced partner would run far
+    # longer under its 60 s budget if not cancelled.
+    system, final, depth = counter.make(5, 19)
+
+    def run():
+        outcome = race(system, final, depth,
+                       methods=("jsat", "sat-unroll"),
+                       budget=Budget(max_seconds=60.0))
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"winner {outcome.winner} in {outcome.seconds:.3f} s, "
+          f"{len(outcome.loser_pids)} loser(s) cancelled in "
+          f"{outcome.cancel_latency * 1e3:.1f} ms")
+    assert outcome.result.status is SolveResult.SAT
+    # Cancellation must be orders of magnitude below the loser's
+    # remaining budget — killing is immediate, not cooperative.
+    assert outcome.cancel_latency < 5.0

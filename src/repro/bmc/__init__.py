@@ -3,11 +3,13 @@
 from .allsat import AllSatReachability
 from .completeness import (UnboundedResult, longest_simple_path_reached,
                            verify_unbounded)
-from .engine import METHODS, BmcResult, check_reachability, find_reachable
+from .engine import (ALL_METHODS, METHODS, PORTFOLIO, BmcResult,
+                     check_reachability, find_reachable)
 from .induction import InductionResult, prove_by_induction
 from .interpolation import InterpolationResult, prove_by_interpolation
 from .jsat import JsatSolver, JsatStats
-from .metrics import encoding_sizes, growth_table, jsat_resident_size
+from .metrics import (TimeBreakdown, encoding_sizes, growth_table,
+                      jsat_resident_size, measure_time)
 from .qbf_encoding import QbfEncoding, encode_qbf
 from .squaring import SquaringEncoding, encode_squaring
 from .unroll import UnrolledEncoding, encode_unrolled
@@ -25,8 +27,12 @@ __all__ = [
     "InterpolationResult",
     "BmcResult",
     "METHODS",
+    "ALL_METHODS",
+    "PORTFOLIO",
     "JsatSolver",
     "JsatStats",
+    "TimeBreakdown",
+    "measure_time",
     "encode_unrolled",
     "UnrolledEncoding",
     "encode_qbf",

@@ -8,7 +8,10 @@
   default, the expansion solver as an alternative back end);
 * ``"qbf-squaring"`` — formula (3) + a general-purpose QBF solver;
 * ``"jsat"`` — the special-purpose jSAT procedure on formula (2)'s
-  semantics.
+  semantics;
+* ``"portfolio"`` — race several of the above in parallel worker
+  processes and return the first validated conclusive answer
+  (:mod:`repro.portfolio`).
 
 ``find_reachable`` iterates bounds (linear stepping or the squaring
 schedule) until a target is reached — the "complete model checking
@@ -32,9 +35,16 @@ from .qbf_encoding import encode_qbf
 from .squaring import encode_squaring
 from .unroll import encode_unrolled
 
-__all__ = ["BmcResult", "check_reachability", "find_reachable", "METHODS"]
+__all__ = ["BmcResult", "check_reachability", "find_reachable", "METHODS",
+           "ALL_METHODS", "PORTFOLIO"]
 
 METHODS = ("sat-unroll", "qbf", "qbf-squaring", "jsat")
+
+# The portfolio pseudo-method races a subset of METHODS in parallel
+# worker processes; it is accepted by check_reachability but is not a
+# decision procedure itself, so METHODS keeps its original meaning.
+PORTFOLIO = "portfolio"
+ALL_METHODS = METHODS + (PORTFOLIO,)
 
 
 class BmcResult:
@@ -90,13 +100,17 @@ def check_reachability(system: TransitionSystem, final: Expr, k: int,
     be a power of two in exact mode; in within mode the system is given
     self-loops and the bound is rounded up, as §2 of the paper suggests.
     """
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
+    if method not in ALL_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; pick from {ALL_METHODS}")
     if semantics not in ("exact", "within"):
         raise ValueError(f"unknown semantics {semantics!r}")
     start = time.perf_counter()
 
-    if method == "sat-unroll":
+    if method == PORTFOLIO:
+        result = _check_portfolio(system, final, k, semantics, budget,
+                                  options)
+    elif method == "sat-unroll":
         result = _check_unroll(system, final, k, semantics, budget, options)
     elif method == "jsat":
         result = _check_jsat(system, final, k, semantics, budget, options)
@@ -111,6 +125,25 @@ def check_reachability(system: TransitionSystem, final: Expr, k: int,
 
 
 # ----------------------------------------------------------------------
+def _check_portfolio(system: TransitionSystem, final: Expr, k: int,
+                     semantics: str, budget: Budget | None,
+                     options: Dict) -> BmcResult:
+    # Imported lazily: repro.portfolio imports this module.
+    from ..portfolio.race import DEFAULT_RACE_METHODS, race
+
+    options = dict(options)
+    methods = options.pop("portfolio_methods", DEFAULT_RACE_METHODS)
+    wall_timeout = options.pop("wall_timeout", None)
+    validate = options.pop("validate", True)
+    outcome = race(system, final, k, methods=methods, semantics=semantics,
+                   budget=budget, wall_timeout=wall_timeout,
+                   validate=validate, **options)
+    result = outcome.result
+    result.stats["portfolio_cancel_latency_ms"] = int(
+        outcome.cancel_latency * 1e3)
+    return result
+
+
 def _check_unroll(system: TransitionSystem, final: Expr, k: int,
                   semantics: str, budget: Budget | None,
                   options: Dict) -> BmcResult:

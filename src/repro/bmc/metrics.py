@@ -14,7 +14,9 @@ curves that motivate the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List
+import contextlib
+import time
+from typing import Dict, Iterator, List
 
 from ..logic.expr import Expr
 from ..system.model import TransitionSystem
@@ -23,7 +25,55 @@ from .qbf_encoding import encode_qbf
 from .squaring import encode_squaring
 from .unroll import encode_unrolled
 
-__all__ = ["encoding_sizes", "growth_table", "jsat_resident_size"]
+__all__ = ["encoding_sizes", "growth_table", "jsat_resident_size",
+           "TimeBreakdown", "measure_time"]
+
+
+class TimeBreakdown:
+    """Wall-clock vs CPU time of one measured region.
+
+    A serial run has ``wall ≈ cpu``; in the parallel portfolio the two
+    diverge — the scheduler's wall time shrinks while the summed worker
+    CPU time stays put, and their ratio is the speedup the E1 portfolio
+    bench reports.
+    """
+
+    __slots__ = ("wall_seconds", "cpu_seconds")
+
+    def __init__(self, wall_seconds: float = 0.0,
+                 cpu_seconds: float = 0.0) -> None:
+        self.wall_seconds = wall_seconds
+        self.cpu_seconds = cpu_seconds
+
+    @property
+    def utilization(self) -> float:
+        """CPU seconds per wall second (1.0 = fully busy, serial)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cpu_seconds / self.wall_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"TimeBreakdown(wall={self.wall_seconds:.3f}s, "
+                f"cpu={self.cpu_seconds:.3f}s)")
+
+
+@contextlib.contextmanager
+def measure_time() -> Iterator[TimeBreakdown]:
+    """Context manager measuring wall and process-CPU time of a block.
+
+    >>> with measure_time() as t:
+    ...     _ = sum(range(1000))
+    >>> t.wall_seconds >= 0.0 and t.cpu_seconds >= 0.0
+    True
+    """
+    out = TimeBreakdown()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        yield out
+    finally:
+        out.wall_seconds = time.perf_counter() - wall0
+        out.cpu_seconds = time.process_time() - cpu0
 
 
 def jsat_resident_size(system: TransitionSystem, final: Expr,

@@ -1,4 +1,4 @@
-"""Command-line interface: ``repro-bmc`` / ``python -m repro``.
+"""Command-line interface: ``repro`` / ``repro-bmc`` / ``python -m repro``.
 
 Subcommands
 -----------
@@ -9,7 +9,13 @@ Subcommands
 ``bmc FAMILY``
     Run a bounded reachability query on a built-in design family
     (``--method``, ``-k``, ``--semantics``); prints the trace on SAT.
-``experiment {e1,...,e7}``
+    ``--method portfolio`` races sat-unroll and jsat in parallel
+    worker processes and reports the winner.
+``batch``
+    Run a (suite × methods) matrix across a worker pool
+    (``--jobs N``), optionally memoized on disk (``--cache DIR``);
+    prints the solved-counts table plus per-worker attribution.
+``experiment {e1,...,e8}``
     Regenerate one evaluation artifact (scaled budgets by default).
 ``suite``
     Print the 234-instance suite composition.
@@ -22,7 +28,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .bmc.engine import METHODS, check_reachability
+from .bmc.engine import ALL_METHODS, METHODS, check_reachability
 from .harness import experiments
 from .logic.dimacs import parse_dimacs, parse_qdimacs
 from .models import FAMILIES, build_suite, suite_summary
@@ -80,15 +86,64 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
         return 1
     instance = instances[0]
     k = args.k if args.k is not None else instance.k
+    options = {}
+    if args.method == "portfolio" and args.jobs:
+        # --jobs caps the number of raced methods (one process each).
+        from .portfolio.race import DEFAULT_RACE_METHODS
+        options["portfolio_methods"] = DEFAULT_RACE_METHODS[:args.jobs]
     result = check_reachability(instance.system, instance.final, k,
                                 args.method, semantics=args.semantics,
-                                budget=_budget_from_args(args))
+                                budget=_budget_from_args(args), **options)
     print(f"{instance.name} (k={k}, {args.method}, {args.semantics}): "
           f"{result.status.name} in {result.seconds:.3f} s")
     for key, value in sorted(result.stats.items()):
         print(f"  {key} = {value}")
     if result.trace is not None:
         print(result.trace.format(sorted(instance.system.state_vars)))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .harness.runner import default_budget, run_matrix, solved_counts
+    from .harness.report import (format_solved_counts,
+                                 format_worker_attribution)
+
+    instances = build_suite()
+    if args.family:
+        instances = [i for i in instances if i.family in args.family]
+        if not instances:
+            print(f"no instances in families {args.family}; "
+                  f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+            return 1
+    if args.limit:
+        instances = instances[:args.limit]
+    budget = _budget_from_args(args)
+    if budget is None:
+        # Deterministic default (no wall-clock term): solver paths are
+        # identical whether cells run serially or on an oversubscribed
+        # pool, so batch output matches the serial run cell-for-cell.
+        base = default_budget(args.scale)
+        budget = Budget(max_conflicts=base.max_conflicts,
+                        max_literals=base.max_literals)
+    cache = None
+    if args.cache:
+        from .portfolio.cache import ResultCache
+        cache = ResultCache(args.cache)
+    start = time.perf_counter()
+    results = run_matrix(instances, args.methods, budget=budget,
+                         jobs=args.jobs, cache=cache)
+    wall = time.perf_counter() - start
+    cpu = sum(c.cpu_seconds for c in results)
+    print(f"== batch: {len(instances)} instances x "
+          f"{len(args.methods)} methods, jobs={args.jobs or 1} ==")
+    print(format_solved_counts(solved_counts(results)))
+    print()
+    print(format_worker_attribution(results))
+    print(f"\nwall {wall:.2f} s, worker cpu {cpu:.2f} s "
+          f"(speedup proxy {cpu / wall if wall > 0 else 0.0:.2f}x)")
+    if cache is not None:
+        print(f"cache: {len(cache)} entries on disk, "
+              f"{cache.hits}/{len(results)} cells served from cache")
     return 0
 
 
@@ -101,6 +156,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "e5": lambda: experiments.run_e5(),
         "e6": lambda: experiments.run_e6(),
         "e7": lambda: experiments.run_e7(budget_scale=args.scale),
+        "e8": lambda: experiments.run_e8(),
     }
     _, report = runners[args.which]()
     print(f"== experiment {args.which.upper()} ==")
@@ -117,6 +173,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    # Mirror of the global --jobs so it is accepted both before and
+    # after the subcommand; SUPPRESS keeps a pre-subcommand value.
+    parser.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                        help="worker processes")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bmc",
@@ -126,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall-clock budget in seconds")
     parser.add_argument("--conflicts", type=int, default=None,
                         help="solver conflict budget")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for parallel commands "
+                             "(batch sharding, portfolio racing)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve-cnf", help="decide a DIMACS CNF")
@@ -143,13 +209,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bmc", help="run BMC on a built-in design")
     p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
     p.add_argument("-k", type=int, default=None, help="bound")
-    p.add_argument("--method", choices=METHODS, default="jsat")
+    p.add_argument("--method", choices=ALL_METHODS, default="jsat")
     p.add_argument("--semantics", choices=("exact", "within"),
                    default="exact")
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_bmc)
 
+    p = sub.add_parser("batch",
+                       help="run a (suite x methods) matrix on a "
+                            "worker pool")
+    p.add_argument("--methods", nargs="+", choices=METHODS,
+                   default=["sat-unroll", "jsat"],
+                   help="methods to run over the suite")
+    p.add_argument("--family", nargs="+", default=None,
+                   help=f"restrict to families (default: all); "
+                        f"one or more of: {', '.join(FAMILIES)}")
+    p.add_argument("--limit", type=int, default=None,
+                   help="run only the first N instances")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="on-disk result cache directory")
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="budget scale when no explicit budget is given")
+    _add_jobs_flag(p)
+    p.set_defaults(fn=_cmd_batch)
+
     p = sub.add_parser("experiment", help="regenerate an evaluation table")
-    p.add_argument("which", choices=[f"e{i}" for i in range(1, 8)])
+    p.add_argument("which", choices=[f"e{i}" for i in range(1, 9)])
     p.add_argument("--scale", type=float, default=0.2,
                    help="budget scale (1.0 = full budgets)")
     p.set_defaults(fn=_cmd_experiment)
@@ -160,7 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: List[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", None) is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     return args.fn(args)
 
 

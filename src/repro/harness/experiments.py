@@ -1,9 +1,11 @@
-"""Experiment definitions E1–E7 (see DESIGN.md §4).
+"""Experiment definitions E1–E8 (see DESIGN.md §4).
 
 Each ``run_e*`` function regenerates one evaluation artifact of the
 paper and returns both the raw data and a formatted report.  The
 benchmark suite (benchmarks/bench_e*.py) calls these with scaled-down
-budgets; EXPERIMENTS.md records full-budget outputs.
+budgets; EXPERIMENTS.md records full-budget outputs.  The set here
+matches the CLI (``repro experiment e1 .. e8``) and the benchmark
+files one-for-one.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from .report import format_growth, format_per_family, format_solved_counts
 from .runner import CellResult, default_budget, run_matrix, solved_counts
 
 __all__ = ["run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6",
-           "run_e7", "PAPER_E1"]
+           "run_e7", "run_e8", "PAPER_E1"]
 
 # The numbers reported in §3 of the paper (for the report footer).
 PAPER_E1 = {"sat-unroll": 184, "jsat": 143, "qbf (general)": 3,
@@ -207,3 +209,53 @@ def run_e7(instances: Sequence[Instance] | None = None,
         [[label, row["solved"], row["total"], row["queries"],
           row["seconds"]] for label, row in summary.items()])
     return summary, report
+
+
+# ----------------------------------------------------------------------
+def run_e8(friendly_width: int = 8, dense_width: int = 12,
+           dense_rounds: int = 4, bdd_node_budget: int = 30_000,
+           jsat_bound: int = 24) -> Tuple[Dict, str]:
+    """E8 — classical baselines' memory behaviour (paper §1).
+
+    BDD reachability handles a friendly design but blows through a node
+    budget on a dense one, while jSAT answers a deep query on the same
+    dense design within a small constant clause database.  This is the
+    experiment behind ``benchmarks/bench_e8_bdd_baseline.py``, exposed
+    here so the CLI's experiment set matches the benchmark set.
+    """
+    from ..bdd import BddReachability
+    from ..models import mixer
+
+    data: Dict = {}
+    friendly, _, _ = counter.make(friendly_width, 1)
+    reach = BddReachability(friendly, max_nodes=500_000)
+    data["friendly_states"] = reach.count_reachable()
+    data["friendly_nodes"] = reach.manager.size()
+
+    dense, _, _ = mixer.make(dense_width, dense_rounds)
+    blown = BddReachability(dense, max_nodes=bdd_node_budget)
+    try:
+        blown.reachable_fixpoint()
+        data["dense_blowup"] = False
+    except MemoryError:
+        data["dense_blowup"] = True
+    data["dense_nodes"] = blown.manager.size()
+
+    target = ex.var(f"x{dense_width - 1}")
+    jsat = check_reachability(dense, target, jsat_bound, "jsat")
+    data["jsat_status"] = jsat.status.name
+    data["jsat_peak_literals"] = jsat.stats.get("peak_db_literals", 0)
+
+    from .report import format_table
+    report = format_table(
+        ["baseline", "design", "outcome"],
+        [["BDD", f"counter({friendly_width})",
+          f"{data['friendly_states']} states, "
+          f"{data['friendly_nodes']} nodes"],
+         ["BDD", f"mixer({dense_width},{dense_rounds})",
+          "node budget exceeded" if data["dense_blowup"]
+          else f"{data['dense_nodes']} nodes"],
+         ["jsat", f"mixer({dense_width},{dense_rounds}) k={jsat_bound}",
+          f"{data['jsat_status']}, peak "
+          f"{data['jsat_peak_literals']} literals"]])
+    return data, report

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 from .runner import CellResult
 
 __all__ = ["format_table", "format_solved_counts", "format_per_family",
-           "format_growth"]
+           "format_growth", "format_worker_attribution"]
 
 
 def format_table(headers: Sequence[str],
@@ -74,6 +74,33 @@ def format_per_family(results: Iterable[CellResult]) -> str:
                 row.append(f"{int(cell['solved'])}/{int(cell['total'])} "
                            f"{cell['time']:.2f}")
         rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_worker_attribution(results: Iterable[CellResult]) -> str:
+    """Per-worker cell counts and wall-vs-CPU totals.
+
+    In a parallel batch each cell records which pool worker solved it
+    and how much CPU time it burned there; this table makes the
+    portfolio speedup measurable — summed CPU stays roughly constant
+    while the batch's wall clock shrinks with the worker count.
+    Cache hits appear as the pseudo-worker ``cache`` with zero CPU.
+    """
+    agg: Dict[str, Dict[str, float]] = {}
+    for cell in results:
+        worker = cell.worker or "serial"
+        row = agg.setdefault(worker, {"cells": 0, "wall": 0.0, "cpu": 0.0})
+        row["cells"] += 1
+        row["wall"] += cell.seconds
+        row["cpu"] += cell.cpu_seconds
+    headers = ["worker", "cells", "wall s", "cpu s"]
+    rows = [[worker, int(row["cells"]), f"{row['wall']:.2f}",
+             f"{row['cpu']:.2f}"]
+            for worker, row in sorted(agg.items())]
+    totals = {k: sum(row[k] for row in agg.values())
+              for k in ("cells", "wall", "cpu")}
+    rows.append(["(total)", int(totals["cells"]), f"{totals['wall']:.2f}",
+                 f"{totals['cpu']:.2f}"])
     return format_table(headers, rows)
 
 

@@ -2,17 +2,24 @@
 
 Runs (instance × method) cells under per-instance resource budgets —
 the laptop-scale analogue of the paper's "300 seconds time limit and
-1 GB memory limit" — and records outcome, wall time and the method's
-size/effort statistics.  Results feed the report tables of
-:mod:`repro.harness.report`.
+1 GB memory limit" — and records outcome, wall time, CPU time and the
+method's size/effort statistics.  Results feed the report tables of
+:mod:`repro.harness.report` for experiments E1–E8 (the full benchmark
+set under ``benchmarks/`` and the ``repro experiment`` subcommand).
+
+``run_matrix`` runs serially by default; pass ``jobs=N`` to shard the
+matrix across a :class:`repro.portfolio.scheduler.BatchScheduler`
+worker pool (optionally with an on-disk result cache) — the result
+list is identical to the serial one, in the same order.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..bmc.engine import check_reachability
+from ..bmc.metrics import measure_time
 from ..models.suite import Instance
 from ..sat.types import Budget, SolveResult
 
@@ -32,17 +39,27 @@ def default_budget(scale: float = 1.0) -> Budget:
 
 
 class CellResult:
-    """Outcome of one (instance, method) run."""
+    """Outcome of one (instance, method) run.
+
+    ``seconds`` is wall-clock; ``cpu_seconds`` is the process-CPU time
+    of whoever solved the cell (the worker process, in a parallel run).
+    ``worker`` attributes the cell to a pool worker (``"w0"``, ...),
+    ``"cache"`` for a result-cache hit, or None for a serial run.
+    """
 
     def __init__(self, instance: Instance, method: str,
                  status: SolveResult, seconds: float, correct: Optional[bool],
-                 stats: Dict[str, int]) -> None:
+                 stats: Dict[str, int],
+                 cpu_seconds: float = 0.0,
+                 worker: Optional[str] = None) -> None:
         self.instance = instance
         self.method = method
         self.status = status
         self.seconds = seconds
         self.correct = correct        # None when ground truth is unknown
         self.stats = stats
+        self.cpu_seconds = cpu_seconds
+        self.worker = worker
 
     @property
     def solved(self) -> bool:
@@ -53,8 +70,9 @@ class CellResult:
         return self.correct is not False
 
     def __repr__(self) -> str:  # pragma: no cover
+        who = f", worker={self.worker}" if self.worker else ""
         return (f"CellResult({self.instance.name!r}, {self.method!r}, "
-                f"{self.status.name}, {self.seconds * 1e3:.0f} ms)")
+                f"{self.status.name}, {self.seconds * 1e3:.0f} ms{who})")
 
 
 def run_cell(instance: Instance, method: str,
@@ -62,26 +80,50 @@ def run_cell(instance: Instance, method: str,
              semantics: str = "exact",
              **options) -> CellResult:
     """Run one instance with one method under the budget."""
-    start = time.perf_counter()
-    result = check_reachability(instance.system, instance.final, instance.k,
-                                method, semantics=semantics, budget=budget,
-                                **options)
-    elapsed = time.perf_counter() - start
+    with measure_time() as timing:
+        result = check_reachability(instance.system, instance.final,
+                                    instance.k, method,
+                                    semantics=semantics, budget=budget,
+                                    **options)
     correct: Optional[bool] = None
     if instance.expected is not None and \
             result.status is not SolveResult.UNKNOWN:
         want = SolveResult.SAT if instance.expected else SolveResult.UNSAT
         correct = result.status is want
-    return CellResult(instance, method, result.status, elapsed, correct,
-                      result.stats)
+    return CellResult(instance, method, result.status,
+                      timing.wall_seconds, correct, result.stats,
+                      cpu_seconds=timing.cpu_seconds)
 
 
 def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                budget: Budget | None = None,
                semantics: str = "exact",
                method_budgets: Dict[str, Budget] | None = None,
+               jobs: Optional[int] = None,
+               cache=None,
+               timings: Mapping[Tuple[str, str], float] | None = None,
                **options) -> List[CellResult]:
-    """Run the full (instances × methods) matrix."""
+    """Run the full (instances × methods) matrix.
+
+    ``jobs=None`` (or 1 with no cache) runs serially in-process.  With
+    ``jobs=N`` the matrix is sharded across N worker processes by the
+    portfolio :class:`~repro.portfolio.scheduler.BatchScheduler`;
+    ``cache`` (a :class:`~repro.portfolio.cache.ResultCache` or a
+    directory path) memoizes solved cells across runs, and ``timings``
+    (``{(instance_name, method): seconds}`` from a previous run) tunes
+    the hardest-first dispatch order.  Result order is method-major and
+    identical in all modes.
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if (jobs is not None and jobs > 1) or cache is not None:
+        from ..portfolio.scheduler import BatchScheduler
+        scheduler = BatchScheduler(jobs=jobs or 1, cache=cache,
+                                   timings=timings)
+        return scheduler.run(instances, methods, budget=budget,
+                             semantics=semantics,
+                             method_budgets=method_budgets, **options)
+
     method_budgets = method_budgets or {}
     out: List[CellResult] = []
     for method in methods:

@@ -100,6 +100,15 @@ class Expr:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Expr nodes are immutable")
 
+    def __reduce__(self) -> tuple:
+        # Hash-consed nodes cannot use default pickling (__new__ takes
+        # arguments and __setattr__ is disabled).  Reconstructing through
+        # Expr(...) re-interns every node in the receiving process, so
+        # DAG sharing and identity-equality survive a round trip — this
+        # is what lets transition systems travel to portfolio worker
+        # processes.
+        return (Expr, (self.op, self.args, self.name, self.value))
+
     # ------------------------------------------------------------------
     # Operator sugar
     # ------------------------------------------------------------------

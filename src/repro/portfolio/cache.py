@@ -1,0 +1,143 @@
+"""On-disk result cache for (model, bound, method, budget) cells.
+
+Repeated suite runs — sweeping budgets, re-running E1 after an
+unrelated change, resuming an interrupted batch — mostly re-solve
+cells whose answer cannot have changed.  The cache keys each cell by a
+*semantic fingerprint* of the query: a canonical serialization of the
+transition system and target formula (stable across processes and
+sessions, unlike ``Expr.uid``), the bound, the method, the semantics,
+the exact budget and the method options.  Any change to any of those
+produces a different key, so stale hits are impossible by
+construction.
+
+Entries are one JSON file per key, written atomically (temp file +
+rename), so concurrent batch runs may safely share a cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, Optional
+
+from ..logic.expr import Expr
+from ..sat.types import Budget
+from ..system.model import TransitionSystem
+from .ipc import budget_to_dict
+
+__all__ = ["fingerprint_expr", "fingerprint_system", "cell_key",
+           "ResultCache"]
+
+
+def fingerprint_expr(root: Expr) -> str:
+    """Canonical content hash of an expression DAG.
+
+    Nodes are numbered in post-order (children before parents), so two
+    structurally identical DAGs — even ones built in different
+    processes with different ``uid`` values — hash identically.
+    """
+    digest = hashlib.sha256()
+    index: Dict[int, int] = {}
+    for i, node in enumerate(root.iter_dag()):
+        index[node.uid] = i
+        digest.update(
+            (f"{i}:{node.op}:{node.name}:{node.value}:"
+             + ",".join(str(index[c.uid]) for c in node.args) + ";"
+             ).encode())
+    return digest.hexdigest()
+
+
+def fingerprint_system(system: TransitionSystem) -> str:
+    """Content hash of a transition system (name excluded: two systems
+    with identical semantics share cached results)."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps({
+        "state_vars": system.state_vars,
+        "input_vars": system.input_vars,
+        "init": fingerprint_expr(system.init),
+        "trans": fingerprint_expr(system.trans),
+    }, sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+def cell_key(system: TransitionSystem, final: Expr, k: int, method: str,
+             semantics: str = "exact", budget: Budget | None = None,
+             options: Dict[str, Any] | None = None) -> str:
+    """The cache key of one reachability cell."""
+    doc = {
+        "system": fingerprint_system(system),
+        "final": fingerprint_expr(final),
+        "k": k,
+        "method": method,
+        "semantics": semantics,
+        "budget": budget_to_dict(budget),
+        "options": sorted((options or {}).items()),
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of encoded cell outcomes.
+
+    ``get`` / ``put`` speak the plain-dict outcome format of
+    :mod:`repro.portfolio.ipc`; hit/miss/store counters let callers
+    (and tests) observe that cache hits really skipped solving.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:32] + ".json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached outcome for ``key``, or None."""
+        try:
+            with open(self._path(key)) as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("key") != key:     # 128-bit-prefix collision guard
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["outcome"]
+
+    def put(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Store an outcome atomically (last writer wins)."""
+        entry = {"key": key, "outcome": outcome}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))
+
+    def clear(self) -> None:
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                os.unlink(os.path.join(self.directory, name))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ResultCache({self.directory!r}, {len(self)} entries, "
+                f"{self.hits} hits / {self.misses} misses)")

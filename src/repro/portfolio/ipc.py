@@ -1,0 +1,134 @@
+"""Inter-process payloads for the portfolio subsystem.
+
+Worker processes receive a *cell payload* (system, query, method,
+budget) and send back an *outcome* — a plain-data dict containing only
+builtins and therefore safe to pickle through a ``multiprocessing``
+pipe, write to the on-disk result cache, or diff in tests.  The
+functions here are the single source of truth for both directions, so
+the pool, the race primitive and the cache all agree on the format.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+from ..bmc.engine import BmcResult, check_reachability
+from ..bmc.metrics import measure_time
+from ..logic.expr import Expr
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+
+__all__ = ["budget_to_dict", "budget_from_dict", "make_cell_payload",
+           "execute_cell", "encode_outcome", "decode_outcome",
+           "outcome_to_result"]
+
+_BUDGET_FIELDS = ("max_conflicts", "max_decisions", "max_propagations",
+                  "max_seconds", "max_literals")
+
+
+def budget_to_dict(budget: Optional[Budget]) -> Optional[Dict[str, Any]]:
+    """Budget -> plain dict (None stays None)."""
+    if budget is None:
+        return None
+    return {f: getattr(budget, f) for f in _BUDGET_FIELDS}
+
+
+def budget_from_dict(data: Optional[Dict[str, Any]]) -> Optional[Budget]:
+    """Inverse of :func:`budget_to_dict`."""
+    if data is None:
+        return None
+    return Budget(**{f: data.get(f) for f in _BUDGET_FIELDS})
+
+
+def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
+                      method: str, semantics: str = "exact",
+                      budget: Budget | None = None,
+                      options: Dict[str, Any] | None = None
+                      ) -> Dict[str, Any]:
+    """Bundle one reachability query for execution in a worker.
+
+    The system and target expression ride along as live objects —
+    :class:`~repro.logic.expr.Expr` pickles via re-interning — so the
+    payload works under both fork and spawn start methods.
+    """
+    return {
+        "system": system,
+        "final": final,
+        "k": k,
+        "method": method,
+        "semantics": semantics,
+        "budget": budget_to_dict(budget),
+        "options": dict(options or {}),
+    }
+
+
+def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell payload and return its encoded outcome.
+
+    This is the function worker processes actually call; it never
+    raises — solver errors are folded into an ``error`` outcome so a
+    bad cell cannot take down its worker.
+    """
+    with measure_time() as timing:
+        try:
+            result = check_reachability(
+                payload["system"], payload["final"], payload["k"],
+                payload["method"],
+                semantics=payload.get("semantics", "exact"),
+                budget=budget_from_dict(payload.get("budget")),
+                **payload.get("options", {}))
+            outcome = encode_outcome(result)
+        except Exception:
+            outcome = {
+                "status": SolveResult.UNKNOWN.name,
+                "k": payload["k"],
+                "method": payload["method"],
+                "seconds": 0.0,
+                "stats": {},
+                "trace": None,
+                "error": traceback.format_exc(limit=8),
+            }
+    outcome["wall_seconds"] = timing.wall_seconds
+    outcome["cpu_seconds"] = timing.cpu_seconds
+    return outcome
+
+
+def encode_outcome(result: BmcResult) -> Dict[str, Any]:
+    """BmcResult -> plain-data dict."""
+    trace = None
+    if result.trace is not None:
+        trace = {"states": [dict(s) for s in result.trace.states],
+                 "inputs": [dict(i) for i in result.trace.inputs]}
+    return {
+        "status": result.status.name,
+        "k": result.k,
+        "method": result.method,
+        "seconds": result.seconds,
+        "stats": dict(result.stats),
+        "trace": trace,
+        "error": None,
+    }
+
+
+def decode_trace(data: Optional[Dict[str, Any]]) -> Optional[Trace]:
+    if data is None:
+        return None
+    return Trace(data["states"], data["inputs"])
+
+
+def decode_outcome(outcome: Dict[str, Any]) -> Dict[str, Any]:
+    """Plain dict -> dict with live SolveResult / Trace objects."""
+    out = dict(outcome)
+    out["status"] = SolveResult[outcome["status"]]
+    out["trace"] = decode_trace(outcome.get("trace"))
+    return out
+
+
+def outcome_to_result(outcome: Dict[str, Any]) -> BmcResult:
+    """Rebuild a :class:`BmcResult` from an encoded outcome."""
+    decoded = decode_outcome(outcome)
+    return BmcResult(decoded["status"], decoded["trace"], decoded["k"],
+                     decoded["method"], decoded["seconds"],
+                     decoded["stats"])

@@ -1,0 +1,312 @@
+"""A process pool specialised for racing and batching BMC queries.
+
+``multiprocessing.Pool`` gives no handle on *which* worker runs what,
+cannot hard-kill a task that overshot its wall budget, and funnels
+every task through one queue.  :class:`WorkerPool` instead keeps one
+pipe per worker, so the parent always knows which worker started which
+task and when — that makes hard wall-clock enforcement (terminate and
+respawn the worker, record UNKNOWN) and per-worker attribution exact.
+
+Workers execute :func:`repro.portfolio.ipc.execute_cell`; resource
+budgets (conflicts / literals / solver-side wall clock) are enforced
+*inside* the worker by the existing :class:`~repro.sat.types.Budget`
+machinery, while the pool's ``wall_timeout`` is the outer backstop for
+hung or runaway cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .ipc import execute_cell
+
+__all__ = ["Task", "WorkerPool", "default_jobs", "pool_context"]
+
+_STOP = None          # sentinel telling a worker loop to exit
+
+
+def default_jobs() -> int:
+    """Default worker count: all cores, capped to keep laptops usable."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used by the portfolio subsystem.
+
+    Fork is preferred: workers inherit the hash-consing table and the
+    built model suite, so task dispatch is cheap.  Everything sent over
+    pipes is picklable anyway, so spawn-only platforms still work.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+class Task:
+    """One unit of pool work: an opaque payload plus scheduling limits."""
+
+    __slots__ = ("task_id", "payload", "wall_timeout")
+
+    def __init__(self, task_id: int, payload: Dict[str, Any],
+                 wall_timeout: Optional[float] = None) -> None:
+        self.task_id = task_id
+        self.payload = payload
+        self.wall_timeout = wall_timeout
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Task({self.task_id}, timeout={self.wall_timeout})"
+
+
+def _worker_main(conn, worker_name: str,
+                 execute: Callable[[Dict[str, Any]], Dict[str, Any]]
+                 ) -> None:
+    """Worker loop: receive (task_id, payload), execute, reply."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):  # pragma: no cover
+            break
+        if msg is _STOP:
+            break
+        task_id, payload = msg
+        outcome = execute(payload)
+        outcome["worker"] = worker_name
+        outcome["worker_pid"] = os.getpid()
+        try:
+            conn.send((task_id, outcome))
+        except (BrokenPipeError, EOFError):  # pragma: no cover
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn", "name", "task", "started_at")
+
+    def __init__(self, process, conn, name: str) -> None:
+        self.process = process
+        self.conn = conn
+        self.name = name
+        self.task: Optional[Task] = None
+        self.started_at = 0.0
+
+
+class WorkerPool:
+    """Fixed-size pool of single-task worker processes.
+
+    Usage::
+
+        with WorkerPool(jobs=4) as pool:
+            outcomes = pool.run([Task(0, payload0), Task(1, payload1)])
+
+    ``run`` returns ``{task_id: outcome}`` where each outcome is the
+    plain dict produced by the worker, or a synthesized UNKNOWN outcome
+    with ``timed_out=True`` when the pool had to kill the worker.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 execute: Callable[[Dict[str, Any]], Dict[str, Any]]
+                 = execute_cell) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self._execute = execute
+        self._ctx = pool_context()
+        self._workers: List[_WorkerHandle] = []
+        self._pending: List[Task] = []          # dispatched LIFO from end
+        self._results: Dict[int, Dict[str, Any]] = {}
+        self._respawns = 0
+        self._closed = False
+        for i in range(self.jobs):
+            self._workers.append(self._spawn(f"w{i}"))
+
+    # ------------------------------------------------------------------
+    def _spawn(self, name: str) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, name, self._execute),
+            daemon=True, name=f"repro-portfolio-{name}")
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn, name)
+
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Queue a task.  Dispatch order is the submission order, so the
+        scheduler controls priority by submitting hardest-first."""
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        self._pending.insert(0, task)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        for worker in self._workers:
+            if not self._pending:
+                return
+            if worker.task is None:
+                task = self._pending.pop()
+                worker.task = task
+                worker.started_at = time.perf_counter()
+                worker.conn.send((task.task_id, task.payload))
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        return sum(1 for w in self._workers if w.task is not None)
+
+    @property
+    def outstanding(self) -> int:
+        return self.busy + len(self._pending)
+
+    @property
+    def respawns(self) -> int:
+        """Number of workers killed for wall-timeout overruns."""
+        return self._respawns
+
+    # ------------------------------------------------------------------
+    def _deadline_slack(self, now: float) -> Optional[float]:
+        """Seconds until the earliest running-task deadline (None = no
+        deadline armed)."""
+        slack = None
+        for worker in self._workers:
+            if worker.task is None or worker.task.wall_timeout is None:
+                continue
+            remaining = (worker.started_at + worker.task.wall_timeout) - now
+            if slack is None or remaining < slack:
+                slack = remaining
+        return slack
+
+    def _reap_timeouts(self, now: float) -> int:
+        reaped = 0
+        for i, worker in enumerate(self._workers):
+            task = worker.task
+            if task is None or task.wall_timeout is None:
+                continue
+            if now - worker.started_at < task.wall_timeout:
+                continue
+            # Hard kill: the cell gets an UNKNOWN outcome and the slot
+            # is refilled with a fresh process.
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+            self._results[task.task_id] = {
+                "status": "UNKNOWN",
+                "k": task.payload.get("k", -1),
+                "method": task.payload.get("method", "?"),
+                "seconds": now - worker.started_at,
+                "wall_seconds": now - worker.started_at,
+                "cpu_seconds": 0.0,
+                "stats": {},
+                "trace": None,
+                "error": f"wall timeout after {task.wall_timeout:.3f} s",
+                "timed_out": True,
+                "worker": worker.name,
+            }
+            self._respawns += 1
+            reaped += 1
+            self._workers[i] = self._spawn(worker.name)
+        return reaped
+
+    def collect(self, timeout: Optional[float] = None) -> int:
+        """Receive finished outcomes; returns how many arrived.
+
+        Blocks up to ``timeout`` seconds (None = until at least one
+        running task finishes or times out).
+        """
+        got = 0
+        start = time.perf_counter()
+        while True:
+            now = time.perf_counter()
+            got += self._reap_timeouts(now)
+            self._dispatch()
+            busy = [w for w in self._workers if w.task is not None]
+            if got or not busy:
+                return got
+            slack = self._deadline_slack(now)
+            wait_for = slack
+            if timeout is not None:
+                budgeted = timeout - (now - start)
+                if budgeted <= 0:
+                    return got
+                wait_for = budgeted if wait_for is None \
+                    else min(wait_for, budgeted)
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in busy],
+                timeout=None if wait_for is None else max(0.0, wait_for))
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                try:
+                    task_id, outcome = conn.recv()
+                except (EOFError, OSError):  # worker died mid-task
+                    task = worker.task
+                    assert task is not None
+                    self._results[task.task_id] = {
+                        "status": "UNKNOWN",
+                        "k": task.payload.get("k", -1),
+                        "method": task.payload.get("method", "?"),
+                        "seconds": 0.0, "wall_seconds": 0.0,
+                        "cpu_seconds": 0.0, "stats": {}, "trace": None,
+                        "error": "worker died", "worker": worker.name,
+                    }
+                    idx = self._workers.index(worker)
+                    worker.conn.close()
+                    worker.process.join(timeout=5.0)
+                    self._workers[idx] = self._spawn(worker.name)
+                else:
+                    self._results[task_id] = outcome
+                worker.task = None
+                got += 1
+            if got:
+                self._dispatch()
+                return got
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> Dict[int, Dict[str, Any]]:
+        """Run a batch to completion; returns ``{task_id: outcome}``."""
+        for task in tasks:
+            self.submit(task)
+        while self.outstanding:
+            self.collect()
+        out, self._results = self._results, {}
+        return out
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop all workers (graceful, then terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                if worker.task is None:
+                    worker.conn.send(_STOP)
+                else:
+                    worker.process.terminate()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        self._workers = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover
+        try:
+            self.shutdown()
+        except Exception:
+            pass

@@ -1,0 +1,223 @@
+"""Race several BMC decision methods on one query.
+
+The paper's evaluation is a head-to-head between jSAT and SAT on the
+unrolled formula; this module turns that comparison into an execution
+strategy: launch one process per method, take the first *conclusive*
+answer, and kill the rest (the pattern SMPT uses for its parallel
+BMC/k-induction portfolio).  A SAT claim only wins after its witness
+validates — by trace replay when the back end produced a trace, or by
+the explicit-state oracle for traceless back ends on small systems —
+so a buggy or lucky method cannot poison the portfolio.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.connection
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..bmc.engine import METHODS, BmcResult
+from ..logic.expr import Expr
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.oracle import ExplicitOracle
+from ..system.trace import Trace
+from .ipc import execute_cell, decode_outcome, make_cell_payload
+from .pool import pool_context
+
+__all__ = ["RaceOutcome", "race", "DEFAULT_RACE_METHODS"]
+
+# sat-unroll and jsat are the two methods the paper finds competitive;
+# the QBF back ends lose so reliably that racing them by default would
+# only burn a core.
+DEFAULT_RACE_METHODS = ("sat-unroll", "jsat")
+
+
+class RaceOutcome:
+    """Result of one portfolio race.
+
+    Attributes
+    ----------
+    result:
+        The winning :class:`BmcResult` (status UNKNOWN when no method
+        was conclusive within its budget).
+    winner:
+        Name of the winning method, or None.
+    method_outcomes:
+        Per-method terminal state: "won", "cancelled", "inconclusive",
+        "invalid-witness", or "timeout".
+    cancel_latency:
+        Wall seconds from the winning answer's arrival until every
+        loser process was confirmed dead.
+    loser_pids:
+        PIDs of the cancelled processes (all dead on return; tests use
+        these to prove the kill actually happened).
+    seconds:
+        Total wall time of the race.
+    """
+
+    def __init__(self, result: BmcResult, winner: Optional[str],
+                 method_outcomes: Dict[str, str], cancel_latency: float,
+                 loser_pids: List[int], seconds: float) -> None:
+        self.result = result
+        self.winner = winner
+        self.method_outcomes = method_outcomes
+        self.cancel_latency = cancel_latency
+        self.loser_pids = loser_pids
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RaceOutcome(winner={self.winner!r}, "
+                f"{self.result.status.name}, {self.seconds:.3f}s, "
+                f"cancel={self.cancel_latency * 1e3:.1f}ms)")
+
+
+def _race_child(conn, payload: Dict[str, Any]) -> None:
+    outcome = execute_cell(payload)
+    try:
+        conn.send(outcome)
+    except (BrokenPipeError, EOFError):  # pragma: no cover - lost race
+        pass
+    conn.close()
+
+
+def _validate_sat(system: TransitionSystem, final: Expr, k: int,
+                  semantics: str, trace: Optional[Trace]) -> Optional[bool]:
+    """True/False when the SAT claim could be checked, None otherwise."""
+    if trace is not None:
+        if not trace.is_valid(system, final):
+            return False
+        if semantics == "exact" and trace.length != k:
+            return False
+        if semantics == "within" and trace.length > k:
+            return False
+        return True
+    # Traceless SAT (e.g. qbf-squaring): cross-check with the explicit
+    # oracle when the system is small enough to enumerate.
+    try:
+        oracle = ExplicitOracle(system)
+    except ValueError:
+        return None
+    if semantics == "exact":
+        return oracle.reachable_in_exactly(final, k)
+    return oracle.reachable_within(final, k)
+
+
+def race(system: TransitionSystem, final: Expr, k: int,
+         methods: Sequence[str] = DEFAULT_RACE_METHODS,
+         semantics: str = "exact",
+         budget: Budget | None = None,
+         wall_timeout: Optional[float] = None,
+         validate: bool = True,
+         **options) -> RaceOutcome:
+    """Run ``methods`` concurrently; first conclusive answer wins.
+
+    ``wall_timeout`` is the hard outer limit: when it expires every
+    child is killed and the race returns UNKNOWN.  It defaults to three
+    times the budget's ``max_seconds`` (plus setup slack) when that is
+    set, else unlimited.
+    """
+    methods = list(methods)
+    if not methods:
+        raise ValueError("race needs at least one method")
+    unknown = [m for m in methods if m not in METHODS]
+    if unknown:
+        raise ValueError(f"unknown race methods {unknown}; "
+                         f"pick from {METHODS}")
+    if wall_timeout is None and budget is not None \
+            and budget.max_seconds is not None:
+        wall_timeout = budget.max_seconds * 3.0 + 1.0
+
+    ctx = pool_context()
+    start = time.perf_counter()
+    children: List[Tuple[str, Any, Any]] = []     # (method, process, conn)
+    for method in methods:
+        payload = make_cell_payload(system, final, k, method, semantics,
+                                    budget, options)
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(target=_race_child,
+                              args=(child_conn, payload), daemon=True,
+                              name=f"repro-race-{method}")
+        process.start()
+        child_conn.close()
+        children.append((method, process, parent_conn))
+
+    method_outcomes = {m: "running" for m in methods}
+    winner: Optional[str] = None
+    winning: Optional[Dict[str, Any]] = None
+    fallback: Optional[Dict[str, Any]] = None     # an UNKNOWN to report
+    live = list(children)
+    timed_out = False
+
+    while live and winner is None:
+        if wall_timeout is not None:
+            remaining = wall_timeout - (time.perf_counter() - start)
+            if remaining <= 0:
+                timed_out = True
+                break
+        else:
+            remaining = None
+        ready = multiprocessing.connection.wait(
+            [conn for _, _, conn in live], timeout=remaining)
+        if not ready:
+            timed_out = True
+            break
+        still_live = []
+        for method, process, conn in live:
+            if conn not in ready:
+                still_live.append((method, process, conn))
+                continue
+            try:
+                outcome = decode_outcome(conn.recv())
+            except (EOFError, OSError):
+                method_outcomes[method] = "inconclusive"
+                continue
+            status = outcome["status"]
+            if status is SolveResult.UNKNOWN:
+                method_outcomes[method] = "inconclusive"
+                if fallback is None or fallback.get("error"):
+                    fallback = outcome
+                continue
+            if status is SolveResult.SAT and validate:
+                verdict = _validate_sat(system, final, k, semantics,
+                                        outcome["trace"])
+                if verdict is False:
+                    method_outcomes[method] = "invalid-witness"
+                    continue
+            winner = method
+            winning = outcome
+            method_outcomes[method] = "won"
+        live = still_live
+
+    # Cancellation: kill whatever is still running.
+    cancel_start = time.perf_counter()
+    loser_pids: List[int] = []
+    for method, process, conn in children:
+        if method_outcomes.get(method) in ("won",):
+            process.join(timeout=5.0)
+            continue
+        if process.is_alive():
+            loser_pids.append(process.pid)
+            process.terminate()
+    for method, process, conn in children:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stubborn child
+            process.kill()
+            process.join(timeout=5.0)
+        conn.close()
+        if method_outcomes[method] == "running":
+            method_outcomes[method] = "timeout" if timed_out else "cancelled"
+    cancel_latency = time.perf_counter() - cancel_start
+    seconds = time.perf_counter() - start
+
+    if winning is not None:
+        result = BmcResult(winning["status"], winning["trace"], k,
+                           "portfolio", seconds, dict(winning["stats"]))
+        result.stats["portfolio_winner"] = winner
+    else:
+        stats = dict(fallback["stats"]) if fallback else {}
+        result = BmcResult(SolveResult.UNKNOWN,
+                           None, k, "portfolio", seconds, stats)
+    result.stats["portfolio_cancelled"] = len(loser_pids)
+    return RaceOutcome(result, winner, method_outcomes, cancel_latency,
+                       loser_pids, seconds)

@@ -1,0 +1,212 @@
+"""Shard a (suite × methods) matrix across the worker pool.
+
+The scheduler owns three concerns the raw pool does not:
+
+* **ordering** — cells are dispatched hardest-first (by prior timings
+  when available, by a bound/method heuristic otherwise) so stragglers
+  start early and the pool drains evenly; idle workers then steal the
+  next-hardest pending cell, which is exactly the work-stealing order
+  a longest-processing-time-first schedule wants;
+* **determinism** — results are assembled into the same method-major
+  order :func:`repro.harness.runner.run_matrix` produces serially, so
+  parallel and serial runs are interchangeable downstream;
+* **memoization** — an optional :class:`ResultCache` is consulted
+  before dispatch and fed after, so re-runs only pay for new cells.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..models.suite import Instance
+from ..sat.types import Budget, SolveResult
+from .cache import ResultCache, cell_key
+from .ipc import decode_outcome, make_cell_payload
+from .pool import Task, WorkerPool
+
+__all__ = ["BatchScheduler", "hardness_estimate"]
+
+# Relative cost of one bound-step per method, tuned on the E1 suite;
+# only the ordering matters, not the absolute values.
+_METHOD_WEIGHT = {"sat-unroll": 2.0, "jsat": 1.0, "qbf": 6.0,
+                  "qbf-squaring": 6.0}
+
+
+def hardness_estimate(instance: Instance, method: str,
+                      timings: Mapping[Tuple[str, str], float] | None = None
+                      ) -> float:
+    """Predicted cost of one cell, used for hardest-first ordering.
+
+    ``timings`` maps ``(instance.name, method)`` to seconds observed in
+    a previous run (e.g. harvested from an earlier result list); cells
+    without history fall back to bound × method weight.
+    """
+    if timings is not None:
+        seen = timings.get((instance.name, method))
+        if seen is not None:
+            return float(seen)
+    return (instance.k + 1) * _METHOD_WEIGHT.get(method, 3.0)
+
+
+class BatchScheduler:
+    """Run a full experiment matrix on a :class:`WorkerPool`.
+
+    After :meth:`run` the ``stats`` attribute holds the batch summary:
+    executed / cache-hit / timed-out cell counts, worker count, wall
+    seconds, and summed per-cell CPU seconds.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: ResultCache | str | None = None,
+                 timings: Mapping[Tuple[str, str], float] | None = None,
+                 wall_timeout_factor: float = 3.0) -> None:
+        self.jobs = jobs
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.timings = timings
+        self.wall_timeout_factor = wall_timeout_factor
+        self.stats: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def harvest_timings(results: Sequence[Any]
+                        ) -> Dict[Tuple[str, str], float]:
+        """Extract a timings map from a previous run's CellResults."""
+        return {(c.instance.name, c.method): c.seconds for c in results}
+
+    # ------------------------------------------------------------------
+    def run(self, instances: Sequence[Instance], methods: Sequence[str],
+            budget: Budget | None = None,
+            semantics: str = "exact",
+            method_budgets: Dict[str, Budget] | None = None,
+            **options) -> List:
+        """Parallel equivalent of ``run_matrix`` (same result order)."""
+        from ..harness.runner import CellResult   # deferred: no cycle
+        method_budgets = method_budgets or {}
+
+        # Method-major slot order, identical to the serial run_matrix.
+        cells: List[Tuple[Instance, str, Budget | None]] = []
+        for method in methods:
+            cell_budget = method_budgets.get(method, budget)
+            for instance in instances:
+                cells.append((instance, method, cell_budget))
+
+        slots: List[Optional[CellResult]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        pending: List[int] = []
+        cache_hits = 0
+
+        wall_start = time.perf_counter()
+        for slot, (instance, method, cell_budget) in enumerate(cells):
+            if self.cache is not None:
+                key = cell_key(instance.system, instance.final, instance.k,
+                               method, semantics, cell_budget, options)
+                keys[slot] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    slots[slot] = self._to_cell_result(
+                        instance, method, cached, worker="cache")
+                    cache_hits += 1
+                    continue
+            pending.append(slot)
+
+        # Hardest first: a longest-job-first schedule minimizes the
+        # makespan penalty of stragglers landing last.
+        pending.sort(key=lambda slot: hardness_estimate(
+            cells[slot][0], cells[slot][1], self.timings), reverse=True)
+
+        timeouts = 0
+        executed = 0
+        cpu_total = 0.0
+        if pending:
+            tasks = []
+            for slot in pending:
+                instance, method, cell_budget = cells[slot]
+                payload = make_cell_payload(instance.system, instance.final,
+                                            instance.k, method, semantics,
+                                            cell_budget, options)
+                wall_timeout = None
+                if cell_budget is not None \
+                        and cell_budget.max_seconds is not None:
+                    wall_timeout = (cell_budget.max_seconds
+                                    * self.wall_timeout_factor + 1.0)
+                tasks.append(Task(slot, payload, wall_timeout))
+            with WorkerPool(jobs=self.jobs) as pool:
+                outcomes = pool.run(tasks)
+            for slot, outcome in outcomes.items():
+                instance, method, cell_budget = cells[slot]
+                slots[slot] = self._to_cell_result(
+                    instance, method, outcome,
+                    worker=outcome.get("worker"))
+                executed += 1
+                cpu_total += outcome.get("cpu_seconds", 0.0)
+                if outcome.get("timed_out"):
+                    timeouts += 1
+                elif self._cacheable(outcome, cell_budget) \
+                        and keys[slot] is not None:
+                    self.cache.put(keys[slot], _jsonable(outcome))
+        wall = time.perf_counter() - wall_start
+
+        self.stats = {
+            "cells": len(cells),
+            "executed": executed,
+            "cache_hits": cache_hits,
+            "timeouts": timeouts,
+            "jobs": self.jobs,
+            "wall_seconds": wall,
+            "cpu_seconds": cpu_total,
+        }
+        assert all(result is not None for result in slots)
+        return list(slots)
+
+    # ------------------------------------------------------------------
+    def _cacheable(self, outcome: Dict[str, Any],
+                   budget: Budget | None) -> bool:
+        """Should this outcome be stored?
+
+        Error outcomes never.  UNKNOWN under a wall-clock budget term is
+        a property of that run's machine load, not of the query, so
+        caching it would pin a transient answer; UNKNOWN under purely
+        deterministic limits (conflicts / literals / decisions) is a
+        pure function of the cache key and safe to store.
+        """
+        if self.cache is None or outcome.get("error"):
+            return False
+        if outcome["status"] == SolveResult.UNKNOWN.name \
+                and budget is not None and budget.max_seconds is not None:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_cell_result(instance: Instance, method: str,
+                        outcome: Dict[str, Any],
+                        worker: Optional[str]) -> Any:
+        from ..harness.runner import CellResult   # deferred: no cycle
+        decoded = decode_outcome(outcome)
+        status = decoded["status"]
+        correct: Optional[bool] = None
+        if instance.expected is not None and \
+                status is not SolveResult.UNKNOWN:
+            want = SolveResult.SAT if instance.expected \
+                else SolveResult.UNSAT
+            correct = status is want
+        if worker == "cache":
+            # A hit costs (essentially) nothing this run; the original
+            # run's timings must not inflate this run's attribution.
+            wall = 0.0
+            cpu = 0.0
+        else:
+            wall = outcome.get("wall_seconds", decoded["seconds"])
+            cpu = outcome.get("cpu_seconds", 0.0)
+        return CellResult(instance, method, status, wall, correct,
+                          dict(decoded["stats"]), cpu_seconds=cpu,
+                          worker=worker)
+
+
+def _jsonable(outcome: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip non-JSON keys from an outcome before caching."""
+    out = {k: v for k, v in outcome.items() if k != "worker_pid"}
+    return out
