@@ -12,7 +12,7 @@ exactly 9 steps, and answers the question four ways:
 Run:  python examples/quickstart.py
 """
 
-from repro.bmc import check_reachability
+from repro.bmc import check_reachability, sweep
 from repro.models import counter
 from repro.sat.types import Budget
 
@@ -42,6 +42,13 @@ def main() -> None:
     print(f"qbf-squaring (within 16) -> {result.status.name} "
           f"({result.seconds * 1e3:.1f} ms, "
           f"{result.stats['alternations']} quantifier alternations)")
+
+    # Bound sweep: one incremental solver across k = 0..12 finds the
+    # shortest counterexample without re-encoding a single frame twice.
+    swept = sweep(system, final, max_k=12)
+    print(f"\nsweep 0..12 (sat-incremental) -> shortest cex at "
+          f"k={swept.shortest_k} after {swept.time_to_hit * 1e3:.1f} ms "
+          f"({len(swept.per_bound)} bounds checked)")
 
 
 if __name__ == "__main__":

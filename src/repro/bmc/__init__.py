@@ -4,7 +4,9 @@ from .allsat import AllSatReachability
 from .completeness import (UnboundedResult, longest_simple_path_reached,
                            verify_unbounded)
 from .engine import (ALL_METHODS, METHODS, PORTFOLIO, BmcResult,
-                     check_reachability, find_reachable)
+                     check_reachability, find_reachable, sweep)
+from .incremental import (BoundResult, IncrementalBmc, SweepBudget,
+                          SweepResult)
 from .induction import InductionResult, prove_by_induction
 from .interpolation import InterpolationResult, prove_by_interpolation
 from .jsat import JsatSolver, JsatStats
@@ -16,6 +18,11 @@ from .unroll import UnrolledEncoding, encode_unrolled
 
 __all__ = [
     "check_reachability",
+    "sweep",
+    "SweepResult",
+    "BoundResult",
+    "SweepBudget",
+    "IncrementalBmc",
     "verify_unbounded",
     "UnboundedResult",
     "longest_simple_path_reached",

@@ -4,6 +4,9 @@
 
 * ``"sat-unroll"`` — formula (1) + the CDCL solver (the classical
   baseline the paper compares against);
+* ``"sat-incremental"`` — formula (1) solved incrementally: one solver
+  shared across bounds, final-state constraints activated per bound
+  through assumption groups (:mod:`repro.bmc.incremental`);
 * ``"qbf"`` — formula (2) + a general-purpose QBF solver (QDPLL by
   default, the expansion solver as an alternative back end);
 * ``"qbf-squaring"`` — formula (3) + a general-purpose QBF solver;
@@ -12,6 +15,11 @@
 * ``"portfolio"`` — race several of the above in parallel worker
   processes and return the first validated conclusive answer
   (:mod:`repro.portfolio`).
+
+``sweep`` answers the evaluation's per-instance bound ladder k = 0..K
+with any method — natively with one long-lived solver for
+sat-incremental and jsat, naively (fresh query per bound) for the
+rest — and returns the shortest counterexample plus per-bound records.
 
 ``find_reachable`` iterates bounds (linear stepping or the squaring
 schedule) until a target is reached — the "complete model checking
@@ -30,15 +38,18 @@ from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+from .incremental import (BoundResult, IncrementalBmc, SweepBudget,
+                          SweepResult)
 from .jsat import JsatSolver
 from .qbf_encoding import encode_qbf
 from .squaring import encode_squaring
 from .unroll import encode_unrolled
 
-__all__ = ["BmcResult", "check_reachability", "find_reachable", "METHODS",
-           "ALL_METHODS", "PORTFOLIO"]
+__all__ = ["BmcResult", "check_reachability", "find_reachable", "sweep",
+           "SweepResult", "BoundResult", "METHODS", "ALL_METHODS",
+           "PORTFOLIO"]
 
-METHODS = ("sat-unroll", "qbf", "qbf-squaring", "jsat")
+METHODS = ("sat-unroll", "sat-incremental", "qbf", "qbf-squaring", "jsat")
 
 # The portfolio pseudo-method races a subset of METHODS in parallel
 # worker processes; it is accepted by check_reachability but is not a
@@ -87,6 +98,18 @@ def _next_power_of_two(k: int) -> int:
     return 1 if k <= 1 else 1 << (k - 1).bit_length()
 
 
+def _squaring_ladder(max_k: int) -> List[int]:
+    """The iterative-squaring bound schedule: 0, 1, 2, 4, ..., max_k."""
+    bounds = [0]
+    b = 1
+    while max_k > 0:
+        bounds.append(min(b, max_k))
+        if b >= max_k:
+            break
+        b *= 2
+    return bounds
+
+
 def check_reachability(system: TransitionSystem, final: Expr, k: int,
                        method: str = "sat-unroll",
                        semantics: str = "exact",
@@ -112,6 +135,9 @@ def check_reachability(system: TransitionSystem, final: Expr, k: int,
                                   options)
     elif method == "sat-unroll":
         result = _check_unroll(system, final, k, semantics, budget, options)
+    elif method == "sat-incremental":
+        result = _check_incremental(system, final, k, semantics, budget,
+                                    options)
     elif method == "jsat":
         result = _check_jsat(system, final, k, semantics, budget, options)
     elif method == "qbf":
@@ -120,6 +146,10 @@ def check_reachability(system: TransitionSystem, final: Expr, k: int,
     else:
         result = _check_squaring(system, final, k, semantics, budget,
                                  qbf_backend, options)
+    # Within-mode traces are cut at their first final state uniformly,
+    # whatever back end produced them.
+    if semantics == "within" and result.trace is not None:
+        result.trace = _shorten_to_final(result.trace, final)
     result.seconds = time.perf_counter() - start
     return result
 
@@ -157,8 +187,6 @@ def _check_unroll(system: TransitionSystem, final: Expr, k: int,
     trace = None
     if status is SolveResult.SAT:
         trace = encoding.extract_trace(solver.model_value)
-        if semantics == "within":
-            trace = _shorten_to_final(trace, final)
     stats = encoding.stats()
     stats.update({f"solver_{k2}": v
                   for k2, v in solver.stats.as_dict().items()})
@@ -171,6 +199,29 @@ def _shorten_to_final(trace: Trace, final: Expr) -> Trace:
         if final.evaluate(state):
             return Trace(trace.states[:i + 1], trace.inputs[:i])
     return trace
+
+
+def _check_incremental(system: TransitionSystem, final: Expr, k: int,
+                       semantics: str, budget: Budget | None,
+                       options: Dict) -> BmcResult:
+    inc = IncrementalBmc(
+        system, final,
+        polarity_reduction=options.get("polarity_reduction", False),
+        purge_interval=options.get("purge_interval", 4))
+    if semantics == "exact":
+        status, trace, stats = inc.check_bound(k, budget=budget)
+        return BmcResult(status, trace, k, "sat-incremental", 0.0, stats)
+    # within(k) ⇔ ∃ j <= k: exact(j) — sweep upward and stop at the
+    # first (hence shortest) hit; its trace needs no shortening because
+    # every smaller bound was already refuted.
+    swept = inc.sweep(k, budget=budget)
+    last = swept.per_bound[-1] if swept.per_bound else None
+    stats = dict(last.stats) if last is not None else {}
+    stats["bounds_checked"] = len(swept.per_bound)
+    if swept.shortest_k is not None:
+        stats["shortest_k"] = swept.shortest_k
+    return BmcResult(swept.status, swept.trace, k, "sat-incremental",
+                     0.0, stats)
 
 
 def _check_jsat(system: TransitionSystem, final: Expr, k: int,
@@ -227,8 +278,6 @@ def _check_qbf(system: TransitionSystem, final: Expr, k: int,
                     deduped.append(state)
             states = deduped
         candidate = Trace(states, [{} for _ in range(len(states) - 1)])
-        if semantics == "within":
-            candidate = _shorten_to_final(candidate, final)
         if not system.input_vars and candidate.is_valid(system, final):
             trace = candidate
     stats = encoding.stats()
@@ -277,13 +326,7 @@ def find_reachable(system: TransitionSystem, final: Expr,
         bounds = list(range(0, max_bound + 1))
         semantics = "exact"
     elif strategy == "squaring":
-        bounds = [0]
-        b = 1
-        while True:
-            bounds.append(min(b, max_bound))
-            if b >= max_bound:
-                break
-            b *= 2
+        bounds = _squaring_ladder(max_bound)
         semantics = "within"
     else:
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -298,3 +341,171 @@ def find_reachable(system: TransitionSystem, final: Expr,
         if result.status is SolveResult.UNKNOWN:
             return None, history
     return None, history
+
+
+# ----------------------------------------------------------------------
+def sweep(system: TransitionSystem, final: Expr, max_k: int,
+          method: str = "sat-incremental",
+          budget: Budget | None = None,
+          **options) -> SweepResult:
+    """Sweep bounds k = 0..max_k; return the shortest counterexample.
+
+    Every method implements the same contract — bounds in increasing
+    order, stopping at the first SAT or the first UNKNOWN.
+    ``sat-incremental`` and ``jsat`` sweep natively on one long-lived
+    solver; ``sat-unroll``, ``qbf`` and ``portfolio`` re-encode and
+    re-solve an exact-k query per bound (the baseline the incremental
+    driver is benchmarked against), so for all of these the first SAT
+    bound is the shortest counterexample.  ``qbf-squaring`` follows its
+    natural iterative-squaring schedule (0, 1, 2, 4, ... with within-k
+    semantics, non-power bounds rounded up as §2 of the paper allows),
+    so its hit bound is an upper bound on the shortest depth, not the
+    exact one.  The budget is global across the whole sweep.
+    """
+    if method not in ALL_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; pick from {ALL_METHODS}")
+    if max_k < 0:
+        raise ValueError("max_k must be non-negative")
+    if method == "sat-incremental":
+        inc = IncrementalBmc(
+            system, final,
+            polarity_reduction=options.get("polarity_reduction", False),
+            purge_interval=options.get("purge_interval", 4))
+        return inc.sweep(max_k, budget=budget)
+    if method == "jsat":
+        return _sweep_jsat(system, final, max_k, budget, options)
+    if method == "qbf-squaring":
+        return _sweep_squaring(system, final, max_k, budget, options)
+    return _sweep_naive(system, final, max_k, method, budget, options)
+
+
+def _sweep_record(per_bound: List[BoundResult], k: int,
+                  status: SolveResult, trace: Optional[Trace],
+                  seconds: float, sweep_start: float,
+                  stats: Dict[str, int]) -> BoundResult:
+    record = BoundResult(k, status, trace, seconds,
+                         time.perf_counter() - sweep_start, stats)
+    per_bound.append(record)
+    return record
+
+
+def _sweep_naive(system: TransitionSystem, final: Expr, max_k: int,
+                 method: str, budget: Budget | None,
+                 options: Dict) -> SweepResult:
+    """Fresh exact-k query per bound — no state carries over."""
+    tracker = SweepBudget(budget)
+    per_bound: List[BoundResult] = []
+    sweep_start = time.perf_counter()
+    for k in range(max_k + 1):
+        if tracker.exhausted():
+            _sweep_record(per_bound, k, SolveResult.UNKNOWN, None, 0.0,
+                          sweep_start, {})
+            break
+        result = check_reachability(system, final, k, method,
+                                    semantics="exact",
+                                    budget=tracker.remaining(), **options)
+        tracker.charge(
+            conflicts=result.stats.get("solver_conflicts",
+                                       result.stats.get("sat_conflicts", 0)),
+            decisions=result.stats.get("solver_decisions", 0),
+            propagations=result.stats.get(
+                "solver_propagations",
+                result.stats.get("sat_propagations", 0)))
+        _sweep_record(per_bound, k, result.status, result.trace,
+                      result.seconds, sweep_start, result.stats)
+        if result.status is not SolveResult.UNSAT:
+            break
+    return SweepResult(method, max_k, per_bound,
+                       time.perf_counter() - sweep_start)
+
+
+def _sweep_squaring(system: TransitionSystem, final: Expr, max_k: int,
+                    budget: Budget | None, options: Dict) -> SweepResult:
+    """The paper's iterative-squaring schedule: 0, 1, 2, 4, ...
+
+    Formula (3) only speaks power-of-two bounds exactly, so each rung
+    asks "within k" on the self-looped system (the encoder rounds
+    non-power bounds up).  A SAT rung therefore brackets the shortest
+    counterexample rather than pinning it — the trade the squaring
+    schedule makes for its O(log K) iteration count.
+    """
+    bounds = _squaring_ladder(max_k)
+    tracker = SweepBudget(budget)
+    per_bound: List[BoundResult] = []
+    sweep_start = time.perf_counter()
+    for k in bounds:
+        if tracker.exhausted():
+            _sweep_record(per_bound, k, SolveResult.UNKNOWN, None, 0.0,
+                          sweep_start, {})
+            break
+        result = check_reachability(system, final, k, "qbf-squaring",
+                                    semantics="within",
+                                    budget=tracker.remaining(), **options)
+        tracker.charge(
+            conflicts=result.stats.get("solver_conflicts", 0),
+            decisions=result.stats.get("solver_decisions", 0),
+            propagations=result.stats.get("solver_propagations", 0))
+        _sweep_record(per_bound, k, result.status, result.trace,
+                      result.seconds, sweep_start, result.stats)
+        if result.status is not SolveResult.UNSAT:
+            break
+    return SweepResult("qbf-squaring", max_k, per_bound,
+                       time.perf_counter() - sweep_start)
+
+
+def _sweep_jsat(system: TransitionSystem, final: Expr, max_k: int,
+                budget: Budget | None, options: Dict) -> SweepResult:
+    """Native jSAT sweep: one solver, retargeted per bound.
+
+    The clause database (a single TR copy plus guarded I and F) is
+    bound-independent, and the no-good cache persists across bounds —
+    states proven hopeless at some remaining distance stay hopeless.
+    """
+    jsolver = JsatSolver(
+        system, final, 0, "exact",
+        use_cache=options.get("use_cache", True),
+        f_pruning=options.get("f_pruning", True),
+        purge_interval=options.get("purge_interval", 8))
+    tracker = SweepBudget(budget)
+    per_bound: List[BoundResult] = []
+    sweep_start = time.perf_counter()
+    for k in range(max_k + 1):
+        if tracker.exhausted():
+            _sweep_record(per_bound, k, SolveResult.UNKNOWN, None, 0.0,
+                          sweep_start, {})
+            break
+        jsolver.retarget(k)
+        solver_before = jsolver.solver.stats.as_dict()
+        jsat_before = jsolver.stats.as_dict()
+        bound_start = time.perf_counter()
+        status = jsolver.solve(budget=tracker.remaining())
+        seconds = time.perf_counter() - bound_start
+        solver_after = jsolver.solver.stats.as_dict()
+        tracker.charge(
+            conflicts=solver_after["conflicts"] - solver_before["conflicts"],
+            decisions=solver_after["decisions"] - solver_before["decisions"],
+            propagations=(solver_after["propagations"]
+                          - solver_before["propagations"]))
+        # Per-bound deltas of the cumulative jSAT counters (peaks and
+        # sizes stay absolute — they are not additive across bounds).
+        jsat_after = jsolver.stats.as_dict()
+        stats: Dict[str, int] = {
+            key: jsat_after[key] - jsat_before[key]
+            for key in jsat_after if key != "peak_db_literals"}
+        stats["peak_db_literals"] = jsat_after["peak_db_literals"]
+        stats["solver_conflicts"] = (solver_after["conflicts"]
+                                     - solver_before["conflicts"])
+        stats["solver_decisions"] = (solver_after["decisions"]
+                                     - solver_before["decisions"])
+        stats["solver_propagations"] = (solver_after["propagations"]
+                                        - solver_before["propagations"])
+        stats["resident_literals"] = jsolver.resident_literals()
+        stats["cache_entries"] = jsolver.cache_size()
+        trace = jsolver.trace() if status is SolveResult.SAT else None
+        _sweep_record(per_bound, k, status, trace, seconds, sweep_start,
+                      stats)
+        if status is not SolveResult.UNSAT:
+            break
+    return SweepResult("jsat", max_k, per_bound,
+                       time.perf_counter() - sweep_start)

@@ -1,0 +1,413 @@
+"""Incremental BMC: one CDCL solver across an entire bound sweep.
+
+Classical BMC (``method="sat-unroll"``) re-encodes the unrolling and
+builds a fresh :class:`~repro.sat.solver.CdclSolver` for every bound,
+throwing away the whole clause database — k shared transition frames
+*and* every learnt clause — between k and k+1.  This module keeps
+**one** solver alive for the whole sweep:
+
+* each new bound adds exactly one transition frame of Tseitin clauses
+  (frames 0..k-1 and the init constraint carry over verbatim);
+* bound k's final-state constraint F(Z_k) is activated through an
+  assumption *group literal* ``g_k``: the clause ``(-g_k, f_k)`` only
+  bites while ``g_k`` is assumed, and once the bound is passed the
+  group is permanently retired with ``add_clause([-g_k])`` — exactly
+  the retractable-constraint idiom jSAT uses (see
+  :mod:`repro.sat.solver`), after which ``purge_satisfied`` physically
+  reclaims the constraint and every learnt clause derived from it;
+* learnt clauses not derived from a retired final constraint are
+  resolvents of the carried-over frames and therefore stay valid for
+  every later bound — the incremental-SAT speedup of Biere et al.'s
+  linear encodings and of incremental symbolic BMC.
+
+Because the sweep asks exact-k queries in increasing order, the first
+SAT answer is the *shortest* counterexample, and no strict prefix of
+its witness reaches the target (otherwise an earlier bound would have
+answered SAT).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+
+__all__ = ["IncrementalBmc", "BoundResult", "SweepResult", "SweepBudget"]
+
+
+def _frame_name(var: str, step: int) -> str:
+    return f"{var}@{step}"
+
+
+class BoundResult:
+    """Outcome and statistics of one bound inside a sweep.
+
+    Attributes
+    ----------
+    k:
+        The bound this entry answers (exact-k semantics).
+    status:
+        SAT / UNSAT / UNKNOWN for exactly-k reachability.
+    trace:
+        Witness path on SAT (length exactly k).
+    seconds:
+        Wall time of this bound alone.
+    cumulative_seconds:
+        Wall time from the start of the sweep to this bound's answer —
+        the "time to shortest counterexample" when this is the hit.
+    stats:
+        Method counters; for the incremental driver these include
+        ``clauses_reused`` (problem clauses carried over from earlier
+        bounds) and ``learnts_retained`` (learnt clauses alive at query
+        start).
+    """
+
+    def __init__(self, k: int, status: SolveResult, trace: Optional[Trace],
+                 seconds: float, cumulative_seconds: float,
+                 stats: Dict[str, int]) -> None:
+        self.k = k
+        self.status = status
+        self.trace = trace
+        self.seconds = seconds
+        self.cumulative_seconds = cumulative_seconds
+        self.stats = stats
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BoundResult(k={self.k}, {self.status.name}, "
+                f"{self.seconds * 1e3:.1f} ms)")
+
+
+class SweepResult:
+    """Outcome of a bound sweep k = 0..max_k (exact-k per bound).
+
+    ``per_bound`` records every bound actually queried; the sweep stops
+    at the first SAT (the shortest counterexample) or the first UNKNOWN
+    (budget exhausted), so the list may be shorter than ``max_k + 1``.
+    """
+
+    def __init__(self, method: str, max_k: int,
+                 per_bound: List[BoundResult], seconds: float) -> None:
+        self.method = method
+        self.max_k = max_k
+        self.per_bound = per_bound
+        self.seconds = seconds
+
+    @property
+    def hit(self) -> Optional[BoundResult]:
+        """The shortest-counterexample entry, or None."""
+        if self.per_bound and self.per_bound[-1].status is SolveResult.SAT:
+            return self.per_bound[-1]
+        return None
+
+    @property
+    def status(self) -> SolveResult:
+        """SAT (cex found), UNSAT (all bounds refuted), or UNKNOWN."""
+        if not self.per_bound:
+            return SolveResult.UNKNOWN
+        last = self.per_bound[-1]
+        if last.status is SolveResult.SAT:
+            return SolveResult.SAT
+        if last.status is SolveResult.UNSAT and last.k == self.max_k:
+            return SolveResult.UNSAT
+        return SolveResult.UNKNOWN
+
+    @property
+    def shortest_k(self) -> Optional[int]:
+        """Length of the shortest counterexample, or None."""
+        hit = self.hit
+        return hit.k if hit is not None else None
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        hit = self.hit
+        return hit.trace if hit is not None else None
+
+    @property
+    def time_to_hit(self) -> Optional[float]:
+        """Wall seconds from sweep start to the shortest cex, or None."""
+        hit = self.hit
+        return hit.cumulative_seconds if hit is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SweepResult({self.method!r}, {self.status.name}, "
+                f"bounds={len(self.per_bound)}/{self.max_k + 1}, "
+                f"{self.seconds * 1e3:.1f} ms)")
+
+
+class SweepBudget:
+    """A resource budget shared by every bound of one sweep.
+
+    Wall-clock is tracked against a single deadline; the deterministic
+    limits (conflicts / decisions / propagations) form a pool that each
+    bound's query draws down.  ``remaining()`` hands out a per-query
+    :class:`Budget` of whatever is left; callers report consumption via
+    :meth:`charge`.
+    """
+
+    def __init__(self, budget: Budget | None) -> None:
+        self.budget = budget
+        self._deadline: Optional[float] = None
+        self._conflicts_left: Optional[int] = None
+        self._decisions_left: Optional[int] = None
+        self._propagations_left: Optional[int] = None
+        if budget is not None:
+            if budget.max_seconds is not None:
+                self._deadline = time.monotonic() + budget.max_seconds
+            self._conflicts_left = budget.max_conflicts
+            self._decisions_left = budget.max_decisions
+            self._propagations_left = budget.max_propagations
+
+    def charge(self, conflicts: int = 0, decisions: int = 0,
+               propagations: int = 0) -> None:
+        """Deduct one bound's consumption from the pools."""
+        if self._conflicts_left is not None:
+            self._conflicts_left -= conflicts
+        if self._decisions_left is not None:
+            self._decisions_left -= decisions
+        if self._propagations_left is not None:
+            self._propagations_left -= propagations
+
+    def exhausted(self) -> bool:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return True
+        for left in (self._conflicts_left, self._decisions_left,
+                     self._propagations_left):
+            if left is not None and left <= 0:
+                return True
+        return False
+
+    def remaining(self) -> Budget | None:
+        """A budget covering whatever the sweep has left (None = no cap)."""
+        if self.budget is None:
+            return None
+        seconds = None
+        if self._deadline is not None:
+            seconds = max(1e-3, self._deadline - time.monotonic())
+        def _floor(left: Optional[int]) -> Optional[int]:
+            return None if left is None else max(1, left)
+        return Budget(max_conflicts=_floor(self._conflicts_left),
+                      max_decisions=_floor(self._decisions_left),
+                      max_propagations=_floor(self._propagations_left),
+                      max_seconds=seconds,
+                      max_literals=self.budget.max_literals)
+
+
+class IncrementalBmc:
+    """Exact-k reachability over a growing unrolling, one solver for all.
+
+    Parameters
+    ----------
+    system, final:
+        The reachability query family: is a state satisfying ``final``
+        reachable from init in exactly k steps, for k = 0, 1, 2, ...?
+    polarity_reduction:
+        Use Plaisted–Greenbaum definitions for the frame encodings
+        (sound here: every constraint is used positively).
+    purge_interval:
+        Retired final-constraint groups are physically reclaimed every
+        this many retirements (1 = immediately).
+
+    Example
+    -------
+    >>> from repro.models import counter
+    >>> system, final, depth = counter.make(3, 5)
+    >>> result = IncrementalBmc(system, final).sweep(depth + 1)
+    >>> result.shortest_k == depth
+    True
+    """
+
+    def __init__(self, system: TransitionSystem, final: Expr,
+                 polarity_reduction: bool = False,
+                 purge_interval: int = 4) -> None:
+        stray = final.support() - set(system.state_vars)
+        if stray:
+            raise ValueError(f"final predicate uses non-state vars: {stray}")
+        self.system = system
+        self.final = final
+        self.purge_interval = max(1, purge_interval)
+        self.pool = VarPool()
+        self.cnf = CNF()
+        self.encoder = TseitinEncoder(self.cnf, self.pool,
+                                      polarity_reduction)
+        self.solver = CdclSolver()
+        self._cursor = 0                       # clauses already in solver
+        self._groups: Dict[int, int] = {}      # bound -> live group literal
+        self._retired_since_purge = 0
+        self.k = 0                             # transition frames encoded
+
+        frame0 = [_frame_name(v, 0) for v in system.state_vars]
+        self._frames: List[List[str]] = [frame0]
+        self.encoder.assert_expr(
+            system.rename_state_expr(system.init, frame0))
+        for name in frame0:
+            self.pool.named(name)
+        self._flush()
+
+    # ------------------------------------------------------------------
+    # Clause streaming: encoder output -> live solver
+    # ------------------------------------------------------------------
+    def _flush(self) -> int:
+        """Feed newly encoded variables and clauses to the solver."""
+        self.solver.ensure_vars(max(self.cnf.num_vars, self.pool.num_vars))
+        new = self.cnf.clauses[self._cursor:]
+        self._cursor = len(self.cnf.clauses)
+        self.solver.add_clauses(new)
+        return len(new)
+
+    def extend(self) -> int:
+        """Add one transition frame TR(Z_k, Z_{k+1}); returns clauses added.
+
+        Everything previously encoded — init, earlier frames, learnt
+        clauses — stays in the solver untouched.
+        """
+        i = self.k
+        nxt = [_frame_name(v, i + 1) for v in self.system.state_vars]
+        self._frames.append(nxt)
+        step = self.system.trans_between(self._frames[i], nxt,
+                                         input_suffix=f"@{i}")
+        self.encoder.assert_expr(step)
+        for name in nxt:
+            self.pool.named(name)
+        for name in self.system.input_vars:
+            self.pool.named(_frame_name(name, i))
+        self.k += 1
+        return self._flush()
+
+    def _final_group(self, k: int) -> int:
+        """Group literal activating F(Z_k) (allocated on first use).
+
+        Group variables come from the shared pool so they can never
+        collide with frame variables allocated by later ``extend``s.
+        """
+        g = self._groups.get(k)
+        if g is not None:
+            return g
+        fin_k = self.system.rename_state_expr(self.final, self._frames[k])
+        lit = self.encoder.encode(fin_k)
+        self._flush()
+        g = self.pool.fresh(f"fin@{k}")
+        self.solver.ensure_vars(self.pool.num_vars)
+        self.solver.add_clause([-g, lit])
+        self._groups[k] = g
+        return g
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def check_bound(self, k: int, budget: Budget | None = None
+                    ) -> Tuple[SolveResult, Optional[Trace], Dict[str, int]]:
+        """Decide exact-k reachability, reusing all prior work.
+
+        Returns ``(status, trace, stats)``; the trace is the length-k
+        witness on SAT.  The bound may be queried repeatedly (and out of
+        order) as long as it has not been retired.
+        """
+        if k < 0:
+            raise ValueError("bound k must be non-negative")
+        solver = self.solver
+        clauses_before = solver.num_clauses()
+        learnts_before = solver.num_learnts()
+        conflicts_before = solver.stats.conflicts
+        decisions_before = solver.stats.decisions
+        propagations_before = solver.stats.propagations
+        while self.k < k:
+            self.extend()
+        g = self._final_group(k)
+        status = solver.solve([g], budget=budget)
+        trace = self.extract_trace(k) if status is SolveResult.SAT else None
+        stats = {
+            "trans_frames": self.k,
+            "clauses_reused": clauses_before,
+            "clauses_added": solver.num_clauses() - clauses_before,
+            "learnts_retained": learnts_before,
+            "learnts_now": solver.num_learnts(),
+            "vars": solver.num_vars,
+            "db_literals": solver.stats.db_literals,
+            "peak_db_literals": solver.stats.peak_db_literals,
+            "solver_conflicts": solver.stats.conflicts - conflicts_before,
+            "solver_decisions": solver.stats.decisions - decisions_before,
+            "solver_propagations":
+                solver.stats.propagations - propagations_before,
+        }
+        return status, trace, stats
+
+    def retire_bound(self, k: int) -> None:
+        """Permanently disable bound k's final constraint.
+
+        Adds the unit ``-g_k`` — every clause carrying ``-g_k`` (the
+        constraint and all learnt clauses derived from it) becomes
+        satisfied at level 0 and is physically reclaimed on the next
+        purge, exactly as jSAT retires its blocking-clause groups.
+        """
+        g = self._groups.pop(k, None)
+        if g is None:
+            return
+        self.solver.add_clause([-g])
+        self._retired_since_purge += 1
+        if self._retired_since_purge >= self.purge_interval:
+            self.solver.purge_satisfied()
+            self._retired_since_purge = 0
+
+    def extract_trace(self, k: int) -> Trace:
+        """Rebuild the witness path for bound k from the last model."""
+        model_value = self.solver.model_value
+        states = [
+            {v: bool(model_value(self.pool.named(_frame_name(v, i))))
+             for v in self.system.state_vars}
+            for i in range(k + 1)]
+        inputs = [
+            {v: bool(model_value(self.pool.named(_frame_name(v, i))))
+             for v in self.system.input_vars}
+            for i in range(k)]
+        return Trace(states, inputs)
+
+    # ------------------------------------------------------------------
+    def sweep(self, max_k: int, budget: Budget | None = None) -> SweepResult:
+        """Sweep bounds 0..max_k; stop at the shortest counterexample.
+
+        The budget is global across the whole sweep (one deadline, one
+        conflict pool), mirroring how a fresh per-bound run would split
+        the same resources.
+        """
+        if max_k < 0:
+            raise ValueError("max_k must be non-negative")
+        tracker = SweepBudget(budget)
+        per_bound: List[BoundResult] = []
+        sweep_start = time.perf_counter()
+        for k in range(max_k + 1):
+            if tracker.exhausted():
+                per_bound.append(BoundResult(
+                    k, SolveResult.UNKNOWN, None, 0.0,
+                    time.perf_counter() - sweep_start, {}))
+                break
+            bound_start = time.perf_counter()
+            status, trace, stats = self.check_bound(
+                k, budget=tracker.remaining())
+            now = time.perf_counter()
+            tracker.charge(conflicts=stats["solver_conflicts"],
+                           decisions=stats["solver_decisions"],
+                           propagations=stats["solver_propagations"])
+            per_bound.append(BoundResult(k, status, trace,
+                                         now - bound_start,
+                                         now - sweep_start, stats))
+            if status is not SolveResult.UNSAT:
+                break
+            self.retire_bound(k)
+        return SweepResult("sat-incremental", max_k, per_bound,
+                           time.perf_counter() - sweep_start)
+
+    # ------------------------------------------------------------------
+    def resident_literals(self) -> int:
+        """Current clause-database size in literals."""
+        return self.solver.stats.db_literals
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"IncrementalBmc({self.system.name!r}, frames={self.k}, "
+                f"clauses={self.solver.num_clauses()})")

@@ -138,6 +138,12 @@ class JsatSolver:
         self._budget = Budget.unlimited()
         self._conflicts_at_start = 0
         self._props_at_start = 0
+        # The no-good facts are bound-independent ("no completion from
+        # this state with r steps remaining" says nothing about k), so
+        # they live for the solver's lifetime and keep paying off when
+        # the solver is retargeted at other bounds (native sweeps).
+        self._nogood_exact: Dict[int, Set[State]] = {}
+        self._nogood_within: Dict[State, int] = {}
         self._build_solver()
 
     # ==================================================================
@@ -218,6 +224,18 @@ class JsatSolver:
     def trace(self) -> Optional[Trace]:
         """The witness path of the last SAT answer."""
         return self._trace
+
+    def retarget(self, k: int) -> None:
+        """Re-aim the solver at a new bound without rebuilding anything.
+
+        The clause database (one TR copy, guarded I and F) does not
+        depend on k, and the no-good cache is bound-independent, so a
+        bound sweep can reuse one solver for every k.
+        """
+        if k < 0:
+            raise ValueError("bound k must be non-negative")
+        self.k = k
+        self._trace = None
 
     # ==================================================================
     # Search
@@ -314,9 +332,6 @@ class JsatSolver:
     def _search(self) -> SolveResult:
         if not self._ok or not self.solver.ok:
             return SolveResult.UNSAT
-        self._nogood_exact: Dict[int, Set[State]] = {}
-        self._nogood_within: Dict[State, int] = {}
-
         if self.k == 0 or self.semantics == "within":
             # Depth-0 check: an initial state already satisfying F.
             result = self._run_query([self._init_act, self._fin_u_act])
@@ -342,6 +357,11 @@ class JsatSolver:
                     assumptions.append(self._fin_act)
                 result = self._run_query(assumptions)
                 if result is SolveResult.UNSAT:
+                    # Retire the root enumeration group, or its blocking
+                    # clauses would pile up across re-solves (the native
+                    # sweep reuses this solver at every bound).
+                    self._retire_group(root_group)
+                    self.solver.purge_satisfied()
                     return SolveResult.UNSAT
                 state = self._model_u_state()
                 if self._cache_lookup(state, self.k):

@@ -11,6 +11,11 @@ Subcommands
     (``--method``, ``-k``, ``--semantics``); prints the trace on SAT.
     ``--method portfolio`` races sat-unroll and jsat in parallel
     worker processes and reports the winner.
+``sweep FAMILY``
+    Sweep bounds k = 0..max-k on a built-in design (``--max-k``,
+    ``--methods``): per-bound statuses, solver-reuse statistics, and
+    the shortest counterexample with its time-to-cex.  The default
+    method is ``sat-incremental`` — one solver across all bounds.
 ``batch``
     Run a (suite × methods) matrix across a worker pool
     (``--jobs N``), optionally memoized on disk (``--cache DIR``);
@@ -28,7 +33,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .bmc.engine import ALL_METHODS, METHODS, check_reachability
+from .bmc.engine import ALL_METHODS, METHODS, check_reachability, sweep
 from .harness import experiments
 from .logic.dimacs import parse_dimacs, parse_qdimacs
 from .models import FAMILIES, build_suite, suite_summary
@@ -101,6 +106,30 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
     if result.trace is not None:
         print(result.trace.format(sorted(instance.system.state_vars)))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .harness.report import format_sweep
+
+    instances = [i for i in build_suite() if i.family == args.family]
+    if not instances:
+        print(f"unknown family {args.family!r}; "
+              f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+        return 1
+    instance = instances[0]
+    max_k = args.max_k if args.max_k is not None else instance.k
+    status = 0
+    for method in args.methods:
+        result = sweep(instance.system, instance.final, max_k,
+                       method=method, budget=_budget_from_args(args))
+        print(f"== {instance.name}: sweep k=0..{max_k}, {method} ==")
+        print(format_sweep(result))
+        if result.trace is not None:
+            print(result.trace.format(sorted(instance.system.state_vars)))
+        if result.status is SolveResult.UNKNOWN:
+            status = 2
+        print()
+    return status
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -214,6 +243,17 @@ def build_parser() -> argparse.ArgumentParser:
                    default="exact")
     _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_bmc)
+
+    p = sub.add_parser("sweep",
+                       help="sweep bounds 0..max-k on a built-in design "
+                            "(incremental by default)")
+    p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
+    p.add_argument("--max-k", type=int, default=None,
+                   help="largest bound (default: the family's suite bound)")
+    p.add_argument("--methods", nargs="+", choices=ALL_METHODS,
+                   default=["sat-incremental"],
+                   help="methods to sweep (each gets its own pass)")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("batch",
                        help="run a (suite x methods) matrix on a "

@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
 
+from ..bmc.incremental import SweepResult
 from .runner import CellResult
 
 __all__ = ["format_table", "format_solved_counts", "format_per_family",
-           "format_growth", "format_worker_attribution"]
+           "format_growth", "format_worker_attribution", "format_sweep"]
 
 
 def format_table(headers: Sequence[str],
@@ -102,6 +103,38 @@ def format_worker_attribution(results: Iterable[CellResult]) -> str:
     rows.append(["(total)", int(totals["cells"]), f"{totals['wall']:.2f}",
                  f"{totals['cpu']:.2f}"])
     return format_table(headers, rows)
+
+
+def format_sweep(result: SweepResult) -> str:
+    """Per-bound table of one sweep plus its shortest-cex footer.
+
+    For the incremental driver the reuse columns show what the single
+    live solver carries from bound to bound; for per-bound methods they
+    are absent (``-``).
+    """
+    headers = ["k", "status", "ms", "cum ms", "clauses reused",
+               "learnts kept", "conflicts"]
+    rows: List[List[object]] = []
+    for bound in result.per_bound:
+        stats = bound.stats
+        rows.append([
+            bound.k,
+            bound.status.name,
+            f"{bound.seconds * 1e3:.1f}",
+            f"{bound.cumulative_seconds * 1e3:.1f}",
+            stats.get("clauses_reused", "-"),
+            stats.get("learnts_retained", "-"),
+            stats.get("solver_conflicts",
+                      stats.get("sat_conflicts", "-")),
+        ])
+    table = format_table(headers, rows)
+    if result.hit is not None:
+        footer = (f"shortest counterexample: k={result.shortest_k} "
+                  f"after {result.time_to_hit * 1e3:.1f} ms")
+    else:
+        footer = f"no counterexample within k<={result.max_k} " \
+                 f"({result.status.name})"
+    return f"{table}\n{footer} — total {result.seconds * 1e3:.1f} ms"
 
 
 def format_growth(table: Mapping[str, Sequence[Mapping[str, int]]],

@@ -11,6 +11,13 @@ set under ``benchmarks/`` and the ``repro experiment`` subcommand).
 matrix across a :class:`repro.portfolio.scheduler.BatchScheduler`
 worker pool (optionally with an on-disk result cache) — the result
 list is identical to the serial one, in the same order.
+
+``run_matrix(mode="sweep")`` replaces the single exact-k query per
+cell with a full bound sweep 0..k (:func:`repro.bmc.engine.sweep`):
+the cell's status is the sweep verdict, and the stats record the
+number of bounds checked and the wall time to the shortest
+counterexample — the evaluation axis the incremental driver exists
+for.
 """
 
 from __future__ import annotations
@@ -18,13 +25,13 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..bmc.engine import check_reachability
+from ..bmc.engine import check_reachability, sweep
 from ..bmc.metrics import measure_time
 from ..models.suite import Instance
 from ..sat.types import Budget, SolveResult
 
-__all__ = ["CellResult", "run_cell", "run_matrix", "default_budget",
-           "solved_counts"]
+__all__ = ["CellResult", "run_cell", "run_sweep_cell", "run_matrix",
+           "default_budget", "solved_counts"]
 
 
 def default_budget(scale: float = 1.0) -> Budget:
@@ -95,6 +102,41 @@ def run_cell(instance: Instance, method: str,
                       cpu_seconds=timing.cpu_seconds)
 
 
+def run_sweep_cell(instance: Instance, method: str,
+                   budget: Budget | None = None,
+                   **options) -> CellResult:
+    """Sweep bounds 0..instance.k with one method; one CellResult.
+
+    Status is the sweep verdict (SAT = shortest counterexample found).
+    Correctness is judged by witness replay for SAT; for UNSAT the only
+    checkable claim is that an expected-SAT instance must be hit by its
+    own bound (exact-k reachability implies the sweep cannot miss it).
+    """
+    with measure_time() as timing:
+        swept = sweep(instance.system, instance.final, instance.k,
+                      method=method, budget=budget, **options)
+    correct: Optional[bool] = None
+    if swept.status is SolveResult.SAT:
+        hit = swept.hit
+        if hit.trace is not None:
+            correct = (hit.trace.is_valid(instance.system, instance.final)
+                       and hit.trace.length == hit.k)
+    elif swept.status is SolveResult.UNSAT and instance.expected is True:
+        correct = False
+    stats: Dict[str, int] = {
+        "bounds_checked": len(swept.per_bound),
+        "max_k": swept.max_k,
+    }
+    if swept.shortest_k is not None:
+        stats["shortest_k"] = swept.shortest_k
+        stats["time_to_cex_ms"] = int(swept.time_to_hit * 1e3)
+    if swept.per_bound:
+        stats.update({f"last_{key}": value
+                      for key, value in swept.per_bound[-1].stats.items()})
+    return CellResult(instance, method, swept.status, timing.wall_seconds,
+                      correct, stats, cpu_seconds=timing.cpu_seconds)
+
+
 def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                budget: Budget | None = None,
                semantics: str = "exact",
@@ -102,6 +144,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                jobs: Optional[int] = None,
                cache=None,
                timings: Mapping[Tuple[str, str], float] | None = None,
+               mode: str = "single",
                **options) -> List[CellResult]:
     """Run the full (instances × methods) matrix.
 
@@ -113,9 +156,26 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
     (``{(instance_name, method): seconds}`` from a previous run) tunes
     the hardest-first dispatch order.  Result order is method-major and
     identical in all modes.
+
+    ``mode="sweep"`` runs each cell as a bound sweep 0..k via
+    :func:`run_sweep_cell` (serial only: sweeps keep a live solver per
+    cell, so they are not sharded or cached).
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if mode not in ("single", "sweep"):
+        raise ValueError(f"unknown mode {mode!r}; pick 'single' or 'sweep'")
+    if mode == "sweep":
+        if (jobs is not None and jobs > 1) or cache is not None:
+            raise ValueError("sweep mode runs serially (no jobs/cache)")
+        method_budgets = method_budgets or {}
+        out: List[CellResult] = []
+        for method in methods:
+            cell_budget = method_budgets.get(method, budget)
+            for instance in instances:
+                out.append(run_sweep_cell(instance, method, cell_budget,
+                                          **options))
+        return out
     if (jobs is not None and jobs > 1) or cache is not None:
         from ..portfolio.scheduler import BatchScheduler
         scheduler = BatchScheduler(jobs=jobs or 1, cache=cache,

@@ -29,8 +29,8 @@ __all__ = ["BatchScheduler", "hardness_estimate"]
 
 # Relative cost of one bound-step per method, tuned on the E1 suite;
 # only the ordering matters, not the absolute values.
-_METHOD_WEIGHT = {"sat-unroll": 2.0, "jsat": 1.0, "qbf": 6.0,
-                  "qbf-squaring": 6.0}
+_METHOD_WEIGHT = {"sat-unroll": 2.0, "sat-incremental": 2.0, "jsat": 1.0,
+                  "qbf": 6.0, "qbf-squaring": 6.0}
 
 
 def hardness_estimate(instance: Instance, method: str,

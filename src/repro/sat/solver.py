@@ -762,3 +762,7 @@ class CdclSolver:
     def num_clauses(self) -> int:
         """Number of attached problem clauses (excludes learnt)."""
         return sum(1 for c in self._clauses if not c.deleted)
+
+    def num_learnts(self) -> int:
+        """Number of learnt clauses currently retained in the database."""
+        return sum(1 for c in self._learnts if not c.deleted)

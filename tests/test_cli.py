@@ -21,6 +21,26 @@ def test_bmc_unknown_family(capsys):
     assert main(["bmc", "nonexistent"]) == 1
 
 
+def test_sweep_command(capsys):
+    assert main(["sweep", "counter", "--max-k", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep k=0..6" in out
+    assert "sat-incremental" in out
+    assert "shortest counterexample" in out
+    assert "trace of length" in out
+
+
+def test_sweep_command_multiple_methods(capsys):
+    assert main(["sweep", "ring", "--max-k", "4",
+                 "--methods", "sat-incremental", "jsat"]) == 0
+    out = capsys.readouterr().out
+    assert "sat-incremental" in out and "jsat" in out
+
+
+def test_sweep_unknown_family(capsys):
+    assert main(["sweep", "nonexistent"]) == 1
+
+
 def test_solve_cnf(tmp_path, capsys):
     path = tmp_path / "f.cnf"
     path.write_text("p cnf 2 2\n1 2 0\n-1 0\n")

@@ -54,6 +54,38 @@ class TestRunner:
         qbf_cells = [c for c in results if c.method == "qbf"]
         assert all(c.status is SolveResult.UNKNOWN for c in qbf_cells)
 
+    def test_run_matrix_sweep_mode(self, tiny_suite):
+        results = run_matrix(tiny_suite[:4],
+                             ["sat-incremental", "sat-unroll"],
+                             mode="sweep")
+        assert len(results) == 8
+        for cell in results:
+            assert cell.status is not SolveResult.UNKNOWN
+            assert cell.stats["max_k"] == cell.instance.k
+            assert 1 <= cell.stats["bounds_checked"] \
+                <= cell.instance.k + 1
+            if cell.status is SolveResult.SAT:
+                # Witness replayed during the run; time-to-cex recorded.
+                assert cell.correct is True
+                assert cell.stats["shortest_k"] <= cell.instance.k
+                assert cell.stats["time_to_cex_ms"] >= 0
+        # Both methods agree on the sweep verdicts cell-for-cell.
+        half = len(results) // 2
+        for a, b in zip(results[:half], results[half:]):
+            assert a.instance.name == b.instance.name
+            assert a.status is b.status
+            assert a.stats.get("shortest_k") == b.stats.get("shortest_k")
+
+    def test_sweep_mode_is_serial_only(self, tiny_suite):
+        with pytest.raises(ValueError):
+            run_matrix(tiny_suite[:2], ["sat-incremental"], mode="sweep",
+                       jobs=2)
+        with pytest.raises(ValueError):
+            run_matrix(tiny_suite[:2], ["sat-incremental"], mode="sweep",
+                       cache="/tmp/never-created")
+        with pytest.raises(ValueError):
+            run_matrix(tiny_suite[:2], ["sat-incremental"], mode="bogus")
+
 
 class TestReports:
     def test_format_table_alignment(self):
@@ -78,6 +110,17 @@ class TestReports:
     def test_growth_report(self):
         _, text = run_e2(bounds=(1, 2, 4), width=8, rounds=2)
         assert "sat-unroll" in text and "jsat" in text
+
+    def test_sweep_report(self):
+        from repro.bmc import sweep
+        from repro.harness import format_sweep
+        system, final, depth = counter.make(4, 9)
+        text = format_sweep(sweep(system, final, depth + 2))
+        assert "clauses reused" in text
+        assert f"shortest counterexample: k={depth}" in text
+        unsat = sweep(system, final, depth - 1)
+        text = format_sweep(unsat)
+        assert "no counterexample" in text and "UNSAT" in text
 
 
 class TestExperiments:

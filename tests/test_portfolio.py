@@ -139,8 +139,9 @@ class TestRace:
         system, final, depth = counter.make(4, 9)
         outcome = race(system, final, depth,
                        budget=Budget(max_seconds=10.0))
+        from repro.portfolio import DEFAULT_RACE_METHODS
         assert outcome.result.status is SolveResult.SAT
-        assert outcome.winner in ("sat-unroll", "jsat")
+        assert outcome.winner in DEFAULT_RACE_METHODS
         assert outcome.result.trace is not None
         assert outcome.result.trace.is_valid(system, final)
         assert outcome.result.stats["portfolio_winner"] == outcome.winner
@@ -291,6 +292,70 @@ class TestResultCache:
                             budget=Budget(max_seconds=0.0))
         assert all(c.status is SolveResult.UNKNOWN for c in results)
         assert len(cache) == 0
+
+    def test_semantics_never_cross_served(self, tmp_path):
+        # Regression: an exact-k entry must never satisfy the same query
+        # under within-k semantics (gray code: exact(depth+1) is UNSAT —
+        # the single orbit has moved past the target — but within(depth+1)
+        # is SAT).  A cross-served entry would flip the verdict.
+        from repro.models import gray
+        from repro.models.suite import Instance
+        system, final, depth = gray.make(3)
+        inst = Instance("gray3-sem", "gray", system, final, depth + 1, None)
+
+        key_exact = cell_key(system, final, inst.k, "jsat", "exact",
+                             DET_BUDGET, {})
+        key_within = cell_key(system, final, inst.k, "jsat", "within",
+                              DET_BUDGET, {})
+        assert key_exact != key_within
+
+        cache = ResultCache(tmp_path / "cache")
+        sched1 = BatchScheduler(jobs=1, cache=cache)
+        exact = sched1.run([inst], ["jsat"], budget=DET_BUDGET,
+                           semantics="exact")
+        assert exact[0].status is SolveResult.UNSAT
+        assert len(cache) == 1
+
+        sched2 = BatchScheduler(jobs=1, cache=cache)
+        within = sched2.run([inst], ["jsat"], budget=DET_BUDGET,
+                            semantics="within")
+        assert sched2.stats["cache_hits"] == 0    # no cross-semantics hit
+        assert sched2.stats["executed"] == 1
+        assert within[0].status is SolveResult.SAT
+
+        # The exact entry is still served to an exact re-run.
+        sched3 = BatchScheduler(jobs=1, cache=cache)
+        again = sched3.run([inst], ["jsat"], budget=DET_BUDGET,
+                           semantics="exact")
+        assert sched3.stats["cache_hits"] == 1
+        assert again[0].status is SolveResult.UNSAT
+
+    def test_wall_clock_unknown_still_refused_and_tampering_detected(
+            self, small_suite, tmp_path):
+        # Both cache-safety properties in one regression: (a) UNKNOWN
+        # under a wall-clock budget is never stored, (b) an entry whose
+        # recorded fingerprint does not match its key is never served.
+        import json
+
+        cache = ResultCache(tmp_path / "cache")
+        sched = BatchScheduler(jobs=1, cache=cache)
+        results = sched.run(small_suite[:1], ["jsat"],
+                            budget=Budget(max_seconds=0.0))
+        assert results[0].status is SolveResult.UNKNOWN
+        assert len(cache) == 0                    # (a) refused
+
+        key = "cd" * 32
+        outcome = {"status": "UNSAT", "k": 1, "method": "jsat",
+                   "seconds": 0.0, "stats": {}, "trace": None,
+                   "error": None}
+        cache.put(key, outcome)
+        assert cache.get(key) is not None
+        path = cache._path(key)
+        entry = json.loads(open(path).read())
+        entry["key"] = "ef" * 32                  # tamper the fingerprint
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        assert cache.get(key) is None             # (b) rejected
 
     def test_run_matrix_accepts_cache_path(self, small_suite, tmp_path):
         results = run_matrix(small_suite[:2], ["jsat"], budget=DET_BUDGET,
