@@ -1,0 +1,92 @@
+"""API-overhead guard: `BmcSession` dispatch must be (nearly) free.
+
+The api_redesign moved every query behind the backend registry and the
+stateful session front end.  This benchmark pins the cost of that
+indirection: the suite sweep (deepest instance per family, max_k = 8)
+run two ways —
+
+* **direct** — constructing :class:`IncrementalBmc` by hand and
+  calling ``sweep`` on it, i.e. the raw driver the pre-redesign
+  ``sweep()`` function wrapped with zero object dispatch;
+* **session** — the same sweep through ``BmcSession.sweep`` (registry
+  lookup, typed-options validation, backend-instance cache, observer
+  plumbing).
+
+Both paths run the identical solver work, so the difference is pure
+dispatch.  The guard: session wall-clock within 2% of direct (plus a
+millisecond-scale absolute slack so sub-millisecond timer noise cannot
+fail the build on a fast machine).
+"""
+
+import time
+
+from repro.bmc import BmcSession, IncrementalBmc
+from repro.models import build_suite
+
+MAX_K = 8
+ROUNDS = 5
+
+
+def _deepest_per_family():
+    best = {}
+    for instance in build_suite():
+        incumbent = best.get(instance.family)
+        if incumbent is None or instance.k > incumbent.k:
+            best[instance.family] = instance
+    return [(i.name, i.system, i.final) for i in best.values()]
+
+
+def _sweep_direct(designs):
+    for _, system, final in designs:
+        result = IncrementalBmc(system, final).sweep(MAX_K)
+        assert result.per_bound
+
+
+def _sweep_session(designs):
+    for _, system, final in designs:
+        with BmcSession(system, final) as session:
+            result = session.sweep(MAX_K, method="sat-incremental")
+        assert result.per_bound
+
+
+def _best_of(fn, designs, rounds=ROUNDS):
+    """Min over rounds — the standard way to strip scheduler noise."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn(designs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure():
+    designs = _deepest_per_family()
+    # One warm-up pass each: import, expression-interning and allocator
+    # warm-up otherwise lands entirely on whichever path runs first.
+    _sweep_direct(designs)
+    _sweep_session(designs)
+    direct_s = _best_of(_sweep_direct, designs)
+    session_s = _best_of(_sweep_session, designs)
+    overhead = session_s / direct_s - 1.0
+    print()
+    print(f"suite sweep (13 families, max_k={MAX_K}), best of {ROUNDS}:")
+    print(f"  direct driver : {direct_s * 1e3:8.1f} ms")
+    print(f"  via BmcSession: {session_s * 1e3:8.1f} ms")
+    print(f"  dispatch overhead: {overhead * 100:+.2f}%")
+    return direct_s, session_s, overhead
+
+
+def bench_session_dispatch_overhead(benchmark):
+    """BmcSession dispatch adds <2% wall-clock to the suite sweep."""
+    direct_s, session_s, overhead = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+    # <2% relative, with 5 ms absolute slack against timer noise.
+    assert session_s - direct_s < 0.02 * direct_s + 0.005, \
+        f"dispatch overhead {overhead * 100:.2f}% exceeds the 2% guard"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    direct_s, session_s, overhead = _measure()
+    assert session_s - direct_s < 0.02 * direct_s + 0.005
+    print("guard OK: session dispatch within 2% + 5 ms noise slack "
+          "of the direct driver")

@@ -13,8 +13,8 @@ The workflow a verification engineer would run on a real block:
 Run:  python examples/arbiter_verification.py
 """
 
-from repro.bmc import (check_reachability, find_reachable,
-                       prove_by_induction, prove_by_interpolation)
+from repro.bmc import (BmcSession, prove_by_induction,
+                       prove_by_interpolation)
 from repro.models import arbiter
 from repro.sat.types import SolveResult
 
@@ -26,16 +26,20 @@ def main() -> None:
     print(f"arbiter with {n} clients: {system.num_state_bits} state bits, "
           f"{len(system.input_vars)} inputs\n")
 
-    # -- 1. hunt for a mutual-exclusion violation up to depth 12.
+    # -- 1. hunt for a mutual-exclusion violation up to depth 12.  One
+    # session = one jSAT solver; its no-good cache carries over between
+    # the 13 deepening queries.
     print("[1] BMC sweep for double-grant (jSAT, k = 0..12)")
-    hit, history = find_reachable(system, double_grant, 12, method="jsat")
+    with BmcSession(system, double_grant, method="jsat") as session:
+        hit, history = session.find_reachable(12)
     assert hit is None, "mutual exclusion violated?!"
     print(f"    no violation up to k=12 "
           f"({len(history)} bounded queries)\n")
 
     # -- 2. show client n-1 can win a grant, with the witness.
     print(f"[2] reachability of a grant for client {n - 1}")
-    result = check_reachability(system, grant_target, grant_depth, "jsat")
+    with BmcSession(system, grant_target) as session:
+        result = session.check(grant_depth, method="jsat")
     assert result.status is SolveResult.SAT
     print(f"    granted at k={grant_depth}; witness:")
     show = [f"tok{i}" for i in range(n)] + [f"gnt{n - 1}"]

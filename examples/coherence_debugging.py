@@ -13,7 +13,7 @@ A protocol-verification session on the two-agent MSI model:
 Run:  python examples/coherence_debugging.py
 """
 
-from repro.bmc import check_reachability, prove_by_induction
+from repro.bmc import BmcSession, prove_by_induction
 from repro.models import cache_msi
 from repro.sat.types import SolveResult
 from repro.system import parse_aiger, parse_bench, write_aiger
@@ -24,7 +24,8 @@ def main() -> None:
     for target, label in (("m0", "cache 0 in M"),
                           ("both-s", "both caches in S")):
         system, final, depth = cache_msi.make(target)
-        result = check_reachability(system, final, depth, "jsat")
+        with BmcSession(system, final) as session:
+            result = session.check(depth, method="jsat")
         assert result.status is SolveResult.SAT
         print(f"[{label}] reachable at k={depth}; witness states:")
         print("  " + result.trace.format(["m0", "s0", "m1", "s1"])
@@ -51,7 +52,8 @@ def main() -> None:
     reimported = parse_aiger(aiger_text)
     system2 = reimported.to_transition_system()
     _, final, depth = cache_msi.make("m0")
-    result = check_reachability(system2, final, depth, "sat-unroll")
+    with BmcSession(system2, final) as session:
+        result = session.check(depth, method="sat-unroll")
     print(f"[aiger] re-imported netlist verifies the same: "
           f"{result.status.name} at k={depth}\n")
 

@@ -10,7 +10,7 @@ and E6.
 Run:  python examples/encoding_sizes.py
 """
 
-from repro.bmc import check_reachability, growth_table
+from repro.bmc import BmcSession, growth_table
 from repro.harness import format_growth
 from repro.logic import expr as ex
 from repro.models import mixer
@@ -38,8 +38,9 @@ def main() -> None:
     nd_system = circuit.to_transition_system()
     target = ex.var("x9")
     print("peak clause-database literals while solving (k = 32):")
-    unroll = check_reachability(nd_system, target, 32, "sat-unroll")
-    jsat = check_reachability(nd_system, target, 32, "jsat")
+    with BmcSession(nd_system, target) as session:
+        unroll = session.check(32, method="sat-unroll")
+        jsat = session.check(32, method="jsat")
     print(f"  sat-unroll: {unroll.stats['solver_peak_db_literals']:>8d} "
           f"({unroll.status.name})")
     print(f"  jsat:       {jsat.stats['peak_db_literals']:>8d} "

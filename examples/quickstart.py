@@ -1,20 +1,26 @@
 #!/usr/bin/env python3
-"""Quickstart: bounded reachability with all four decision methods.
+"""Quickstart: bounded reachability through one `BmcSession`.
 
 Builds a 4-bit counter, asks whether the count 9 is reachable in
-exactly 9 steps, and answers the question four ways:
+exactly 9 steps, and answers the question with every registered
+decision method through one stateful session:
 
 * formula (1) — classical unrolling + the CDCL SAT solver,
 * formula (2) — the QBF encoding + the general-purpose QDPLL solver,
 * formula (3) — iterative squaring (power-of-two bounds),
 * jSAT       — the paper's special-purpose procedure.
 
+The session keeps each backend's solver state alive between calls, so
+the final bound sweep reuses the incremental solver's clause database
+instead of re-encoding anything.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.bmc import check_reachability, sweep
+from repro.bmc import BmcSession, check_reachability
 from repro.models import counter
 from repro.sat.types import Budget
+
 
 def main() -> None:
     system, final, depth = counter.make(width=4, target=9)
@@ -22,33 +28,46 @@ def main() -> None:
           f"|TR| = {system.trans_size()} DAG nodes)")
     print(f"query: is count==9 reachable in exactly {depth} steps?\n")
 
-    for method in ("sat-unroll", "jsat", "qbf"):
-        # The general-purpose QBF solver needs a leash (that is the
-        # paper's point); the others answer instantly.
-        budget = Budget(max_seconds=2.0) if method == "qbf" else None
-        result = check_reachability(system, final, depth, method,
-                                    budget=budget)
-        print(f"{method:12s} -> {result.status.name:8s} "
-              f"({result.seconds * 1e3:7.1f} ms)")
-        if result.trace is not None:
-            print(result.trace.format(["c0", "c1", "c2", "c3"]))
-        print()
+    with BmcSession(system, final) as session:
+        for method in ("sat-unroll", "jsat", "qbf"):
+            # The general-purpose QBF solver needs a leash (that is the
+            # paper's point); the others answer instantly.
+            budget = Budget(max_seconds=2.0) if method == "qbf" else None
+            result = session.check(depth, method=method, budget=budget)
+            print(f"{method:12s} -> {result.status.name:8s} "
+                  f"({result.seconds * 1e3:7.1f} ms)")
+            if result.trace is not None:
+                print(result.trace.format(["c0", "c1", "c2", "c3"]))
+            print()
 
-    # Iterative squaring checks power-of-two bounds; with self-loops it
-    # answers "within k" for any k (here: within 16 >= 9 -> reachable).
-    result = check_reachability(system, final, 16, "qbf-squaring",
-                                semantics="within",
-                                budget=Budget(max_seconds=10.0))
-    print(f"qbf-squaring (within 16) -> {result.status.name} "
-          f"({result.seconds * 1e3:.1f} ms, "
-          f"{result.stats['alternations']} quantifier alternations)")
+        # Iterative squaring checks power-of-two bounds; with
+        # self-loops it answers "within k" for any k (here: within
+        # 16 >= 9 -> reachable).
+        result = session.check(16, method="qbf-squaring",
+                               semantics="within",
+                               budget=Budget(max_seconds=10.0))
+        print(f"qbf-squaring (within 16) -> {result.status.name} "
+              f"({result.seconds * 1e3:.1f} ms, "
+              f"{result.stats['alternations']} quantifier alternations)")
 
-    # Bound sweep: one incremental solver across k = 0..12 finds the
-    # shortest counterexample without re-encoding a single frame twice.
-    swept = sweep(system, final, max_k=12)
-    print(f"\nsweep 0..12 (sat-incremental) -> shortest cex at "
-          f"k={swept.shortest_k} after {swept.time_to_hit * 1e3:.1f} ms "
-          f"({len(swept.per_bound)} bounds checked)")
+        # Bound sweep: the session's incremental solver walks k = 0..12
+        # and finds the shortest counterexample without re-encoding a
+        # single frame twice; on_bound streams per-bound progress.
+        swept = session.sweep(12, method="sat-incremental",
+                              on_bound=lambda b: print(
+                                  f"  bound {b.k}: {b.status.name}"))
+        print(f"\nsweep 0..12 (sat-incremental) -> shortest cex at "
+              f"k={swept.shortest_k} after {swept.time_to_hit * 1e3:.1f} ms "
+              f"({len(swept.per_bound)} bounds checked)")
+
+    # The pre-0.3 function API still works through deprecation shims —
+    # one call kept here to show the migration is optional:
+    import warnings
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = check_reachability(system, final, depth, "jsat")
+    print(f"\nlegacy shim   -> {legacy.status.name} "
+          f"(same verdict, stateless per call)")
 
 
 if __name__ == "__main__":

@@ -10,11 +10,14 @@ designs and the evaluation harness).
 Quickstart
 ----------
 >>> from repro.models import counter
->>> from repro.bmc import check_reachability
+>>> from repro.bmc import BmcSession
 >>> system, final, depth = counter.make(width=4, target=9)
->>> result = check_reachability(system, final, k=9, method="jsat")
+>>> with BmcSession(system, final) as session:
+...     result = session.check(9, method="jsat")
 >>> result.status.name
 'SAT'
 """
 
-__version__ = "1.0.0"
+# Kept in sync with pyproject.toml; the function-API deprecation shims
+# (repro.bmc.engine) are documented against this number.
+__version__ = "0.3.0"

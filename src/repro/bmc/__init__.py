@@ -1,10 +1,20 @@
-"""Bounded model checking: the paper's encodings, jSAT, and the engine."""
+"""Bounded model checking: the paper's encodings, jSAT, and the engine.
+
+The public API is object-based: a pluggable :class:`Backend` registry
+(:mod:`repro.bmc.backend`) and the stateful :class:`BmcSession` front
+end (:mod:`repro.bmc.session`).  The legacy function entry points
+(``check_reachability`` / ``sweep`` / ``find_reachable``) remain as
+deprecation shims in :mod:`repro.bmc.engine`.
+"""
 
 from .allsat import AllSatReachability
+from .backend import (ALL_METHODS, METHODS, Backend, BackendOptions,
+                      BmcResult, MethodsView, backend_class, create_backend,
+                      register_backend, registered_backends,
+                      unregister_backend, validate_method)
 from .completeness import (UnboundedResult, longest_simple_path_reached,
                            verify_unbounded)
-from .engine import (ALL_METHODS, METHODS, PORTFOLIO, BmcResult,
-                     check_reachability, find_reachable, sweep)
+from .engine import (PORTFOLIO, check_reachability, find_reachable, sweep)
 from .incremental import (BoundResult, IncrementalBmc, SweepBudget,
                           SweepResult)
 from .induction import InductionResult, prove_by_induction
@@ -13,12 +23,28 @@ from .jsat import JsatSolver, JsatStats
 from .metrics import (TimeBreakdown, encoding_sizes, growth_table,
                       jsat_resident_size, measure_time)
 from .qbf_encoding import QbfEncoding, encode_qbf
+from .session import BmcSession
 from .squaring import SquaringEncoding, encode_squaring
 from .unroll import UnrolledEncoding, encode_unrolled
 
 __all__ = [
+    # Object-based API
+    "BmcSession",
+    "Backend",
+    "BackendOptions",
+    "register_backend",
+    "unregister_backend",
+    "registered_backends",
+    "backend_class",
+    "create_backend",
+    "validate_method",
+    "MethodsView",
+    # Deprecated function shims
     "check_reachability",
     "sweep",
+    "find_reachable",
+    # Results and sweep machinery
+    "BmcResult",
     "SweepResult",
     "BoundResult",
     "SweepBudget",
@@ -27,12 +53,10 @@ __all__ = [
     "UnboundedResult",
     "longest_simple_path_reached",
     "AllSatReachability",
-    "find_reachable",
     "prove_by_induction",
     "InductionResult",
     "prove_by_interpolation",
     "InterpolationResult",
-    "BmcResult",
     "METHODS",
     "ALL_METHODS",
     "PORTFOLIO",

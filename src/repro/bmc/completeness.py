@@ -27,7 +27,8 @@ from ..logic.tseitin import TseitinEncoder
 from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
-from .engine import BmcResult, check_reachability
+from .backend import BmcResult
+from .session import BmcSession
 
 __all__ = ["longest_simple_path_reached", "verify_unbounded",
            "UnboundedResult"]
@@ -91,17 +92,23 @@ def verify_unbounded(system: TransitionSystem, final: Expr,
                      budget: Budget | None = None) -> UnboundedResult:
     """The paper's complete procedure: deepen exact-k BMC until either
     the target is hit or the recurrence diameter is passed.
+
+    One :class:`BmcSession` serves every bound, so incremental methods
+    (``sat-incremental``, ``jsat``) keep their solver state across the
+    whole deepening loop — the session's persistence is exactly what
+    this procedure wants.
     """
-    for k in range(max_bound + 1):
-        result = check_reachability(system, final, k, method,
-                                    semantics="exact", budget=budget)
-        if result.status is SolveResult.SAT:
-            return UnboundedResult("cex", k, result)
-        if result.status is SolveResult.UNKNOWN:
-            return UnboundedResult("unknown", k, result)
-        done = longest_simple_path_reached(system, k, budget)
-        if done is None:
-            return UnboundedResult("unknown", k, result)
-        if done:
-            return UnboundedResult("safe", k, result)
+    with BmcSession(system, final) as session:
+        for k in range(max_bound + 1):
+            result = session.check(k, method=method, semantics="exact",
+                                   budget=budget)
+            if result.status is SolveResult.SAT:
+                return UnboundedResult("cex", k, result)
+            if result.status is SolveResult.UNKNOWN:
+                return UnboundedResult("unknown", k, result)
+            done = longest_simple_path_reached(system, k, budget)
+            if done is None:
+                return UnboundedResult("unknown", k, result)
+            if done:
+                return UnboundedResult("safe", k, result)
     return UnboundedResult("unknown", max_bound, None)

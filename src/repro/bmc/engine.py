@@ -1,113 +1,54 @@
-"""The BMC front end: one entry point over the four decision methods.
+"""Deprecated function front end over the backend registry.
 
-``check_reachability`` answers a single bounded query with any of:
+The object-based API lives in :mod:`repro.bmc.session` (the stateful
+:class:`BmcSession`) and :mod:`repro.bmc.backend` (the pluggable
+:class:`Backend` protocol + registry).  This module keeps the original
+function entry points — ``check_reachability``, ``sweep``,
+``find_reachable`` — as thin shims that open a throwaway session per
+call, so every existing script keeps running while emitting a
+:class:`DeprecationWarning`.
 
-* ``"sat-unroll"`` — formula (1) + the CDCL solver (the classical
-  baseline the paper compares against);
-* ``"sat-incremental"`` — formula (1) solved incrementally: one solver
-  shared across bounds, final-state constraints activated per bound
-  through assumption groups (:mod:`repro.bmc.incremental`);
-* ``"qbf"`` — formula (2) + a general-purpose QBF solver (QDPLL by
-  default, the expansion solver as an alternative back end);
-* ``"qbf-squaring"`` — formula (3) + a general-purpose QBF solver;
-* ``"jsat"`` — the special-purpose jSAT procedure on formula (2)'s
-  semantics;
-* ``"portfolio"`` — race several of the above in parallel worker
-  processes and return the first validated conclusive answer
-  (:mod:`repro.portfolio`).
+Migration table::
 
-``sweep`` answers the evaluation's per-instance bound ladder k = 0..K
-with any method — natively with one long-lived solver for
-sat-incremental and jsat, naively (fresh query per bound) for the
-rest — and returns the shortest counterexample plus per-bound records.
+    check_reachability(system, final, k, m)   -> BmcSession(system, final).check(k, method=m)
+    sweep(system, final, max_k, method=m)     -> BmcSession(system, final).sweep(max_k, method=m)
+    find_reachable(system, final, K, m, s)    -> BmcSession(system, final).find_reachable(K, method=m, strategy=s)
 
-``find_reachable`` iterates bounds (linear stepping or the squaring
-schedule) until a target is reached — the "complete model checking
-procedure" loop of the paper's introduction.
+The session form is strictly more capable: backend solver state
+persists across calls (the incremental clause database, the jSAT
+no-good cache), unknown options raise instead of vanishing, and an
+``on_bound`` observer streams per-bound progress.
+
+``METHODS`` / ``ALL_METHODS`` are live views over the backend registry
+— a backend registered with :func:`repro.bmc.backend.register_backend`
+shows up in both without any edit here.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import List, Optional, Tuple
 
 from ..logic.expr import Expr
-from ..qbf.expansion import ExpansionSolver
-from ..qbf.qdpll import QdpllSolver
-from ..sat.solver import CdclSolver
-from ..sat.types import Budget, SolveResult
+from ..sat.types import Budget
 from ..system.model import TransitionSystem
-from ..system.trace import Trace
-from .incremental import (BoundResult, IncrementalBmc, SweepBudget,
-                          SweepResult)
-from .jsat import JsatSolver
-from .qbf_encoding import encode_qbf
-from .squaring import encode_squaring
-from .unroll import encode_unrolled
+from .backend import ALL_METHODS, METHODS, BmcResult, backend_class
+from .incremental import BoundResult, SweepResult
+from .session import BmcSession
 
 __all__ = ["BmcResult", "check_reachability", "find_reachable", "sweep",
            "SweepResult", "BoundResult", "METHODS", "ALL_METHODS",
            "PORTFOLIO"]
 
-METHODS = ("sat-unroll", "sat-incremental", "qbf", "qbf-squaring", "jsat")
-
-# The portfolio pseudo-method races a subset of METHODS in parallel
-# worker processes; it is accepted by check_reachability but is not a
-# decision procedure itself, so METHODS keeps its original meaning.
+# The portfolio composite backend's registry name, kept for callers
+# that imported the old constant.
 PORTFOLIO = "portfolio"
-ALL_METHODS = METHODS + (PORTFOLIO,)
 
 
-class BmcResult:
-    """Outcome of one bounded reachability query.
-
-    Attributes
-    ----------
-    status:
-        SAT (target reachable at the queried bound), UNSAT, or UNKNOWN
-        (budget exhausted).
-    trace:
-        Validated witness path for SAT answers, when the back end could
-        produce one (always for sat-unroll and jsat).
-    k:
-        The bound queried.
-    method:
-        The decision method used.
-    seconds:
-        Wall-clock time of the query.
-    stats:
-        Method-specific counters (formula sizes, solver statistics).
-    """
-
-    def __init__(self, status: SolveResult, trace: Optional[Trace],
-                 k: int, method: str, seconds: float,
-                 stats: Dict[str, int]) -> None:
-        self.status = status
-        self.trace = trace
-        self.k = k
-        self.method = method
-        self.seconds = seconds
-        self.stats = stats
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return (f"BmcResult({self.status.name}, k={self.k}, "
-                f"method={self.method!r}, {self.seconds * 1e3:.1f} ms)")
-
-
-def _next_power_of_two(k: int) -> int:
-    return 1 if k <= 1 else 1 << (k - 1).bit_length()
-
-
-def _squaring_ladder(max_k: int) -> List[int]:
-    """The iterative-squaring bound schedule: 0, 1, 2, 4, ..., max_k."""
-    bounds = [0]
-    b = 1
-    while max_k > 0:
-        bounds.append(min(b, max_k))
-        if b >= max_k:
-            break
-        b *= 2
-    return bounds
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.bmc.session)",
+        DeprecationWarning, stacklevel=3)
 
 
 def check_reachability(system: TransitionSystem, final: Expr, k: int,
@@ -116,396 +57,52 @@ def check_reachability(system: TransitionSystem, final: Expr, k: int,
                        budget: Budget | None = None,
                        qbf_backend: str = "qdpll",
                        **options) -> BmcResult:
-    """Decide whether ``final`` is reachable at bound ``k``.
+    """Deprecated shim for :meth:`BmcSession.check`.
 
-    ``semantics`` is "exact" (in exactly k steps — the paper's query) or
-    "within" (in at most k steps).  For ``qbf-squaring`` the bound must
-    be a power of two in exact mode; in within mode the system is given
-    self-loops and the bound is rounded up, as §2 of the paper suggests.
+    ``semantics`` is "exact" (in exactly k steps — the paper's query)
+    or "within" (in at most k steps).  The legacy ``qbf_backend``
+    keyword is folded into the QBF backends' typed options; all other
+    options are validated by the method's options class.
     """
-    if method not in ALL_METHODS:
-        raise ValueError(
-            f"unknown method {method!r}; pick from {ALL_METHODS}")
-    if semantics not in ("exact", "within"):
-        raise ValueError(f"unknown semantics {semantics!r}")
-    start = time.perf_counter()
-
-    if method == PORTFOLIO:
-        result = _check_portfolio(system, final, k, semantics, budget,
-                                  options)
-    elif method == "sat-unroll":
-        result = _check_unroll(system, final, k, semantics, budget, options)
-    elif method == "sat-incremental":
-        result = _check_incremental(system, final, k, semantics, budget,
-                                    options)
-    elif method == "jsat":
-        result = _check_jsat(system, final, k, semantics, budget, options)
-    elif method == "qbf":
-        result = _check_qbf(system, final, k, semantics, budget,
-                            qbf_backend, options)
-    else:
-        result = _check_squaring(system, final, k, semantics, budget,
-                                 qbf_backend, options)
-    # Within-mode traces are cut at their first final state uniformly,
-    # whatever back end produced them.
-    if semantics == "within" and result.trace is not None:
-        result.trace = _shorten_to_final(result.trace, final)
-    result.seconds = time.perf_counter() - start
-    return result
+    _deprecated("check_reachability()", "BmcSession.check()")
+    # The legacy named kwarg folds into the typed options of whichever
+    # backend declares it (registry-driven — no method-name ladder).
+    if "qbf_backend" in backend_class(method).options_class.option_names():
+        options.setdefault("qbf_backend", qbf_backend)
+    with BmcSession(system, final) as session:
+        return session.check(k, method=method, semantics=semantics,
+                             budget=budget, **options)
 
 
-# ----------------------------------------------------------------------
-def _check_portfolio(system: TransitionSystem, final: Expr, k: int,
-                     semantics: str, budget: Budget | None,
-                     options: Dict) -> BmcResult:
-    # Imported lazily: repro.portfolio imports this module.
-    from ..portfolio.race import DEFAULT_RACE_METHODS, race
+def sweep(system: TransitionSystem, final: Expr, max_k: int,
+          method: str = "sat-incremental",
+          budget: Budget | None = None,
+          **options) -> SweepResult:
+    """Deprecated shim for :meth:`BmcSession.sweep`.
 
-    options = dict(options)
-    methods = options.pop("portfolio_methods", DEFAULT_RACE_METHODS)
-    wall_timeout = options.pop("wall_timeout", None)
-    validate = options.pop("validate", True)
-    outcome = race(system, final, k, methods=methods, semantics=semantics,
-                   budget=budget, wall_timeout=wall_timeout,
-                   validate=validate, **options)
-    result = outcome.result
-    result.stats["portfolio_cancel_latency_ms"] = int(
-        outcome.cancel_latency * 1e3)
-    return result
+    Sweeps bounds k = 0..max_k and returns the shortest counterexample
+    plus per-bound records; the budget is global across the sweep.
+    """
+    _deprecated("sweep()", "BmcSession.sweep()")
+    with BmcSession(system, final) as session:
+        return session.sweep(max_k, method=method, budget=budget,
+                             **options)
 
 
-def _check_unroll(system: TransitionSystem, final: Expr, k: int,
-                  semantics: str, budget: Budget | None,
-                  options: Dict) -> BmcResult:
-    encoding = encode_unrolled(
-        system, final, k, semantics,
-        polarity_reduction=options.get("polarity_reduction", False))
-    solver = CdclSolver()
-    solver.ensure_vars(encoding.cnf.num_vars)
-    ok = solver.add_clauses(encoding.cnf.clauses)
-    status = solver.solve(budget=budget) if ok else SolveResult.UNSAT
-    trace = None
-    if status is SolveResult.SAT:
-        trace = encoding.extract_trace(solver.model_value)
-    stats = encoding.stats()
-    stats.update({f"solver_{k2}": v
-                  for k2, v in solver.stats.as_dict().items()})
-    return BmcResult(status, trace, k, "sat-unroll", 0.0, stats)
-
-
-def _shorten_to_final(trace: Trace, final: Expr) -> Trace:
-    """Cut a within-mode trace at its first final state."""
-    for i, state in enumerate(trace.states):
-        if final.evaluate(state):
-            return Trace(trace.states[:i + 1], trace.inputs[:i])
-    return trace
-
-
-def _check_incremental(system: TransitionSystem, final: Expr, k: int,
-                       semantics: str, budget: Budget | None,
-                       options: Dict) -> BmcResult:
-    inc = IncrementalBmc(
-        system, final,
-        polarity_reduction=options.get("polarity_reduction", False),
-        purge_interval=options.get("purge_interval", 4))
-    if semantics == "exact":
-        status, trace, stats = inc.check_bound(k, budget=budget)
-        return BmcResult(status, trace, k, "sat-incremental", 0.0, stats)
-    # within(k) ⇔ ∃ j <= k: exact(j) — sweep upward and stop at the
-    # first (hence shortest) hit; its trace needs no shortening because
-    # every smaller bound was already refuted.
-    swept = inc.sweep(k, budget=budget)
-    last = swept.per_bound[-1] if swept.per_bound else None
-    stats = dict(last.stats) if last is not None else {}
-    stats["bounds_checked"] = len(swept.per_bound)
-    if swept.shortest_k is not None:
-        stats["shortest_k"] = swept.shortest_k
-    return BmcResult(swept.status, swept.trace, k, "sat-incremental",
-                     0.0, stats)
-
-
-def _check_jsat(system: TransitionSystem, final: Expr, k: int,
-                semantics: str, budget: Budget | None,
-                options: Dict) -> BmcResult:
-    solver = JsatSolver(
-        system, final, k, semantics,
-        use_cache=options.get("use_cache", True),
-        f_pruning=options.get("f_pruning", True),
-        purge_interval=options.get("purge_interval", 8))
-    status = solver.solve(budget=budget)
-    trace = solver.trace() if status is SolveResult.SAT else None
-    stats: Dict[str, int] = dict(solver.stats.as_dict())
-    stats["resident_literals"] = solver.resident_literals()
-    stats["base_literals"] = solver.base_db_literals
-    stats["cache_entries"] = solver.cache_size()
-    return BmcResult(status, trace, k, "jsat", 0.0, stats)
-
-
-def _qbf_solve(pcnf, backend: str, budget: Budget | None):
-    if backend == "qdpll":
-        solver = QdpllSolver(pcnf)
-        status = solver.solve(budget=budget)
-        return status, solver.assignment(), solver.stats.as_dict()
-    if backend == "expansion":
-        solver = ExpansionSolver(pcnf)
-        status = solver.solve(budget=budget)
-        return status, {}, {"expanded_vars": solver.expanded_vars,
-                            "peak_literals": solver.peak_literals}
-    raise ValueError(f"unknown qbf backend {backend!r}")
-
-
-def _check_qbf(system: TransitionSystem, final: Expr, k: int,
-               semantics: str, budget: Budget | None,
-               backend: str, options: Dict) -> BmcResult:
-    query_system = system
-    if semantics == "within":
-        query_system = system.with_self_loops()
-    if k == 0:
-        # Formula (2) needs at least one step; fall back to SAT for k=0.
-        return _check_unroll(system, final, 0, "exact", budget, options)
-    encoding = encode_qbf(query_system, final, k)
-    status, assignment, solver_stats = _qbf_solve(encoding.pcnf, backend,
-                                                  budget)
-    trace = None
-    if status is SolveResult.SAT and assignment:
-        states = encoding.extract_states(assignment)
-        if semantics == "within":
-            # Drop stutter steps introduced by the self-loop transform:
-            # any remaining consecutive distinct pair is a real TR step.
-            deduped = [states[0]]
-            for state in states[1:]:
-                if state != deduped[-1]:
-                    deduped.append(state)
-            states = deduped
-        candidate = Trace(states, [{} for _ in range(len(states) - 1)])
-        if not system.input_vars and candidate.is_valid(system, final):
-            trace = candidate
-    stats = encoding.stats()
-    stats.update({f"solver_{k2}": v for k2, v in solver_stats.items()})
-    return BmcResult(status, trace, k, "qbf", 0.0, stats)
-
-
-def _check_squaring(system: TransitionSystem, final: Expr, k: int,
-                    semantics: str, budget: Budget | None,
-                    backend: str, options: Dict) -> BmcResult:
-    if semantics == "within":
-        query_system = system.with_self_loops()
-        bound = _next_power_of_two(k) if k >= 1 else 1
-    else:
-        query_system = system
-        bound = k
-    if k == 0:
-        return _check_unroll(system, final, 0, "exact", budget, options)
-    encoding = encode_squaring(query_system, final, bound)
-    status, _, solver_stats = _qbf_solve(encoding.pcnf, backend, budget)
-    stats = encoding.stats()
-    stats.update({f"solver_{k2}": v for k2, v in solver_stats.items()})
-    return BmcResult(status, None, k, "qbf-squaring", 0.0, stats)
-
-
-# ----------------------------------------------------------------------
 def find_reachable(system: TransitionSystem, final: Expr,
                    max_bound: int,
                    method: str = "sat-unroll",
                    strategy: str = "linear",
                    budget: Budget | None = None,
-                   **options) -> tuple[Optional[BmcResult], List[BmcResult]]:
-    """Iterative-deepening reachability up to ``max_bound``.
+                   **options) -> Tuple[Optional[BmcResult],
+                                       List[BmcResult]]:
+    """Deprecated shim for :meth:`BmcSession.find_reachable`.
 
-    ``strategy`` is "linear" (k = 0, 1, 2, ...; exact semantics per
-    iteration, so the union covers every depth) or "squaring"
-    (k = 1, 2, 4, ...; each iteration checks "within k" on the
-    self-looped system, the paper's iterative-squaring schedule).
-
-    Returns ``(hit, history)`` where ``hit`` is the first SAT result (or
-    None) and ``history`` records every iteration — experiment E3 reads
-    the iteration counts from it.
+    Both ``method`` and ``strategy`` are validated up front against the
+    backend registry before any solving starts.
     """
-    history: List[BmcResult] = []
-    if strategy == "linear":
-        bounds = list(range(0, max_bound + 1))
-        semantics = "exact"
-    elif strategy == "squaring":
-        bounds = _squaring_ladder(max_bound)
-        semantics = "within"
-    else:
-        raise ValueError(f"unknown strategy {strategy!r}")
-
-    for bound in bounds:
-        result = check_reachability(system, final, bound, method,
-                                    semantics=semantics, budget=budget,
-                                    **options)
-        history.append(result)
-        if result.status is SolveResult.SAT:
-            return result, history
-        if result.status is SolveResult.UNKNOWN:
-            return None, history
-    return None, history
-
-
-# ----------------------------------------------------------------------
-def sweep(system: TransitionSystem, final: Expr, max_k: int,
-          method: str = "sat-incremental",
-          budget: Budget | None = None,
-          **options) -> SweepResult:
-    """Sweep bounds k = 0..max_k; return the shortest counterexample.
-
-    Every method implements the same contract — bounds in increasing
-    order, stopping at the first SAT or the first UNKNOWN.
-    ``sat-incremental`` and ``jsat`` sweep natively on one long-lived
-    solver; ``sat-unroll``, ``qbf`` and ``portfolio`` re-encode and
-    re-solve an exact-k query per bound (the baseline the incremental
-    driver is benchmarked against), so for all of these the first SAT
-    bound is the shortest counterexample.  ``qbf-squaring`` follows its
-    natural iterative-squaring schedule (0, 1, 2, 4, ... with within-k
-    semantics, non-power bounds rounded up as §2 of the paper allows),
-    so its hit bound is an upper bound on the shortest depth, not the
-    exact one.  The budget is global across the whole sweep.
-    """
-    if method not in ALL_METHODS:
-        raise ValueError(
-            f"unknown method {method!r}; pick from {ALL_METHODS}")
-    if max_k < 0:
-        raise ValueError("max_k must be non-negative")
-    if method == "sat-incremental":
-        inc = IncrementalBmc(
-            system, final,
-            polarity_reduction=options.get("polarity_reduction", False),
-            purge_interval=options.get("purge_interval", 4))
-        return inc.sweep(max_k, budget=budget)
-    if method == "jsat":
-        return _sweep_jsat(system, final, max_k, budget, options)
-    if method == "qbf-squaring":
-        return _sweep_squaring(system, final, max_k, budget, options)
-    return _sweep_naive(system, final, max_k, method, budget, options)
-
-
-def _sweep_record(per_bound: List[BoundResult], k: int,
-                  status: SolveResult, trace: Optional[Trace],
-                  seconds: float, sweep_start: float,
-                  stats: Dict[str, int]) -> BoundResult:
-    record = BoundResult(k, status, trace, seconds,
-                         time.perf_counter() - sweep_start, stats)
-    per_bound.append(record)
-    return record
-
-
-def _sweep_naive(system: TransitionSystem, final: Expr, max_k: int,
-                 method: str, budget: Budget | None,
-                 options: Dict) -> SweepResult:
-    """Fresh exact-k query per bound — no state carries over."""
-    tracker = SweepBudget(budget)
-    per_bound: List[BoundResult] = []
-    sweep_start = time.perf_counter()
-    for k in range(max_k + 1):
-        if tracker.exhausted():
-            _sweep_record(per_bound, k, SolveResult.UNKNOWN, None, 0.0,
-                          sweep_start, {})
-            break
-        result = check_reachability(system, final, k, method,
-                                    semantics="exact",
-                                    budget=tracker.remaining(), **options)
-        tracker.charge(
-            conflicts=result.stats.get("solver_conflicts",
-                                       result.stats.get("sat_conflicts", 0)),
-            decisions=result.stats.get("solver_decisions", 0),
-            propagations=result.stats.get(
-                "solver_propagations",
-                result.stats.get("sat_propagations", 0)))
-        _sweep_record(per_bound, k, result.status, result.trace,
-                      result.seconds, sweep_start, result.stats)
-        if result.status is not SolveResult.UNSAT:
-            break
-    return SweepResult(method, max_k, per_bound,
-                       time.perf_counter() - sweep_start)
-
-
-def _sweep_squaring(system: TransitionSystem, final: Expr, max_k: int,
-                    budget: Budget | None, options: Dict) -> SweepResult:
-    """The paper's iterative-squaring schedule: 0, 1, 2, 4, ...
-
-    Formula (3) only speaks power-of-two bounds exactly, so each rung
-    asks "within k" on the self-looped system (the encoder rounds
-    non-power bounds up).  A SAT rung therefore brackets the shortest
-    counterexample rather than pinning it — the trade the squaring
-    schedule makes for its O(log K) iteration count.
-    """
-    bounds = _squaring_ladder(max_k)
-    tracker = SweepBudget(budget)
-    per_bound: List[BoundResult] = []
-    sweep_start = time.perf_counter()
-    for k in bounds:
-        if tracker.exhausted():
-            _sweep_record(per_bound, k, SolveResult.UNKNOWN, None, 0.0,
-                          sweep_start, {})
-            break
-        result = check_reachability(system, final, k, "qbf-squaring",
-                                    semantics="within",
-                                    budget=tracker.remaining(), **options)
-        tracker.charge(
-            conflicts=result.stats.get("solver_conflicts", 0),
-            decisions=result.stats.get("solver_decisions", 0),
-            propagations=result.stats.get("solver_propagations", 0))
-        _sweep_record(per_bound, k, result.status, result.trace,
-                      result.seconds, sweep_start, result.stats)
-        if result.status is not SolveResult.UNSAT:
-            break
-    return SweepResult("qbf-squaring", max_k, per_bound,
-                       time.perf_counter() - sweep_start)
-
-
-def _sweep_jsat(system: TransitionSystem, final: Expr, max_k: int,
-                budget: Budget | None, options: Dict) -> SweepResult:
-    """Native jSAT sweep: one solver, retargeted per bound.
-
-    The clause database (a single TR copy plus guarded I and F) is
-    bound-independent, and the no-good cache persists across bounds —
-    states proven hopeless at some remaining distance stay hopeless.
-    """
-    jsolver = JsatSolver(
-        system, final, 0, "exact",
-        use_cache=options.get("use_cache", True),
-        f_pruning=options.get("f_pruning", True),
-        purge_interval=options.get("purge_interval", 8))
-    tracker = SweepBudget(budget)
-    per_bound: List[BoundResult] = []
-    sweep_start = time.perf_counter()
-    for k in range(max_k + 1):
-        if tracker.exhausted():
-            _sweep_record(per_bound, k, SolveResult.UNKNOWN, None, 0.0,
-                          sweep_start, {})
-            break
-        jsolver.retarget(k)
-        solver_before = jsolver.solver.stats.as_dict()
-        jsat_before = jsolver.stats.as_dict()
-        bound_start = time.perf_counter()
-        status = jsolver.solve(budget=tracker.remaining())
-        seconds = time.perf_counter() - bound_start
-        solver_after = jsolver.solver.stats.as_dict()
-        tracker.charge(
-            conflicts=solver_after["conflicts"] - solver_before["conflicts"],
-            decisions=solver_after["decisions"] - solver_before["decisions"],
-            propagations=(solver_after["propagations"]
-                          - solver_before["propagations"]))
-        # Per-bound deltas of the cumulative jSAT counters (peaks and
-        # sizes stay absolute — they are not additive across bounds).
-        jsat_after = jsolver.stats.as_dict()
-        stats: Dict[str, int] = {
-            key: jsat_after[key] - jsat_before[key]
-            for key in jsat_after if key != "peak_db_literals"}
-        stats["peak_db_literals"] = jsat_after["peak_db_literals"]
-        stats["solver_conflicts"] = (solver_after["conflicts"]
-                                     - solver_before["conflicts"])
-        stats["solver_decisions"] = (solver_after["decisions"]
-                                     - solver_before["decisions"])
-        stats["solver_propagations"] = (solver_after["propagations"]
-                                        - solver_before["propagations"])
-        stats["resident_literals"] = jsolver.resident_literals()
-        stats["cache_entries"] = jsolver.cache_size()
-        trace = jsolver.trace() if status is SolveResult.SAT else None
-        _sweep_record(per_bound, k, status, trace, seconds, sweep_start,
-                      stats)
-        if status is not SolveResult.UNSAT:
-            break
-    return SweepResult("jsat", max_k, per_bound,
-                       time.perf_counter() - sweep_start)
+    _deprecated("find_reachable()", "BmcSession.find_reachable()")
+    with BmcSession(system, final) as session:
+        return session.find_reachable(max_bound, method=method,
+                                      strategy=strategy, budget=budget,
+                                      **options)

@@ -28,7 +28,6 @@ answered SAT).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
 from ..logic.cnf import CNF, VarPool
@@ -38,165 +37,18 @@ from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+# The sweep record types and the shared ladder loop live with the
+# Backend protocol; re-exported here for the callers that historically
+# imported them from this module.
+from .backend import (BoundResult, SweepBudget, SweepResult,  # noqa: F401
+                      drive_sweep, emit_bound)
 
-__all__ = ["IncrementalBmc", "BoundResult", "SweepResult", "SweepBudget"]
+__all__ = ["IncrementalBmc", "BoundResult", "SweepResult", "SweepBudget",
+           "emit_bound"]
 
 
 def _frame_name(var: str, step: int) -> str:
     return f"{var}@{step}"
-
-
-class BoundResult:
-    """Outcome and statistics of one bound inside a sweep.
-
-    Attributes
-    ----------
-    k:
-        The bound this entry answers (exact-k semantics).
-    status:
-        SAT / UNSAT / UNKNOWN for exactly-k reachability.
-    trace:
-        Witness path on SAT (length exactly k).
-    seconds:
-        Wall time of this bound alone.
-    cumulative_seconds:
-        Wall time from the start of the sweep to this bound's answer —
-        the "time to shortest counterexample" when this is the hit.
-    stats:
-        Method counters; for the incremental driver these include
-        ``clauses_reused`` (problem clauses carried over from earlier
-        bounds) and ``learnts_retained`` (learnt clauses alive at query
-        start).
-    """
-
-    def __init__(self, k: int, status: SolveResult, trace: Optional[Trace],
-                 seconds: float, cumulative_seconds: float,
-                 stats: Dict[str, int]) -> None:
-        self.k = k
-        self.status = status
-        self.trace = trace
-        self.seconds = seconds
-        self.cumulative_seconds = cumulative_seconds
-        self.stats = stats
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return (f"BoundResult(k={self.k}, {self.status.name}, "
-                f"{self.seconds * 1e3:.1f} ms)")
-
-
-class SweepResult:
-    """Outcome of a bound sweep k = 0..max_k (exact-k per bound).
-
-    ``per_bound`` records every bound actually queried; the sweep stops
-    at the first SAT (the shortest counterexample) or the first UNKNOWN
-    (budget exhausted), so the list may be shorter than ``max_k + 1``.
-    """
-
-    def __init__(self, method: str, max_k: int,
-                 per_bound: List[BoundResult], seconds: float) -> None:
-        self.method = method
-        self.max_k = max_k
-        self.per_bound = per_bound
-        self.seconds = seconds
-
-    @property
-    def hit(self) -> Optional[BoundResult]:
-        """The shortest-counterexample entry, or None."""
-        if self.per_bound and self.per_bound[-1].status is SolveResult.SAT:
-            return self.per_bound[-1]
-        return None
-
-    @property
-    def status(self) -> SolveResult:
-        """SAT (cex found), UNSAT (all bounds refuted), or UNKNOWN."""
-        if not self.per_bound:
-            return SolveResult.UNKNOWN
-        last = self.per_bound[-1]
-        if last.status is SolveResult.SAT:
-            return SolveResult.SAT
-        if last.status is SolveResult.UNSAT and last.k == self.max_k:
-            return SolveResult.UNSAT
-        return SolveResult.UNKNOWN
-
-    @property
-    def shortest_k(self) -> Optional[int]:
-        """Length of the shortest counterexample, or None."""
-        hit = self.hit
-        return hit.k if hit is not None else None
-
-    @property
-    def trace(self) -> Optional[Trace]:
-        hit = self.hit
-        return hit.trace if hit is not None else None
-
-    @property
-    def time_to_hit(self) -> Optional[float]:
-        """Wall seconds from sweep start to the shortest cex, or None."""
-        hit = self.hit
-        return hit.cumulative_seconds if hit is not None else None
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return (f"SweepResult({self.method!r}, {self.status.name}, "
-                f"bounds={len(self.per_bound)}/{self.max_k + 1}, "
-                f"{self.seconds * 1e3:.1f} ms)")
-
-
-class SweepBudget:
-    """A resource budget shared by every bound of one sweep.
-
-    Wall-clock is tracked against a single deadline; the deterministic
-    limits (conflicts / decisions / propagations) form a pool that each
-    bound's query draws down.  ``remaining()`` hands out a per-query
-    :class:`Budget` of whatever is left; callers report consumption via
-    :meth:`charge`.
-    """
-
-    def __init__(self, budget: Budget | None) -> None:
-        self.budget = budget
-        self._deadline: Optional[float] = None
-        self._conflicts_left: Optional[int] = None
-        self._decisions_left: Optional[int] = None
-        self._propagations_left: Optional[int] = None
-        if budget is not None:
-            if budget.max_seconds is not None:
-                self._deadline = time.monotonic() + budget.max_seconds
-            self._conflicts_left = budget.max_conflicts
-            self._decisions_left = budget.max_decisions
-            self._propagations_left = budget.max_propagations
-
-    def charge(self, conflicts: int = 0, decisions: int = 0,
-               propagations: int = 0) -> None:
-        """Deduct one bound's consumption from the pools."""
-        if self._conflicts_left is not None:
-            self._conflicts_left -= conflicts
-        if self._decisions_left is not None:
-            self._decisions_left -= decisions
-        if self._propagations_left is not None:
-            self._propagations_left -= propagations
-
-    def exhausted(self) -> bool:
-        if self._deadline is not None and time.monotonic() > self._deadline:
-            return True
-        for left in (self._conflicts_left, self._decisions_left,
-                     self._propagations_left):
-            if left is not None and left <= 0:
-                return True
-        return False
-
-    def remaining(self) -> Budget | None:
-        """A budget covering whatever the sweep has left (None = no cap)."""
-        if self.budget is None:
-            return None
-        seconds = None
-        if self._deadline is not None:
-            seconds = max(1e-3, self._deadline - time.monotonic())
-        def _floor(left: Optional[int]) -> Optional[int]:
-            return None if left is None else max(1, left)
-        return Budget(max_conflicts=_floor(self._conflicts_left),
-                      max_decisions=_floor(self._decisions_left),
-                      max_propagations=_floor(self._propagations_left),
-                      max_seconds=seconds,
-                      max_literals=self.budget.max_literals)
 
 
 class IncrementalBmc:
@@ -231,6 +83,7 @@ class IncrementalBmc:
             raise ValueError(f"final predicate uses non-state vars: {stray}")
         self.system = system
         self.final = final
+        self.polarity_reduction = polarity_reduction
         self.purge_interval = max(1, purge_interval)
         self.pool = VarPool()
         self.cnf = CNF()
@@ -241,6 +94,11 @@ class IncrementalBmc:
         self._groups: Dict[int, int] = {}      # bound -> live group literal
         self._retired_since_purge = 0
         self.k = 0                             # transition frames encoded
+        # Auxiliary driver answering bounds below self.k (see
+        # check_bound); grows ascending like any driver, so a sweep
+        # after a deep check reuses one encoding instead of building a
+        # throwaway per bound.
+        self._low: Optional["IncrementalBmc"] = None
 
         frame0 = [_frame_name(v, 0) for v in system.state_vars]
         self._frames: List[List[str]] = [frame0]
@@ -306,11 +164,31 @@ class IncrementalBmc:
         """Decide exact-k reachability, reusing all prior work.
 
         Returns ``(status, trace, stats)``; the trace is the length-k
-        witness on SAT.  The bound may be queried repeatedly (and out of
-        order) as long as it has not been retired.
+        witness on SAT.  The bound may be queried repeatedly; a bound
+        *below* the frames already encoded is answered by an auxiliary
+        driver (kept, and itself grown ascending, so e.g. a sweep after
+        a deep check reuses one encoding), because frames k+1..self.k
+        are asserted unconditionally and, for a transition relation
+        that is not total, would exclude witnesses whose final state
+        has no successor (spurious UNSAT).
         """
         if k < 0:
             raise ValueError("bound k must be non-negative")
+        if k < self.k:
+            low = self._low
+            if low is None or k < low.k:
+                # Replace rather than chain: a long-lived session must
+                # stay bounded at two drivers.  Monotone patterns (the
+                # advertised sweep-after-deep-check) reuse the one low
+                # driver ascending; a strictly descending probe pays
+                # one re-encode per step — the same cost as the
+                # pre-session per-call baseline, never more.
+                low = IncrementalBmc(
+                    self.system, self.final,
+                    polarity_reduction=self.polarity_reduction,
+                    purge_interval=self.purge_interval)
+                self._low = low
+            return low.check_bound(k, budget=budget)
         solver = self.solver
         clauses_before = solver.num_clauses()
         learnts_before = solver.num_learnts()
@@ -345,7 +223,14 @@ class IncrementalBmc:
         constraint and all learnt clauses derived from it) becomes
         satisfied at level 0 and is physically reclaimed on the next
         purge, exactly as jSAT retires its blocking-clause groups.
+        Retirement always also reaches the auxiliary low-bound driver
+        (see :meth:`check_bound`): after an interleaving like
+        check_bound(3), check_bound(5), check_bound(3), BOTH drivers
+        hold a group for bound 3, and retiring only one would leave the
+        other's constraint clauses unreclaimable forever.
         """
+        if self._low is not None:
+            self._low.retire_bound(k)
         g = self._groups.pop(k, None)
         if g is None:
             return
@@ -369,39 +254,23 @@ class IncrementalBmc:
         return Trace(states, inputs)
 
     # ------------------------------------------------------------------
-    def sweep(self, max_k: int, budget: Budget | None = None) -> SweepResult:
+    def sweep(self, max_k: int, budget: Budget | None = None,
+              on_bound=None) -> SweepResult:
         """Sweep bounds 0..max_k; stop at the shortest counterexample.
 
         The budget is global across the whole sweep (one deadline, one
         conflict pool), mirroring how a fresh per-bound run would split
-        the same resources.
+        the same resources.  ``on_bound`` (an ``on_bound(BoundResult)``
+        callable) streams each bound's record as it lands — the
+        progress hook :class:`repro.bmc.session.BmcSession` exposes.
         """
         if max_k < 0:
             raise ValueError("max_k must be non-negative")
-        tracker = SweepBudget(budget)
-        per_bound: List[BoundResult] = []
-        sweep_start = time.perf_counter()
-        for k in range(max_k + 1):
-            if tracker.exhausted():
-                per_bound.append(BoundResult(
-                    k, SolveResult.UNKNOWN, None, 0.0,
-                    time.perf_counter() - sweep_start, {}))
-                break
-            bound_start = time.perf_counter()
-            status, trace, stats = self.check_bound(
-                k, budget=tracker.remaining())
-            now = time.perf_counter()
-            tracker.charge(conflicts=stats["solver_conflicts"],
-                           decisions=stats["solver_decisions"],
-                           propagations=stats["solver_propagations"])
-            per_bound.append(BoundResult(k, status, trace,
-                                         now - bound_start,
-                                         now - sweep_start, stats))
-            if status is not SolveResult.UNSAT:
-                break
-            self.retire_bound(k)
-        return SweepResult("sat-incremental", max_k, per_bound,
-                           time.perf_counter() - sweep_start)
+        def check(k: int, remaining: Budget | None):
+            return self.check_bound(k, budget=remaining)
+        return drive_sweep("sat-incremental", max_k, range(max_k + 1),
+                           check, budget=budget, on_bound=on_bound,
+                           after_unsat=self.retire_bound)
 
     # ------------------------------------------------------------------
     def resident_literals(self) -> int:

@@ -144,6 +144,12 @@ class JsatSolver:
         # the solver is retargeted at other bounds (native sweeps).
         self._nogood_exact: Dict[int, Set[State]] = {}
         self._nogood_within: Dict[State, int] = {}
+        # Activation groups created by the current solve; any group
+        # still live when solve() exits (SAT success, budget abort) is
+        # retired there — the next solve never assumes old groups, so
+        # an unretired group would pin its blocking clauses in the
+        # database forever.
+        self._live_groups: Set[int] = set()
         self._build_solver()
 
     # ==================================================================
@@ -217,6 +223,7 @@ class JsatSolver:
         except BudgetExceeded:
             return SolveResult.UNKNOWN
         finally:
+            self._retire_leftover_groups()
             peak = self.solver.stats.peak_db_literals
             if peak > self.stats.peak_db_literals:
                 self.stats.peak_db_literals = peak
@@ -343,7 +350,7 @@ class JsatSolver:
             if self.k == 0:
                 return result
 
-        root_group = self.solver.new_var()
+        root_group = self._new_group()
         frames: List[_Frame] = []
         pops_since_purge = 0
 
@@ -368,7 +375,7 @@ class JsatSolver:
                     self.stats.cache_hits += 1
                     self._block_u(root_group, state)
                     continue
-                frames.append(_Frame(state, {}, self.solver.new_var()))
+                frames.append(_Frame(state, {}, self._new_group()))
                 self.stats.pushes += 1
                 continue
 
@@ -390,7 +397,7 @@ class JsatSolver:
                 if self.semantics == "within":
                     if self._final_holds(nxt):
                         frames.append(_Frame(nxt, inputs,
-                                             self.solver.new_var()))
+                                             self._new_group()))
                         self.stats.pushes += 1
                         self._finish(frames)
                         return SolveResult.SAT
@@ -403,7 +410,7 @@ class JsatSolver:
                     # Ablation mode: test F after deciding the state.
                     if self._final_holds(nxt):
                         frames.append(_Frame(nxt, inputs,
-                                             self.solver.new_var()))
+                                             self._new_group()))
                         self.stats.pushes += 1
                         self._finish(frames)
                         return SolveResult.SAT
@@ -414,7 +421,7 @@ class JsatSolver:
                     self.stats.cache_hits += 1
                     self._block_v(frame.group, nxt)
                     continue
-                frames.append(_Frame(nxt, inputs, self.solver.new_var()))
+                frames.append(_Frame(nxt, inputs, self._new_group()))
                 self.stats.pushes += 1
                 continue
 
@@ -454,8 +461,27 @@ class JsatSolver:
         self.solver.add_clause(lits)
         self.stats.blocked += 1
 
+    def _new_group(self) -> int:
+        group = self.solver.new_var()
+        self._live_groups.add(group)
+        return group
+
     def _retire_group(self, group: int) -> None:
         self.solver.add_clause([-group])
+        self._live_groups.discard(group)
+
+    def _retire_leftover_groups(self) -> None:
+        """Retire every group the last solve left live (SAT exits keep
+        their frames' groups; a budget abort unwinds past all of them).
+        Without this the groups' blocking clauses — never reclaimable,
+        never assumed again — would accumulate across the solves of a
+        long-lived session."""
+        if not self._live_groups:
+            return
+        for group in sorted(self._live_groups):
+            self.solver.add_clause([-group])
+        self._live_groups.clear()
+        self.solver.purge_satisfied()
 
     # ------------------------------------------------------------------
     def resident_literals(self) -> int:

@@ -1,0 +1,227 @@
+"""The stateful front end: one :class:`BmcSession` per query family.
+
+A session binds one ``(system, final)`` reachability query family and
+hands out :class:`~repro.bmc.backend.Backend` instances from the
+registry, keeping each instance — and therefore its long-lived solver
+state — alive across ``check`` / ``sweep`` / ``find_reachable`` calls:
+
+* the ``sat-incremental`` backend keeps its growing clause database and
+  surviving learnt clauses between calls, so deepening a bound never
+  re-encodes a frame twice;
+* the ``jsat`` backend keeps its single TR copy and its bound-
+  independent no-good cache, so states proven hopeless in one call stay
+  hopeless in the next.
+
+Typed per-backend options are validated up front (unknown kwargs raise
+instead of vanishing), and an ``on_bound`` observer streams per-bound
+:class:`~repro.bmc.incremental.BoundResult` records during sweeps and
+iterative deepening — progress reporting without polling.
+
+Example
+-------
+>>> from repro.bmc import BmcSession
+>>> from repro.models import counter
+>>> system, final, depth = counter.make(3, 5)
+>>> with BmcSession(system, final) as session:
+...     exact = session.check(depth, method="jsat")
+...     swept = session.sweep(depth + 1, method="sat-incremental")
+>>> exact.status.name, swept.shortest_k == depth
+('SAT', True)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..logic.expr import Expr
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace
+from .backend import (SEMANTICS, Backend, BmcResult, OnBound, create_backend,
+                      validate_method)
+from .backends import squaring_ladder
+from .incremental import BoundResult, SweepResult
+
+__all__ = ["BmcSession"]
+
+
+def shorten_to_final(trace: Trace, final: Expr) -> Trace:
+    """Cut a within-mode trace at its first final state."""
+    for i, state in enumerate(trace.states):
+        if final.evaluate(state):
+            return Trace(trace.states[:i + 1], trace.inputs[:i])
+    return trace
+
+
+class BmcSession:
+    """Bounded model checking over one query family, any backend.
+
+    Parameters
+    ----------
+    system, final:
+        The query family: is a state satisfying ``final`` reachable
+        from init in exactly / at most k steps?
+    method:
+        Default backend name for calls that do not name one.
+    on_bound:
+        Session-wide per-bound observer (``on_bound(BoundResult)``)
+        invoked during sweeps and iterative deepening; a per-call
+        ``on_bound`` argument overrides it.
+
+    The session is a context manager; :meth:`close` releases every
+    backend's solver state.  Backend instances are cached per
+    ``(method, options)``, so two calls with identical options share
+    state while differing options get independent instances.
+    """
+
+    def __init__(self, system: TransitionSystem, final: Expr,
+                 method: str = "sat-unroll",
+                 on_bound: OnBound | None = None) -> None:
+        validate_method(method)
+        self.system = system
+        self.final = final
+        self.method = method
+        self.on_bound = on_bound
+        self._backends: Dict[Tuple[str, str], Backend] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "BmcSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release every cached backend's long-lived solver state."""
+        for backend in self._backends.values():
+            backend.close()
+        self._backends.clear()
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("BmcSession is closed")
+
+    # ------------------------------------------------------------------
+    def backend(self, method: str | None = None, **options: Any) -> Backend:
+        """The session's backend instance for ``method`` + ``options``.
+
+        Validates the method name against the registry and the options
+        against the backend's typed options class; the instance (and
+        its solver state) is cached for the session's lifetime.
+        """
+        self._require_open()
+        name = method or self.method
+        cls = validate_method(name)
+        opts = cls.options_class.from_kwargs(**options)
+        key = (name, opts.cache_key())
+        backend = self._backends.get(key)
+        if backend is None:
+            backend = create_backend(name, self.system, self.final,
+                                     options=opts)
+            self._backends[key] = backend
+        return backend
+
+    # ------------------------------------------------------------------
+    def check(self, k: int, method: str | None = None,
+              semantics: str = "exact",
+              budget: Budget | None = None, **options: Any) -> BmcResult:
+        """Decide whether ``final`` is reachable at bound ``k``.
+
+        ``semantics`` is "exact" (in exactly k steps — the paper's
+        query) or "within" (in at most k steps).  Within-mode traces
+        are cut at their first final state uniformly, whatever back end
+        produced them.
+        """
+        if k < 0:
+            raise ValueError("bound k must be non-negative")
+        if semantics not in SEMANTICS:
+            raise ValueError(f"unknown semantics {semantics!r}")
+        backend = self.backend(method, **options)
+        if semantics not in backend.supported_semantics:
+            raise ValueError(
+                f"backend {backend.name!r} does not support "
+                f"{semantics!r} semantics (supports "
+                f"{backend.supported_semantics})")
+        start = time.perf_counter()
+        result = backend.check(k, semantics=semantics, budget=budget)
+        if semantics == "within" and result.trace is not None:
+            result.trace = shorten_to_final(result.trace, self.final)
+        result.seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    def sweep(self, max_k: int, method: str | None = None,
+              budget: Budget | None = None,
+              on_bound: OnBound | None = None,
+              **options: Any) -> SweepResult:
+        """Sweep bounds k = 0..max_k; return the shortest counterexample.
+
+        Every backend implements the same contract — bounds in
+        increasing order, stopping at the first SAT or the first
+        UNKNOWN — natively with one long-lived solver when
+        ``native_incremental`` is set, by fresh exact-k queries
+        otherwise (``qbf-squaring`` follows its log schedule, so its
+        hit bound brackets the shortest depth rather than pinning it).
+        The budget is global across the whole sweep.
+        """
+        if max_k < 0:
+            raise ValueError("max_k must be non-negative")
+        backend = self.backend(method, **options)
+        return backend.sweep(max_k, budget=budget,
+                             on_bound=on_bound or self.on_bound)
+
+    # ------------------------------------------------------------------
+    def find_reachable(self, max_bound: int, method: str | None = None,
+                       strategy: str = "linear",
+                       budget: Budget | None = None,
+                       on_bound: OnBound | None = None, **options: Any
+                       ) -> Tuple[Optional[BmcResult], List[BmcResult]]:
+        """Iterative-deepening reachability up to ``max_bound``.
+
+        ``strategy`` is "linear" (k = 0, 1, 2, ...; exact semantics per
+        iteration, so the union covers every depth) or "squaring"
+        (k = 1, 2, 4, ...; each iteration checks "within k" on the
+        self-looped system, the paper's iterative-squaring schedule).
+
+        Both the method and the strategy are validated up front, before
+        any solving starts.  Returns ``(hit, history)`` where ``hit``
+        is the first SAT result (or None) and ``history`` records every
+        iteration — experiment E3 reads the iteration counts from it.
+        """
+        backend = self.backend(method, **options)   # validates up front
+        if strategy == "linear":
+            bounds: List[int] = list(range(0, max_bound + 1))
+            semantics = "exact"
+        elif strategy == "squaring":
+            bounds = squaring_ladder(max_bound)
+            semantics = "within"
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}; "
+                             f"pick 'linear' or 'squaring'")
+        observer = on_bound or self.on_bound
+        history: List[BmcResult] = []
+        start = time.perf_counter()
+        for bound in bounds:
+            result = self.check(bound, method=backend.name,
+                                semantics=semantics, budget=budget,
+                                **options)
+            history.append(result)
+            if observer is not None:
+                observer(BoundResult(bound, result.status, result.trace,
+                                     result.seconds,
+                                     time.perf_counter() - start,
+                                     result.stats))
+            if result.status is SolveResult.SAT:
+                return result, history
+            if result.status is SolveResult.UNKNOWN:
+                return None, history
+        return None, history
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BmcSession({self.system.name!r}, "
+                f"method={self.method!r}, "
+                f"backends={sorted(k for k, _ in self._backends)})")

@@ -20,6 +20,11 @@ Subcommands
     Run a (suite × methods) matrix across a worker pool
     (``--jobs N``), optionally memoized on disk (``--cache DIR``);
     prints the solved-counts table plus per-worker attribution.
+``backends``
+    List the backend registry: every registered decision method with
+    its capabilities and typed options.  Custom backends registered
+    via :func:`repro.bmc.register_backend` appear here — and are
+    accepted by ``bmc``/``sweep``/``batch`` — without any CLI edit.
 ``experiment {e1,...,e8}``
     Regenerate one evaluation artifact (scaled budgets by default).
 ``suite``
@@ -33,7 +38,8 @@ import sys
 import time
 from typing import List, Optional
 
-from .bmc.engine import ALL_METHODS, METHODS, check_reachability, sweep
+from .bmc.backend import ALL_METHODS, METHODS, registered_backends
+from .bmc.session import BmcSession
 from .harness import experiments
 from .logic.dimacs import parse_dimacs, parse_qdimacs
 from .models import FAMILIES, build_suite, suite_summary
@@ -96,9 +102,10 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
         # --jobs caps the number of raced methods (one process each).
         from .portfolio.race import DEFAULT_RACE_METHODS
         options["portfolio_methods"] = DEFAULT_RACE_METHODS[:args.jobs]
-    result = check_reachability(instance.system, instance.final, k,
-                                args.method, semantics=args.semantics,
-                                budget=_budget_from_args(args), **options)
+    with BmcSession(instance.system, instance.final) as session:
+        result = session.check(k, method=args.method,
+                               semantics=args.semantics,
+                               budget=_budget_from_args(args), **options)
     print(f"{instance.name} (k={k}, {args.method}, {args.semantics}): "
           f"{result.status.name} in {result.seconds:.3f} s")
     for key, value in sorted(result.stats.items()):
@@ -119,16 +126,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     instance = instances[0]
     max_k = args.max_k if args.max_k is not None else instance.k
     status = 0
-    for method in args.methods:
-        result = sweep(instance.system, instance.final, max_k,
-                       method=method, budget=_budget_from_args(args))
-        print(f"== {instance.name}: sweep k=0..{max_k}, {method} ==")
-        print(format_sweep(result))
-        if result.trace is not None:
-            print(result.trace.format(sorted(instance.system.state_vars)))
-        if result.status is SolveResult.UNKNOWN:
-            status = 2
-        print()
+    with BmcSession(instance.system, instance.final) as session:
+        for method in args.methods:
+            result = session.sweep(max_k, method=method,
+                                   budget=_budget_from_args(args))
+            print(f"== {instance.name}: sweep k=0..{max_k}, {method} ==")
+            print(format_sweep(result))
+            if result.trace is not None:
+                print(result.trace.format(
+                    sorted(instance.system.state_vars)))
+            if result.status is SolveResult.UNKNOWN:
+                status = 2
+            print()
     return status
 
 
@@ -190,6 +199,30 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     _, report = runners[args.which]()
     print(f"== experiment {args.which.upper()} ==")
     print(report)
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    def default_repr(field: "dataclasses.Field") -> str:
+        if field.default is not dataclasses.MISSING:
+            return repr(field.default)
+        if field.default_factory is not dataclasses.MISSING:
+            return repr(field.default_factory())
+        return "<required>"
+
+    print(f"{'name':16s} {'kind':10s} {'incremental':11s} "
+          f"{'semantics':14s} options")
+    for name, cls in registered_backends().items():
+        kind = "composite" if cls.composite else "primitive"
+        incremental = "native" if cls.native_incremental else "-"
+        semantics = ",".join(cls.supported_semantics)
+        opts = ", ".join(
+            f"{f.name}={default_repr(f)}"
+            for f in dataclasses.fields(cls.options_class)) or "-"
+        print(f"{name:16s} {kind:10s} {incremental:11s} "
+              f"{semantics:14s} {opts}")
     return 0
 
 
@@ -278,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.2,
                    help="budget scale (1.0 = full budgets)")
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("backends",
+                       help="list the decision-method registry")
+    p.set_defaults(fn=_cmd_backends)
 
     p = sub.add_parser("suite", help="describe the 234-instance suite")
     p.set_defaults(fn=_cmd_suite)

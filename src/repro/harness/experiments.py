@@ -13,8 +13,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..bmc.engine import check_reachability, find_reachable
 from ..bmc.metrics import growth_table
+from ..bmc.session import BmcSession
 from ..logic import expr as ex
 from ..models import counter, lfsr, mixer, shift_register
 from ..models.suite import Instance, build_suite
@@ -85,12 +85,11 @@ def run_e3(ring_length: int = 12) -> Tuple[Dict[str, int], str]:
     """
     system, final, depth = shift_register.make(ring_length)
     assert depth is not None
-    hit_lin, hist_lin = find_reachable(system, final, depth + 2,
-                                       method="sat-unroll",
-                                       strategy="linear")
-    hit_sq, hist_sq = find_reachable(system, final, depth + 2,
-                                     method="sat-unroll",
-                                     strategy="squaring")
+    with BmcSession(system, final, method="sat-unroll") as session:
+        hit_lin, hist_lin = session.find_reachable(depth + 2,
+                                                   strategy="linear")
+        hit_sq, hist_sq = session.find_reachable(depth + 2,
+                                                 strategy="squaring")
     data = {
         "depth": depth,
         "linear_iterations": len(hist_lin),
@@ -133,15 +132,18 @@ def run_e5(max_k: int = 6, budget_seconds: float = 2.0
     budget = Budget(max_seconds=budget_seconds, max_decisions=200_000)
     for k in range(1, max_k + 1):
         row: Dict = {"k": k}
-        for method in ("qbf", "jsat"):
-            result = check_reachability(system, final, k, method,
-                                        budget=budget)
-            row[method] = result.status.name
-            row[f"{method}_s"] = round(result.seconds, 3)
-        if (k & (k - 1)) == 0:
-            result = check_reachability(system, final, k, "qbf-squaring",
-                                        budget=budget)
-            row["qbf-squaring"] = result.status.name
+        # A fresh session per row: the per-k timing comparison assumes
+        # cold solvers, so jsat must not carry its no-good cache (or a
+        # warm clause database) between rows while qbf starts cold.
+        with BmcSession(system, final) as session:
+            for method in ("qbf", "jsat"):
+                result = session.check(k, method=method, budget=budget)
+                row[method] = result.status.name
+                row[f"{method}_s"] = round(result.seconds, 3)
+            if (k & (k - 1)) == 0:
+                result = session.check(k, method="qbf-squaring",
+                                       budget=budget)
+                row["qbf-squaring"] = result.status.name
         rows.append(row)
     from .report import format_table
     report = format_table(
@@ -165,13 +167,17 @@ def run_e6(width: int = 8, bounds: Sequence[int] = (4, 8, 16, 32)
     for k in bounds:
         final_k = ex.var(f"c{width - 1}") if k < target else final
         row: Dict = {"k": k}
-        unroll = check_reachability(system, final_k, k, "sat-unroll")
-        row["unroll_peak"] = unroll.stats.get("solver_peak_db_literals", 0)
-        row["unroll_status"] = unroll.status.name
-        jsat = check_reachability(system, final_k, k, "jsat")
-        row["jsat_peak"] = jsat.stats.get("peak_db_literals", 0)
-        row["jsat_base"] = jsat.stats.get("base_literals", 0)
-        row["jsat_status"] = jsat.status.name
+        # A fresh session per row: the query target changes with k, and
+        # the peak-memory numbers must not share solver state.
+        with BmcSession(system, final_k) as session:
+            unroll = session.check(k, method="sat-unroll")
+            row["unroll_peak"] = unroll.stats.get(
+                "solver_peak_db_literals", 0)
+            row["unroll_status"] = unroll.status.name
+            jsat = session.check(k, method="jsat")
+            row["jsat_peak"] = jsat.stats.get("peak_db_literals", 0)
+            row["jsat_base"] = jsat.stats.get("base_literals", 0)
+            row["jsat_status"] = jsat.status.name
         rows.append(row)
     from .report import format_table
     report = format_table(
@@ -242,7 +248,8 @@ def run_e8(friendly_width: int = 8, dense_width: int = 12,
     data["dense_nodes"] = blown.manager.size()
 
     target = ex.var(f"x{dense_width - 1}")
-    jsat = check_reachability(dense, target, jsat_bound, "jsat")
+    with BmcSession(dense, target) as session:
+        jsat = session.check(jsat_bound, method="jsat")
     data["jsat_status"] = jsat.status.name
     data["jsat_peak_literals"] = jsat.stats.get("peak_db_literals", 0)
 

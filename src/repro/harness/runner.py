@@ -13,7 +13,7 @@ worker pool (optionally with an on-disk result cache) — the result
 list is identical to the serial one, in the same order.
 
 ``run_matrix(mode="sweep")`` replaces the single exact-k query per
-cell with a full bound sweep 0..k (:func:`repro.bmc.engine.sweep`):
+cell with a full bound sweep 0..k (:meth:`repro.bmc.session.BmcSession.sweep`):
 the cell's status is the sweep verdict, and the stats record the
 number of bounds checked and the wall time to the shortest
 counterexample — the evaluation axis the incremental driver exists
@@ -25,8 +25,9 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..bmc.engine import check_reachability, sweep
+from ..bmc.backend import fan_out_options
 from ..bmc.metrics import measure_time
+from ..bmc.session import BmcSession
 from ..models.suite import Instance
 from ..sat.types import Budget, SolveResult
 
@@ -86,12 +87,17 @@ def run_cell(instance: Instance, method: str,
              budget: Budget | None = None,
              semantics: str = "exact",
              **options) -> CellResult:
-    """Run one instance with one method under the budget."""
+    """Run one instance with one method under the budget.
+
+    ``method`` may name any registered backend — built-in or custom —
+    and ``**options`` are validated by that backend's typed options
+    class (unknown keys raise).
+    """
     with measure_time() as timing:
-        result = check_reachability(instance.system, instance.final,
-                                    instance.k, method,
-                                    semantics=semantics, budget=budget,
-                                    **options)
+        with BmcSession(instance.system, instance.final) as session:
+            result = session.check(instance.k, method=method,
+                                   semantics=semantics, budget=budget,
+                                   **options)
     correct: Optional[bool] = None
     if instance.expected is not None and \
             result.status is not SolveResult.UNKNOWN:
@@ -113,8 +119,9 @@ def run_sweep_cell(instance: Instance, method: str,
     own bound (exact-k reachability implies the sweep cannot miss it).
     """
     with measure_time() as timing:
-        swept = sweep(instance.system, instance.final, instance.k,
-                      method=method, budget=budget, **options)
+        with BmcSession(instance.system, instance.final) as session:
+            swept = session.sweep(instance.k, method=method,
+                                  budget=budget, **options)
     correct: Optional[bool] = None
     if swept.status is SolveResult.SAT:
         hit = swept.hit
@@ -160,11 +167,16 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
     ``mode="sweep"`` runs each cell as a bound sweep 0..k via
     :func:`run_sweep_cell` (serial only: sweeps keep a live solver per
     cell, so they are not sharded or cached).
+
+    ``**options`` are broadcast: each method takes the keys its typed
+    options class accepts (e.g. ``use_cache=False`` tunes jsat while
+    sat-unroll ignores it); a key no listed method accepts raises.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if mode not in ("single", "sweep"):
         raise ValueError(f"unknown mode {mode!r}; pick 'single' or 'sweep'")
+    per_method = fan_out_options(methods, options)
     if mode == "sweep":
         if (jobs is not None and jobs > 1) or cache is not None:
             raise ValueError("sweep mode runs serially (no jobs/cache)")
@@ -174,7 +186,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
             cell_budget = method_budgets.get(method, budget)
             for instance in instances:
                 out.append(run_sweep_cell(instance, method, cell_budget,
-                                          **options))
+                                          **per_method[method]))
         return out
     if (jobs is not None and jobs > 1) or cache is not None:
         from ..portfolio.scheduler import BatchScheduler
@@ -190,7 +202,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
         cell_budget = method_budgets.get(method, budget)
         for instance in instances:
             out.append(run_cell(instance, method, cell_budget, semantics,
-                                **options))
+                                **per_method[method]))
     return out
 
 

@@ -8,7 +8,7 @@ Layers (bottom up):
   worker processes with hard wall-clock enforcement and respawn;
 * :mod:`repro.portfolio.race` — :func:`race`, first conclusive answer
   wins, witnesses validated, losers killed (``method="portfolio"`` in
-  :func:`repro.bmc.engine.check_reachability`);
+  :meth:`repro.bmc.session.BmcSession.check`);
 * :mod:`repro.portfolio.cache` — :class:`ResultCache`, keyed by
   semantic fingerprints of (model, bound, method, budget);
 * :mod:`repro.portfolio.scheduler` — :class:`BatchScheduler`, shards

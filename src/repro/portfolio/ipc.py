@@ -13,8 +13,9 @@ from __future__ import annotations
 import traceback
 from typing import Any, Dict, Optional
 
-from ..bmc.engine import BmcResult, check_reachability
+from ..bmc.backend import BmcResult
 from ..bmc.metrics import measure_time
+from ..bmc.session import BmcSession
 from ..logic.expr import Expr
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
@@ -73,12 +74,12 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     with measure_time() as timing:
         try:
-            result = check_reachability(
-                payload["system"], payload["final"], payload["k"],
-                payload["method"],
-                semantics=payload.get("semantics", "exact"),
-                budget=budget_from_dict(payload.get("budget")),
-                **payload.get("options", {}))
+            with BmcSession(payload["system"], payload["final"]) as session:
+                result = session.check(
+                    payload["k"], method=payload["method"],
+                    semantics=payload.get("semantics", "exact"),
+                    budget=budget_from_dict(payload.get("budget")),
+                    **payload.get("options", {}))
             outcome = encode_outcome(result)
         except Exception:
             outcome = {

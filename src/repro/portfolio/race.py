@@ -16,7 +16,7 @@ import multiprocessing.connection
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..bmc.engine import METHODS, BmcResult
+from ..bmc.backend import METHODS, BmcResult, backend_class, fan_out_options
 from ..logic.expr import Expr
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
@@ -73,6 +73,27 @@ class RaceOutcome:
                 f"cancel={self.cancel_latency * 1e3:.1f}ms)")
 
 
+def ensure_methods_spawnable(methods: Sequence[str], ctx) -> None:
+    """Reject custom backends up front on spawn-start platforms.
+
+    Fork workers inherit the parent's registry, but a spawned worker
+    re-imports repro and registers only the built-in backends, so a
+    custom method would pass parent-side validation and then kill
+    every worker with "unknown method".  Raise here, in the parent,
+    with an actionable message instead.
+    """
+    if ctx.get_start_method() == "fork":
+        return
+    foreign = [m for m in methods
+               if backend_class(m).__module__ != "repro.bmc.backends"]
+    if foreign:
+        raise ValueError(
+            f"custom backend(s) {foreign} cannot run in worker "
+            f"processes on a {ctx.get_start_method()!r}-start platform "
+            f"(spawned workers re-import repro with only the built-in "
+            f"backends registered); run them in-process via BmcSession")
+
+
 def _race_child(conn, payload: Dict[str, Any]) -> None:
     outcome = execute_cell(payload)
     try:
@@ -110,6 +131,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
          budget: Budget | None = None,
          wall_timeout: Optional[float] = None,
          validate: bool = True,
+         method_options: Optional[Dict[str, Dict[str, Any]]] = None,
          **options) -> RaceOutcome:
     """Run ``methods`` concurrently; first conclusive answer wins.
 
@@ -117,6 +139,15 @@ def race(system: TransitionSystem, final: Expr, k: int,
     child is killed and the race returns UNKNOWN.  It defaults to three
     times the budget's ``max_seconds`` (plus setup slack) when that is
     set, else unlimited.
+
+    ``methods`` may name any non-composite backend in the registry
+    (custom ones included, as long as registration happens before the
+    worker processes fork).  ``**options`` are broadcast: each raced
+    method takes the keys its typed options class declares and ignores
+    the rest, but a key *no* raced method declares raises —
+    misspellings cannot silently kill a contender.  ``method_options``
+    maps a method name to options for that method alone (these win
+    over broadcast keys).
     """
     methods = list(methods)
     if not methods:
@@ -128,13 +159,16 @@ def race(system: TransitionSystem, final: Expr, k: int,
     if wall_timeout is None and budget is not None \
             and budget.max_seconds is not None:
         wall_timeout = budget.max_seconds * 3.0 + 1.0
+    per_method_options = fan_out_options(methods, options,
+                                         method_options or {})
 
     ctx = pool_context()
+    ensure_methods_spawnable(methods, ctx)
     start = time.perf_counter()
     children: List[Tuple[str, Any, Any]] = []     # (method, process, conn)
     for method in methods:
         payload = make_cell_payload(system, final, k, method, semantics,
-                                    budget, options)
+                                    budget, per_method_options[method])
         parent_conn, child_conn = ctx.Pipe()
         process = ctx.Process(target=_race_child,
                               args=(child_conn, payload), daemon=True,

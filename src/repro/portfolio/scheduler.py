@@ -83,8 +83,13 @@ class BatchScheduler:
             method_budgets: Dict[str, Budget] | None = None,
             **options) -> List:
         """Parallel equivalent of ``run_matrix`` (same result order)."""
+        from ..bmc.backend import fan_out_options
         from ..harness.runner import CellResult   # deferred: no cycle
         method_budgets = method_budgets or {}
+        # Same broadcast semantics as the serial run_matrix: each
+        # method takes the keys its options class accepts; keys nobody
+        # accepts raise before any worker is spawned.
+        per_method = fan_out_options(methods, options)
 
         # Method-major slot order, identical to the serial run_matrix.
         cells: List[Tuple[Instance, str, Budget | None]] = []
@@ -102,7 +107,8 @@ class BatchScheduler:
         for slot, (instance, method, cell_budget) in enumerate(cells):
             if self.cache is not None:
                 key = cell_key(instance.system, instance.final, instance.k,
-                               method, semantics, cell_budget, options)
+                               method, semantics, cell_budget,
+                               per_method[method])
                 keys[slot] = key
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -121,12 +127,15 @@ class BatchScheduler:
         executed = 0
         cpu_total = 0.0
         if pending:
+            from .pool import pool_context
+            from .race import ensure_methods_spawnable
+            ensure_methods_spawnable(methods, pool_context())
             tasks = []
             for slot in pending:
                 instance, method, cell_budget = cells[slot]
                 payload = make_cell_payload(instance.system, instance.final,
                                             instance.k, method, semantics,
-                                            cell_budget, options)
+                                            cell_budget, per_method[method])
                 wall_timeout = None
                 if cell_budget is not None \
                         and cell_budget.max_seconds is not None:

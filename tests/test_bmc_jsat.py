@@ -117,6 +117,32 @@ class TestSpaceBehaviour:
         # Resident DB stays within a small factor of the base encoding.
         assert resident < solver.base_db_literals * 5
 
+    def test_repeated_solves_do_not_leak_groups(self):
+        """Regression: SAT exits and budget aborts used to leave their
+        activation groups unretired, pinning the groups' blocking
+        clauses in the database forever — unbounded growth across the
+        repeated solves of a long-lived session."""
+        system, final, depth = counter.make(5, 19)
+        solver = JsatSolver(system, final, depth)
+        assert solver.solve() is SolveResult.SAT
+        assert not solver._live_groups
+        resident_first = solver.resident_literals()
+        for _ in range(5):
+            assert solver.solve() is SolveResult.SAT
+            assert not solver._live_groups
+        assert solver.resident_literals() <= resident_first
+
+        # Budget aborts unwind past every frame; leftovers must still
+        # be retired and reclaimed.
+        aborted = JsatSolver(system, final, depth, use_cache=False)
+        sizes = []
+        for _ in range(5):
+            status = aborted.solve(budget=Budget(max_propagations=40))
+            assert status is SolveResult.UNKNOWN
+            assert not aborted._live_groups
+            sizes.append(aborted.resident_literals())
+        assert sizes[-1] <= sizes[0]
+
     def test_peak_much_smaller_than_unrolled(self):
         from repro.bmc import check_reachability
         system, final, _ = counter.make(6, 63)

@@ -28,6 +28,80 @@ class TestIncrementalBmc:
         assert result.time_to_hit is not None
         assert result.time_to_hit <= result.seconds
 
+    def test_lower_bound_after_extension_not_spurious_unsat(self):
+        """Regression: frames beyond k are asserted unconditionally, so
+        querying a bound below the frames already encoded used to
+        exclude witnesses ending in a deadlock state (non-total TR) —
+        check_bound(3) then check_bound(1) answered UNSAT where a fresh
+        driver answers SAT."""
+        from repro.logic import expr as ex
+        from repro.system.model import TransitionSystem
+        a = ex.var("a")
+        deadlock = TransitionSystem(
+            state_vars=["a"], init=~a, trans=~a & ex.var("a'"),
+            name="deadlock")
+        final = a
+        inc = IncrementalBmc(deadlock, final)
+        assert inc.check_bound(3)[0] is SolveResult.UNSAT
+        status, trace, _ = inc.check_bound(1)
+        assert status is SolveResult.SAT
+        trace.validate(deadlock, final)
+        # Ascending re-query through the same driver still works.
+        assert inc.check_bound(4)[0] is SolveResult.UNSAT
+
+    def test_low_driver_retention_is_bounded(self):
+        """A long-lived driver keeps at most one auxiliary low driver
+        (no unbounded chains): monotone low-bound patterns reuse it
+        ascending, a query below its frames replaces it."""
+        system, final, depth = counter.make(4, 9)
+        inc = IncrementalBmc(system, final)
+        inc.check_bound(depth)
+        inc.check_bound(depth - 2)
+        low = inc._low
+        assert low is not None and low._low is None
+        # Ascending within the low range grows the same driver.
+        status, _, stats = inc.check_bound(depth - 1)
+        assert inc._low is low and low._low is None
+        assert status is SolveResult.UNSAT
+        assert stats["clauses_reused"] > 0
+        # Below the low driver's frames: replaced, never chained.
+        inc.check_bound(depth - 3)
+        assert inc._low is not low
+        assert inc._low._low is None
+
+    def test_retire_bound_reaches_low_driver(self):
+        """Regression: after check_bound(3), check_bound(5),
+        check_bound(3), BOTH drivers hold a group for bound 3;
+        retire_bound(3) must retire it on both, or the low driver's
+        constraint clauses stay unreclaimable forever."""
+        system, final, _ = counter.make(4, 9)
+        inc = IncrementalBmc(system, final)
+        inc.check_bound(3)
+        inc.check_bound(5)
+        inc.check_bound(3)
+        assert 3 in inc._groups and 3 in inc._low._groups
+        inc.retire_bound(3)
+        assert 3 not in inc._groups
+        assert 3 not in inc._low._groups
+
+    def test_sweep_after_deep_check_reuses_one_low_driver(self):
+        """A sweep below the frames already encoded must reuse ONE
+        auxiliary driver grown ascending (not a throwaway per bound),
+        and retire refuted bounds on the driver that answered them."""
+        system, final, depth = counter.make(4, 9)
+        inc = IncrementalBmc(system, final)
+        inc.check_bound(depth + 2)          # frames now extend past depth
+        assert inc.k == depth + 2
+        swept = inc.sweep(depth + 1)
+        assert swept.shortest_k == depth
+        low = inc._low
+        assert low is not None
+        reused = [b.stats["clauses_reused"] for b in swept.per_bound]
+        assert reused[0] < reused[-1]       # one growing driver
+        # Every refuted bound was retired on the low driver; only the
+        # SAT bound's final-constraint group may remain live.
+        assert len(low._groups) <= 1
+
     def test_clauses_carry_over_between_bounds(self):
         system, final, depth = shift_register.make(6)
         inc = IncrementalBmc(system, final)
