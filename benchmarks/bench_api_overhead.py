@@ -44,7 +44,7 @@ def _sweep_direct(designs):
 
 def _sweep_session(designs):
     for _, system, final in designs:
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             result = session.sweep(MAX_K, method="sat-incremental")
         assert result.per_bound
 

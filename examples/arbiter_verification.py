@@ -3,11 +3,15 @@
 
 The workflow a verification engineer would run on a real block:
 
-1. *bug hunting* — BMC sweep with jSAT over increasing bounds to look
-   for a mutual-exclusion violation (two grants at once);
-2. *liveness-ish check* — confirm the last client can actually get a
-   grant, and extract the witness waveform;
-3. *full proof* — close the property for ALL depths with k-induction
+1. *spec out the block* — name its obligations as first-class
+   :mod:`repro.spec` properties: the mutual-exclusion invariant, grant
+   reachability, and a bounded-LTL obligation tying requests to
+   grants;
+2. *bug hunting* — resolve every property over ONE shared unrolling
+   (`sweep_properties`): a single incremental solver answers all of
+   them, each at its earliest bound, instead of re-encoding the
+   transition frames per query;
+3. *full proof* — close the invariant for ALL depths with k-induction
    and, independently, with interpolation-based model checking.
 
 Run:  python examples/arbiter_verification.py
@@ -15,35 +19,53 @@ Run:  python examples/arbiter_verification.py
 
 from repro.bmc import (BmcSession, prove_by_induction,
                        prove_by_interpolation)
+from repro.logic import expr as ex
 from repro.models import arbiter
-from repro.sat.types import SolveResult
+from repro.spec import Invariant, Reachable, parse_spec
 
 
 def main() -> None:
     n = 4
-    system, grant_target, grant_depth = arbiter.make(n)
-    _, double_grant, _ = arbiter.make_mutex_check(n)
+    circuit = arbiter.make_circuit(n)
+    system = circuit.to_transition_system()
+    double_grant = circuit.bad["double-grant"]
+    grant_target = ex.var(f"gnt{n - 1}")
     print(f"arbiter with {n} clients: {system.num_state_bits} state bits, "
           f"{len(system.input_vars)} inputs\n")
 
-    # -- 1. hunt for a mutual-exclusion violation up to depth 12.  One
-    # session = one jSAT solver; its no-good cache carries over between
-    # the 13 deepening queries.
-    print("[1] BMC sweep for double-grant (jSAT, k = 0..12)")
-    with BmcSession(system, double_grant, method="jsat") as session:
-        hit, history = session.find_reachable(12)
-    assert hit is None, "mutual exclusion violated?!"
-    print(f"    no violation up to k=12 "
-          f"({len(history)} bounded queries)\n")
+    # -- 1. the specification, as named Property objects.  Spec strings
+    # and AST constructors are interchangeable.
+    properties = {
+        "mutex": Invariant(~double_grant),          # AG !(gnt_i & gnt_j)
+        "grant3": Reachable(grant_target),          # EF gnt3
+        # A deliberately wrong bounded-LTL obligation in the spec
+        # grammar — client 0 holds the token at reset and can win a
+        # grant in the very first cycle, so the checker refutes this
+        # with a concrete counterexample:
+        "gnt0-not-first": parse_spec("X !gnt0"),
+    }
+    print("[1] specification")
+    for name, prop in properties.items():
+        print(f"    {name:15s} {prop}")
+    print()
 
-    # -- 2. show client n-1 can win a grant, with the witness.
-    print(f"[2] reachability of a grant for client {n - 1}")
-    with BmcSession(system, grant_target) as session:
-        result = session.check(grant_depth, method="jsat")
-    assert result.status is SolveResult.SAT
-    print(f"    granted at k={grant_depth}; witness:")
+    # -- 2. one shared unrolling answers all three: k transition frames
+    # are encoded once into one incremental solver, and each property
+    # rides on its own activation group.
+    print("[2] multi-property sweep over one shared unrolling (k = 0..12)")
+    with BmcSession(system, properties=properties) as session:
+        results = session.sweep_properties(12)
+    for name, result in results.items():
+        evidence = "certificate" if result.conclusive \
+            else f"no counterexample up to k={result.k}"
+        print(f"    {name:15s} {result.verdict.value.upper():9s} "
+              f"({evidence})")
+    assert results["mutex"].verdict.value == "holds", \
+        "mutual exclusion violated?!"
+    print(f"    grant witness at k={results['grant3'].k}:")
     show = [f"tok{i}" for i in range(n)] + [f"gnt{n - 1}"]
-    print("    " + result.trace.format(show).replace("\n", "\n    "))
+    print("    " + results["grant3"].trace.format(show)
+          .replace("\n", "\n    "))
     print()
 
     # -- 3a. unbounded proof by k-induction.  The property is not

@@ -1,18 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: bounded reachability through one `BmcSession`.
+"""Quickstart: properties and backends through one `BmcSession`.
 
-Builds a 4-bit counter, asks whether the count 9 is reachable in
-exactly 9 steps, and answers the question with every registered
-decision method through one stateful session:
+Builds a 4-bit counter and checks it two ways:
 
-* formula (1) — classical unrolling + the CDCL SAT solver,
-* formula (2) — the QBF encoding + the general-purpose QDPLL solver,
-* formula (3) — iterative squaring (power-of-two bounds),
-* jSAT       — the paper's special-purpose procedure.
-
-The session keeps each backend's solver state alive between calls, so
-the final bound sweep reuses the incremental solver's clause database
-instead of re-encoding anything.
+* **named properties over one shared unrolling** — an `Invariant`, a
+  `Reachable` target and a bounded-LTL formula, all answered by a
+  single incremental solver with per-property activation groups;
+* **the paper's decision methods** — the same reachability query
+  through every registered backend (formula (1) unrolling, the QBF
+  encodings, jSAT), with solver state persisting across calls.
 
 Run:  python examples/quickstart.py
 """
@@ -20,15 +16,35 @@ Run:  python examples/quickstart.py
 from repro.bmc import BmcSession, check_reachability
 from repro.models import counter
 from repro.sat.types import Budget
+from repro.spec import Invariant, Reachable, parse_spec
 
 
 def main() -> None:
     system, final, depth = counter.make(width=4, target=9)
     print(f"design: {system.name}  (state bits: {system.num_state_bits}, "
           f"|TR| = {system.trans_size()} DAG nodes)")
-    print(f"query: is count==9 reachable in exactly {depth} steps?\n")
 
-    with BmcSession(system, final) as session:
+    # ------------------------------------------------------------------
+    # 1. The specification layer: named properties, one shared unrolling.
+    # ------------------------------------------------------------------
+    properties = {
+        "count9": Reachable(final),              # EF (count == 9)
+        "no-count9": Invariant(~final),          # AG !(count == 9) - fails
+        "c0-toggles": parse_spec("G (c0 -> X !c0)"),   # spec grammar
+    }
+    print("\nproperties over one shared unrolling (k = 12):")
+    with BmcSession(system, properties=properties) as session:
+        for name, result in session.check_properties(12).items():
+            evidence = "certificate" if result.conclusive \
+                else f"bounded, k={result.k}"
+            print(f"  {name:12s} -> {result.verdict.value.upper():9s} "
+                  f"({evidence}, {result.seconds * 1e3:5.1f} ms)")
+
+    # ------------------------------------------------------------------
+    # 2. The paper's comparison: one reachability query, every method.
+    # ------------------------------------------------------------------
+    print(f"\nquery: is count==9 reachable in exactly {depth} steps?\n")
+    with BmcSession(system, properties={"target": final}) as session:
         for method in ("sat-unroll", "jsat", "qbf"):
             # The general-purpose QBF solver needs a leash (that is the
             # paper's point); the others answer instantly.

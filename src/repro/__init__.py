@@ -11,13 +11,15 @@ Quickstart
 ----------
 >>> from repro.models import counter
 >>> from repro.bmc import BmcSession
+>>> from repro.spec import Invariant, Reachable
 >>> system, final, depth = counter.make(width=4, target=9)
->>> with BmcSession(system, final) as session:
-...     result = session.check(9, method="jsat")
->>> result.status.name
-'SAT'
+>>> with BmcSession(system, properties={"hit": Reachable(final),
+...                                     "safe": Invariant(~final)}) as s:
+...     results = s.check_properties(9)
+>>> results["hit"].verdict.name, results["safe"].verdict.name
+('HOLDS', 'VIOLATED')
 """
 
 # Kept in sync with pyproject.toml; the function-API deprecation shims
 # (repro.bmc.engine) are documented against this number.
-__version__ = "0.3.0"
+__version__ = "0.4.0"

@@ -98,7 +98,7 @@ def verify_unbounded(system: TransitionSystem, final: Expr,
     whole deepening loop — the session's persistence is exactly what
     this procedure wants.
     """
-    with BmcSession(system, final) as session:
+    with BmcSession(system, properties={"target": final}) as session:
         for k in range(max_bound + 1):
             result = session.check(k, method=method, semantics="exact",
                                    budget=budget)

@@ -10,9 +10,9 @@ call, so every existing script keeps running while emitting a
 
 Migration table::
 
-    check_reachability(system, final, k, m)   -> BmcSession(system, final).check(k, method=m)
-    sweep(system, final, max_k, method=m)     -> BmcSession(system, final).sweep(max_k, method=m)
-    find_reachable(system, final, K, m, s)    -> BmcSession(system, final).find_reachable(K, method=m, strategy=s)
+    check_reachability(system, final, k, m)   -> BmcSession(system, properties={"target": final}).check(k, method=m)
+    sweep(system, final, max_k, method=m)     -> BmcSession(system, properties={"target": final}).sweep(max_k, method=m)
+    find_reachable(system, final, K, m, s)    -> BmcSession(system, properties={"target": final}).find_reachable(K, method=m, strategy=s)
 
 The session form is strictly more capable: backend solver state
 persists across calls (the incremental clause database, the jSAT
@@ -69,7 +69,7 @@ def check_reachability(system: TransitionSystem, final: Expr, k: int,
     # backend declares it (registry-driven — no method-name ladder).
     if "qbf_backend" in backend_class(method).options_class.option_names():
         options.setdefault("qbf_backend", qbf_backend)
-    with BmcSession(system, final) as session:
+    with BmcSession(system, properties={"target": final}) as session:
         return session.check(k, method=method, semantics=semantics,
                              budget=budget, **options)
 
@@ -84,7 +84,7 @@ def sweep(system: TransitionSystem, final: Expr, max_k: int,
     plus per-bound records; the budget is global across the sweep.
     """
     _deprecated("sweep()", "BmcSession.sweep()")
-    with BmcSession(system, final) as session:
+    with BmcSession(system, properties={"target": final}) as session:
         return session.sweep(max_k, method=method, budget=budget,
                              **options)
 
@@ -102,7 +102,7 @@ def find_reachable(system: TransitionSystem, final: Expr,
     backend registry before any solving starts.
     """
     _deprecated("find_reachable()", "BmcSession.find_reachable()")
-    with BmcSession(system, final) as session:
+    with BmcSession(system, properties={"target": final}) as session:
         return session.find_reachable(max_bound, method=method,
                                       strategy=strategy, budget=budget,
                                       **options)

@@ -1,41 +1,54 @@
-"""The stateful front end: one :class:`BmcSession` per query family.
+"""The stateful front end: one :class:`BmcSession` per system under check.
 
-A session binds one ``(system, final)`` reachability query family and
-hands out :class:`~repro.bmc.backend.Backend` instances from the
-registry, keeping each instance — and therefore its long-lived solver
-state — alive across ``check`` / ``sweep`` / ``find_reachable`` calls:
+A session binds one transition system plus any number of *named
+properties* (:mod:`repro.spec`) and hands out two kinds of engines,
+both keeping long-lived solver state alive across calls:
 
-* the ``sat-incremental`` backend keeps its growing clause database and
-  surviving learnt clauses between calls, so deepening a bound never
-  re-encodes a frame twice;
-* the ``jsat`` backend keeps its single TR copy and its bound-
-  independent no-good cache, so states proven hopeless in one call stay
-  hopeless in the next.
+* **reachability backends** from the registry
+  (:class:`~repro.bmc.backend.Backend`) for the paper's exact-k /
+  within-k queries — ``check`` / ``sweep`` / ``find_reachable``
+  operate on the session's *reachability target*, derived from its
+  single property (``Reachable(p)`` targets ``p``, ``Invariant(p)``
+  targets ``¬p``);
+* the **multi-property checker**
+  (:class:`~repro.spec.checker.PropertyChecker`) for
+  ``check_properties`` / ``sweep_properties`` — every registered
+  property answered over **one shared unrolling** inside one
+  incremental solver, with per-property activation groups.
 
 Typed per-backend options are validated up front (unknown kwargs raise
-instead of vanishing), and an ``on_bound`` observer streams per-bound
-:class:`~repro.bmc.incremental.BoundResult` records during sweeps and
-iterative deepening — progress reporting without polling.
+instead of vanishing), ``on_bound`` observers stream per-bound
+progress, and SAT answers are validated in debug mode (witness replay
+against the transition system).
 
 Example
 -------
 >>> from repro.bmc import BmcSession
+>>> from repro.spec import Invariant, Reachable
 >>> from repro.models import counter
 >>> system, final, depth = counter.make(3, 5)
->>> with BmcSession(system, final) as session:
-...     exact = session.check(depth, method="jsat")
-...     swept = session.sweep(depth + 1, method="sat-incremental")
->>> exact.status.name, swept.shortest_k == depth
-('SAT', True)
+>>> with BmcSession(system, properties={
+...         "hit": Reachable(final),
+...         "safe": Invariant(~final)}) as session:
+...     results = session.check_properties(depth)
+>>> results["hit"].verdict.name, results["safe"].verdict.name
+('HOLDS', 'VIOLATED')
+
+The pre-0.4 form ``BmcSession(system, final_expr)`` still works as a
+deprecated shim for the single anonymous reachability target.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Tuple
+import warnings
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..logic.expr import Expr
 from ..sat.types import Budget, SolveResult
+from ..spec.checker import (OnPropertyBound, PropertyChecker,
+                            PropertyResult, normalize_properties)
+from ..spec.property import Property, reachability_target
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
 from .backend import (SEMANTICS, Backend, BmcResult, OnBound, create_backend,
@@ -43,48 +56,105 @@ from .backend import (SEMANTICS, Backend, BmcResult, OnBound, create_backend,
 from .backends import squaring_ladder
 from .incremental import BoundResult, SweepResult
 
-__all__ = ["BmcSession"]
+__all__ = ["BmcSession", "shorten_to_final"]
 
 
 def shorten_to_final(trace: Trace, final: Expr) -> Trace:
-    """Cut a within-mode trace at its first final state."""
-    for i, state in enumerate(trace.states):
-        if final.evaluate(state):
-            return Trace(trace.states[:i + 1], trace.inputs[:i])
-    return trace
+    """Cut a within-mode trace at its first final state (see
+    :meth:`repro.system.trace.Trace.shorten_to`)."""
+    return trace.shorten_to(final)
 
 
 class BmcSession:
-    """Bounded model checking over one query family, any backend.
+    """Bounded model checking of one system, any backend, any property.
 
     Parameters
     ----------
-    system, final:
-        The query family: is a state satisfying ``final`` reachable
-        from init in exactly / at most k steps?
+    system:
+        The transition system under check.
+    final:
+        **Deprecated** — the anonymous reachability target of the
+    pre-0.4 API; equivalent to ``properties={"target": Reachable(final)}``.
+    properties:
+        The session's named properties: a mapping
+        ``{name: Property | Expr}`` (raw expressions are wrapped as
+        ``Reachable`` targets), a single Property, or None.
     method:
-        Default backend name for calls that do not name one.
+        Default backend name for reachability calls that do not name
+        one.
     on_bound:
         Session-wide per-bound observer (``on_bound(BoundResult)``)
         invoked during sweeps and iterative deepening; a per-call
         ``on_bound`` argument overrides it.
 
     The session is a context manager; :meth:`close` releases every
-    backend's solver state.  Backend instances are cached per
-    ``(method, options)``, so two calls with identical options share
-    state while differing options get independent instances.
+    backend's and the property checker's solver state.  Backend
+    instances are cached per ``(method, options)``, so two calls with
+    identical options share state while differing options get
+    independent instances.
     """
 
-    def __init__(self, system: TransitionSystem, final: Expr,
+    def __init__(self, system: TransitionSystem,
+                 final: Optional[Expr] = None, *,
+                 properties: Union[Mapping[str, Union[Property, Expr]],
+                                   Property, Expr, None] = None,
                  method: str = "sat-unroll",
                  on_bound: OnBound | None = None) -> None:
         validate_method(method)
+        if final is not None and properties is not None:
+            raise TypeError("pass either final or properties, not both")
+        if final is not None:
+            warnings.warn(
+                "BmcSession(system, final) is deprecated; pass "
+                "properties={'target': final} (or a repro.spec Property) "
+                "instead", DeprecationWarning, stacklevel=2)
+            properties = {"target": final}
         self.system = system
-        self.final = final
+        self.properties: Dict[str, Property] = \
+            normalize_properties(properties)
         self.method = method
         self.on_bound = on_bound
         self._backends: Dict[Tuple[str, str], Backend] = {}
+        self._checker: Optional[PropertyChecker] = None
         self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def final(self) -> Optional[Expr]:
+        """The session's reachability target, when it has exactly one
+        property that reduces to plain reachability (``Reachable(p)``
+        → ``p``, ``Invariant(p)`` / ``G p`` → ``¬p``); None otherwise.
+        """
+        if len(self.properties) != 1:
+            return None
+        (prop,) = self.properties.values()
+        return reachability_target(prop)
+
+    def _require_final(self, what: str) -> Expr:
+        final = self.final
+        if final is not None:
+            return final
+        if len(self.properties) != 1:
+            raise ValueError(
+                f"{what} answers the session's single reachability "
+                f"target, but this session has "
+                f"{len(self.properties)} properties "
+                f"({sorted(self.properties)}); use check_properties() "
+                f"/ sweep_properties(), or open a session per target")
+        (name,) = self.properties
+        raise ValueError(
+            f"{what} answers plain reachability, but property {name!r} "
+            f"({self.properties[name]}) is a general bounded-LTL "
+            f"property; use check_properties() / sweep_properties()")
+
+    def add_property(self, name: str,
+                     prop: Union[Property, Expr]) -> None:
+        """Register another named property on the live session."""
+        self._require_open()
+        prop = normalize_properties({name: prop})[name]
+        self.properties[name] = prop
+        if self._checker is not None:
+            self._checker.add_property(name, prop)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "BmcSession":
@@ -94,10 +164,14 @@ class BmcSession:
         self.close()
 
     def close(self) -> None:
-        """Release every cached backend's long-lived solver state."""
+        """Release every cached backend's and the property checker's
+        long-lived solver state."""
         for backend in self._backends.values():
             backend.close()
         self._backends.clear()
+        if self._checker is not None:
+            self._checker.close()
+            self._checker = None
         self._closed = True
 
     def _require_open(self) -> None:
@@ -113,13 +187,14 @@ class BmcSession:
         its solver state) is cached for the session's lifetime.
         """
         self._require_open()
+        final = self._require_final("backend()")
         name = method or self.method
         cls = validate_method(name)
         opts = cls.options_class.from_kwargs(**options)
         key = (name, opts.cache_key())
         backend = self._backends.get(key)
         if backend is None:
-            backend = create_backend(name, self.system, self.final,
+            backend = create_backend(name, self.system, final,
                                      options=opts)
             self._backends[key] = backend
         return backend
@@ -128,17 +203,20 @@ class BmcSession:
     def check(self, k: int, method: str | None = None,
               semantics: str = "exact",
               budget: Budget | None = None, **options: Any) -> BmcResult:
-        """Decide whether ``final`` is reachable at bound ``k``.
+        """Decide whether the reachability target is reachable at bound k.
 
         ``semantics`` is "exact" (in exactly k steps — the paper's
         query) or "within" (in at most k steps).  Within-mode traces
         are cut at their first final state uniformly, whatever back end
-        produced them.
+        produced them.  In debug mode (``__debug__``) every SAT trace
+        is re-validated against the transition system before being
+        returned.
         """
         if k < 0:
             raise ValueError("bound k must be non-negative")
         if semantics not in SEMANTICS:
             raise ValueError(f"unknown semantics {semantics!r}")
+        final = self._require_final("check()")
         backend = self.backend(method, **options)
         if semantics not in backend.supported_semantics:
             raise ValueError(
@@ -148,7 +226,16 @@ class BmcSession:
         start = time.perf_counter()
         result = backend.check(k, semantics=semantics, budget=budget)
         if semantics == "within" and result.trace is not None:
-            result.trace = shorten_to_final(result.trace, self.final)
+            result.trace = result.trace.shorten_to(final)
+        if __debug__ and result.status is SolveResult.SAT \
+                and result.trace is not None:
+            result.trace.validate(self.system, final)
+            if semantics == "exact" and result.trace.length != k:
+                from ..system.trace import TraceError
+                raise TraceError(
+                    f"backend {backend.name!r} returned a length-"
+                    f"{result.trace.length} trace for an exact-{k} "
+                    f"query")
         result.seconds = time.perf_counter() - start
         return result
 
@@ -190,6 +277,7 @@ class BmcSession:
         any solving starts.  Returns ``(hit, history)`` where ``hit``
         is the first SAT result (or None) and ``history`` records every
         iteration — experiment E3 reads the iteration counts from it.
+        The hit's witness trace is debug-validated by :meth:`check`.
         """
         backend = self.backend(method, **options)   # validates up front
         if strategy == "linear":
@@ -221,7 +309,58 @@ class BmcSession:
         return None, history
 
     # ------------------------------------------------------------------
+    # The multi-property engine: one shared unrolling for all
+    # ------------------------------------------------------------------
+    def checker(self) -> PropertyChecker:
+        """The session's shared-unrolling property checker (created on
+        first use; frames and learnt clauses persist across calls)."""
+        self._require_open()
+        if not self.properties:
+            raise ValueError("this session has no properties; construct "
+                             "it with properties={...} or add_property()")
+        if self._checker is None:
+            self._checker = PropertyChecker(self.system, self.properties)
+        return self._checker
+
+    def check_properties(self, k: int, names: List[str] | None = None,
+                         budget: Budget | None = None,
+                         on_result=None) -> Dict[str, PropertyResult]:
+        """Check every (selected) property at bound k — one unrolling,
+        one incremental solver, per-property activation groups.
+
+        The search is bounded ("within k"): a universal property is
+        VIOLATED when a counterexample path of length ≤ k exists, a
+        ``Reachable`` HOLDS when a witness does.  ``budget`` is a
+        shared pool across the batch; ``on_result(PropertyResult)``
+        streams each property's answer as it lands.
+        """
+        return self.checker().check_all(k, names=names, budget=budget,
+                                        on_result=on_result)
+
+    def sweep_properties(self, max_k: int,
+                         names: List[str] | None = None,
+                         budget: Budget | None = None,
+                         on_bound: OnPropertyBound | None = None
+                         ) -> Dict[str, PropertyResult]:
+        """Resolve each property at its earliest bound in 0..max_k over
+        the shared unrolling.
+
+        ``on_bound(name, BoundResult)`` streams every (property, bound)
+        record; when omitted, the session-wide ``on_bound`` observer
+        (if any) receives the per-bound records without the name.
+        """
+        observer = on_bound
+        if observer is None and self.on_bound is not None:
+            session_observer = self.on_bound
+
+            def observer(_name: str, bound: BoundResult) -> None:
+                session_observer(bound)
+        return self.checker().sweep(max_k, names=names, budget=budget,
+                                    on_bound=observer)
+
+    # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover
         return (f"BmcSession({self.system.name!r}, "
+                f"properties={sorted(self.properties)}, "
                 f"method={self.method!r}, "
                 f"backends={sorted(k for k, _ in self._backends)})")

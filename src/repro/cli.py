@@ -16,6 +16,14 @@ Subcommands
     ``--methods``): per-bound statuses, solver-reuse statistics, and
     the shortest counterexample with its time-to-cex.  The default
     method is ``sat-incremental`` — one solver across all bounds.
+``check [FAMILY]``
+    Check *named properties* — invariants and bounded-LTL formulas —
+    over one shared unrolling.  ``--spec "G !(req0 & req1)"`` (repeat
+    for several; optional ``name := formula`` labels) supplies
+    properties in the spec grammar; without ``--spec`` the family's
+    standard multi-property bundle (or every ``SPEC``/``INVARSPEC`` of
+    an ``--smv`` module) is checked.  ``--sweep`` resolves each
+    property at its earliest bound and streams progress.
 ``batch``
     Run a (suite × methods) matrix across a worker pool
     (``--jobs N``), optionally memoized on disk (``--cache DIR``);
@@ -102,7 +110,8 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
         # --jobs caps the number of raced methods (one process each).
         from .portfolio.race import DEFAULT_RACE_METHODS
         options["portfolio_methods"] = DEFAULT_RACE_METHODS[:args.jobs]
-    with BmcSession(instance.system, instance.final) as session:
+    with BmcSession(instance.system,
+                    properties={"target": instance.final}) as session:
         result = session.check(k, method=args.method,
                                semantics=args.semantics,
                                budget=_budget_from_args(args), **options)
@@ -126,7 +135,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     instance = instances[0]
     max_k = args.max_k if args.max_k is not None else instance.k
     status = 0
-    with BmcSession(instance.system, instance.final) as session:
+    with BmcSession(instance.system,
+                    properties={"target": instance.final}) as session:
         for method in args.methods:
             result = session.sweep(max_k, method=method,
                                    budget=_budget_from_args(args))
@@ -139,6 +149,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 status = 2
             print()
     return status
+
+
+def _parse_cli_specs(spec_args: List[str]):
+    """Parse repeated ``--spec`` values (optionally ``name := formula``)."""
+    from .spec import parse_spec
+
+    properties = {}
+    for i, text in enumerate(spec_args):
+        name = None
+        if ":=" in text:
+            name, text = (part.strip() for part in text.split(":=", 1))
+        name = name or f"spec{i}"
+        if name in properties:
+            raise ValueError(f"duplicate spec label {name!r}")
+        properties[name] = parse_spec(text)
+    return properties
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .models.suite import build_property_suite
+    from .spec import SpecError, Verdict
+
+    if (args.family is None) == (args.smv is None):
+        print("check: give exactly one of FAMILY or --smv FILE",
+              file=sys.stderr)
+        return 1
+    if args.smv is not None:
+        from .system.smv import parse_smv
+        with open(args.smv) as handle:
+            circuit = parse_smv(handle.read())
+        system = circuit.to_transition_system()
+        properties = dict(circuit.properties)
+        subject, default_k = circuit.name, 10
+    else:
+        instances = [i for i in build_property_suite()
+                     if i.family == args.family]
+        if not instances:
+            print(f"unknown family {args.family!r}; "
+                  f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+            return 1
+        instance = instances[0]
+        system = instance.system
+        properties = dict(instance.properties)
+        subject, default_k = instance.name, instance.k
+    try:
+        if args.spec:
+            properties = _parse_cli_specs(args.spec)
+        if not properties:
+            print("check: no properties (the module declares no specs "
+                  "and no --spec was given)", file=sys.stderr)
+            return 1
+        k = args.k if args.k is not None else default_k
+        budget = _budget_from_args(args)
+        with BmcSession(system, properties=properties) as session:
+            if args.sweep:
+                results = session.sweep_properties(
+                    k, budget=budget,
+                    on_bound=lambda name, b: print(
+                        f"  [{name}] bound {b.k}: {b.status.name}"))
+            else:
+                results = session.check_properties(k, budget=budget)
+    except (SpecError, ValueError) as err:
+        print(f"check: {err}", file=sys.stderr)
+        return 1
+    print(f"== {subject}: {len(results)} properties, bound {k} ==")
+    verdicts = set()
+    for name, result in results.items():
+        evidence = "certificate" if result.conclusive \
+            else f"bounded, k={result.k}"
+        print(f"{name:24s} {result.verdict.value.upper():9s} "
+              f"({evidence}, {result.seconds * 1e3:.1f} ms)  "
+              f"{result.prop}")
+        if result.trace is not None:
+            print(result.trace.format(sorted(system.state_vars)))
+        verdicts.add(result.verdict)
+    # A definite violation outranks an inconclusive property: CI
+    # gating on exit 1 must never miss a real counterexample.
+    if Verdict.VIOLATED in verdicts:
+        return 1
+    if Verdict.UNKNOWN in verdicts:
+        return 2
+    return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -287,6 +379,25 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["sat-incremental"],
                    help="methods to sweep (each gets its own pass)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("check",
+                       help="check named properties / LTL specs over "
+                            "one shared unrolling")
+    p.add_argument("family", nargs="?", default=None,
+                   help=f"one of: {', '.join(FAMILIES)}")
+    p.add_argument("--smv", metavar="FILE", default=None,
+                   help="check an SMV module's SPEC/INVARSPEC entries")
+    p.add_argument("--spec", action="append", default=None,
+                   metavar="[NAME :=] FORMULA",
+                   help="a property in the spec grammar (repeatable); "
+                        "replaces the default property set")
+    p.add_argument("-k", type=int, default=None,
+                   help="bound (default: the family's suite bound, or "
+                        "10 for --smv)")
+    p.add_argument("--sweep", action="store_true",
+                   help="resolve each property at its earliest bound "
+                        "0..k, streaming per-bound progress")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("batch",
                        help="run a (suite x methods) matrix on a "

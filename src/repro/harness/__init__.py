@@ -2,18 +2,23 @@
 
 from .experiments import (PAPER_E1, run_e1, run_e2, run_e3, run_e4, run_e5,
                           run_e6, run_e7, run_e8)
-from .report import (format_growth, format_per_family, format_solved_counts,
+from .report import (format_growth, format_per_family,
+                     format_property_results, format_solved_counts,
                      format_sweep, format_table, format_worker_attribution)
-from .runner import (CellResult, default_budget, run_cell, run_matrix,
-                     run_sweep_cell, solved_counts)
+from .runner import (CellResult, PropertyCellResult, default_budget,
+                     run_cell, run_matrix, run_property_cell,
+                     run_property_matrix, run_sweep_cell, solved_counts,
+                     verdict_counts)
 
 __all__ = [
     "run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6", "run_e7",
     "run_e8",
     "PAPER_E1",
     "CellResult", "run_cell", "run_sweep_cell", "run_matrix",
-    "solved_counts",
+    "PropertyCellResult", "run_property_cell", "run_property_matrix",
+    "solved_counts", "verdict_counts",
     "default_budget",
     "format_table", "format_solved_counts", "format_per_family",
     "format_growth", "format_worker_attribution", "format_sweep",
+    "format_property_results",
 ]

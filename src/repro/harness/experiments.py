@@ -85,7 +85,8 @@ def run_e3(ring_length: int = 12) -> Tuple[Dict[str, int], str]:
     """
     system, final, depth = shift_register.make(ring_length)
     assert depth is not None
-    with BmcSession(system, final, method="sat-unroll") as session:
+    with BmcSession(system, properties={"target": final},
+                    method="sat-unroll") as session:
         hit_lin, hist_lin = session.find_reachable(depth + 2,
                                                    strategy="linear")
         hit_sq, hist_sq = session.find_reachable(depth + 2,
@@ -135,7 +136,8 @@ def run_e5(max_k: int = 6, budget_seconds: float = 2.0
         # A fresh session per row: the per-k timing comparison assumes
         # cold solvers, so jsat must not carry its no-good cache (or a
         # warm clause database) between rows while qbf starts cold.
-        with BmcSession(system, final) as session:
+        with BmcSession(system,
+                        properties={"target": final}) as session:
             for method in ("qbf", "jsat"):
                 result = session.check(k, method=method, budget=budget)
                 row[method] = result.status.name
@@ -169,7 +171,8 @@ def run_e6(width: int = 8, bounds: Sequence[int] = (4, 8, 16, 32)
         row: Dict = {"k": k}
         # A fresh session per row: the query target changes with k, and
         # the peak-memory numbers must not share solver state.
-        with BmcSession(system, final_k) as session:
+        with BmcSession(system,
+                        properties={"target": final_k}) as session:
             unroll = session.check(k, method="sat-unroll")
             row["unroll_peak"] = unroll.stats.get(
                 "solver_peak_db_literals", 0)
@@ -248,7 +251,7 @@ def run_e8(friendly_width: int = 8, dense_width: int = 12,
     data["dense_nodes"] = blown.manager.size()
 
     target = ex.var(f"x{dense_width - 1}")
-    with BmcSession(dense, target) as session:
+    with BmcSession(dense, properties={"target": target}) as session:
         jsat = session.check(jsat_bound, method="jsat")
     data["jsat_status"] = jsat.status.name
     data["jsat_peak_literals"] = jsat.stats.get("peak_db_literals", 0)

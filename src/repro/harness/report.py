@@ -10,10 +10,25 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from ..bmc.incremental import SweepResult
-from .runner import CellResult
+from .runner import CellResult, PropertyCellResult
 
 __all__ = ["format_table", "format_solved_counts", "format_per_family",
-           "format_growth", "format_worker_attribution", "format_sweep"]
+           "format_growth", "format_worker_attribution", "format_sweep",
+           "format_property_results"]
+
+
+def format_property_results(cells: Iterable[PropertyCellResult]) -> str:
+    """Per-(instance, property) verdict table for a property matrix."""
+    headers = ["instance", "property", "verdict", "evidence", "k", "ms"]
+    rows: List[List[object]] = []
+    for cell in cells:
+        result = cell.result
+        evidence = "certificate" if result.conclusive \
+            else f"bounded k={result.k}"
+        rows.append([cell.instance.name, result.name,
+                     result.verdict.value, evidence, result.k,
+                     f"{cell.seconds * 1e3:.1f}"])
+    return format_table(headers, rows)
 
 
 def format_table(headers: Sequence[str],

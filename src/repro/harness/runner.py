@@ -18,6 +18,13 @@ the cell's status is the sweep verdict, and the stats record the
 number of bounds checked and the wall time to the shortest
 counterexample — the evaluation axis the incremental driver exists
 for.
+
+``run_matrix(mode="properties")`` (or :func:`run_property_matrix`
+directly) adds the *property* axis: every named property of each
+instance is checked at the instance's bound through one
+shared-unrolling session (:meth:`BmcSession.check_properties`), or —
+with ``shared=False`` — through one throwaway session per property,
+the sequential baseline the multi-property benchmark compares against.
 """
 
 from __future__ import annotations
@@ -30,9 +37,13 @@ from ..bmc.metrics import measure_time
 from ..bmc.session import BmcSession
 from ..models.suite import Instance
 from ..sat.types import Budget, SolveResult
+from ..spec.checker import PropertyResult
+from ..spec.property import Verdict
 
-__all__ = ["CellResult", "run_cell", "run_sweep_cell", "run_matrix",
-           "default_budget", "solved_counts"]
+__all__ = ["CellResult", "PropertyCellResult", "run_cell",
+           "run_sweep_cell", "run_property_cell", "run_matrix",
+           "run_property_matrix", "default_budget", "solved_counts",
+           "verdict_counts"]
 
 
 def default_budget(scale: float = 1.0) -> Budget:
@@ -94,7 +105,8 @@ def run_cell(instance: Instance, method: str,
     class (unknown keys raise).
     """
     with measure_time() as timing:
-        with BmcSession(instance.system, instance.final) as session:
+        with BmcSession(instance.system,
+                        properties={"target": instance.final}) as session:
             result = session.check(instance.k, method=method,
                                    semantics=semantics, budget=budget,
                                    **options)
@@ -119,7 +131,8 @@ def run_sweep_cell(instance: Instance, method: str,
     own bound (exact-k reachability implies the sweep cannot miss it).
     """
     with measure_time() as timing:
-        with BmcSession(instance.system, instance.final) as session:
+        with BmcSession(instance.system,
+                        properties={"target": instance.final}) as session:
             swept = session.sweep(instance.k, method=method,
                                   budget=budget, **options)
     correct: Optional[bool] = None
@@ -142,6 +155,94 @@ def run_sweep_cell(instance: Instance, method: str,
                       for key, value in swept.per_bound[-1].stats.items()})
     return CellResult(instance, method, swept.status, timing.wall_seconds,
                       correct, stats, cpu_seconds=timing.cpu_seconds)
+
+
+class PropertyCellResult:
+    """Outcome of one (instance, property) check.
+
+    Wraps the checker's :class:`~repro.spec.checker.PropertyResult`
+    with the harness bookkeeping (instance provenance, wall/CPU time
+    of the enclosing session call).
+    """
+
+    def __init__(self, instance: Instance, result: PropertyResult,
+                 seconds: float, cpu_seconds: float = 0.0) -> None:
+        self.instance = instance
+        self.result = result
+        self.seconds = seconds
+        self.cpu_seconds = cpu_seconds
+
+    @property
+    def property_name(self) -> str:
+        return self.result.name
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.result.verdict
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"PropertyCellResult({self.instance.name!r}, "
+                f"{self.result.name!r}, {self.verdict.name})")
+
+
+def run_property_cell(instance: Instance,
+                      budget: Budget | None = None,
+                      shared: bool = True) -> List[PropertyCellResult]:
+    """Check every named property of one instance at its bound.
+
+    ``shared=True`` answers all properties over one shared unrolling
+    in one session; ``shared=False`` opens a fresh session per
+    property — the sequential baseline (same verdicts, re-encoded
+    transition frames per property).
+    """
+    out: List[PropertyCellResult] = []
+    if shared:
+        with measure_time() as timing:
+            with BmcSession(instance.system,
+                            properties=instance.properties) as session:
+                results = session.check_properties(instance.k,
+                                                   budget=budget)
+        per = timing.wall_seconds / max(1, len(results))
+        per_cpu = timing.cpu_seconds / max(1, len(results))
+        for result in results.values():
+            out.append(PropertyCellResult(instance, result, per, per_cpu))
+        return out
+    for name, prop in instance.properties.items():
+        with measure_time() as timing:
+            with BmcSession(instance.system,
+                            properties={name: prop}) as session:
+                result = session.check_properties(instance.k,
+                                                  budget=budget)[name]
+        out.append(PropertyCellResult(instance, result,
+                                      timing.wall_seconds,
+                                      timing.cpu_seconds))
+    return out
+
+
+def run_property_matrix(instances: Sequence[Instance],
+                        budget: Budget | None = None,
+                        shared: bool = True) -> List[PropertyCellResult]:
+    """The (instances × properties) matrix, instance-major."""
+    out: List[PropertyCellResult] = []
+    for instance in instances:
+        out.extend(run_property_cell(instance, budget=budget,
+                                     shared=shared))
+    return out
+
+
+def verdict_counts(cells: Iterable[PropertyCellResult]
+                   ) -> Dict[str, Dict[str, int]]:
+    """Per-property-name verdict tallies across a property matrix."""
+    table: Dict[str, Dict[str, int]] = {}
+    for cell in cells:
+        row = table.setdefault(cell.property_name, {
+            "total": 0, "holds": 0, "violated": 0, "unknown": 0,
+            "certified": 0})
+        row["total"] += 1
+        row[cell.verdict.value] += 1
+        if cell.result.conclusive:
+            row["certified"] += 1
+    return table
 
 
 def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
@@ -168,14 +269,33 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
     :func:`run_sweep_cell` (serial only: sweeps keep a live solver per
     cell, so they are not sharded or cached).
 
+    ``mode="properties"`` checks every *named property* of each
+    instance instead of the single final target, through one
+    shared-unrolling session per instance
+    (:func:`run_property_matrix`; serial only, ``methods`` does not
+    apply — the spec engine is the incremental SAT checker — and must
+    be empty or ``("spec",)``).  Returns
+    :class:`PropertyCellResult` rows.
+
     ``**options`` are broadcast: each method takes the keys its typed
     options class accepts (e.g. ``use_cache=False`` tunes jsat while
     sat-unroll ignores it); a key no listed method accepts raises.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if mode not in ("single", "sweep"):
-        raise ValueError(f"unknown mode {mode!r}; pick 'single' or 'sweep'")
+    if mode not in ("single", "sweep", "properties"):
+        raise ValueError(f"unknown mode {mode!r}; pick 'single', "
+                         f"'sweep' or 'properties'")
+    if mode == "properties":
+        if tuple(methods) not in ((), ("spec",)):
+            raise ValueError(
+                "mode='properties' checks named properties with the "
+                "shared-unrolling spec engine; pass methods=() (or "
+                "('spec',)), not a backend list")
+        if (jobs is not None and jobs > 1) or cache is not None or options:
+            raise ValueError("property mode runs serially "
+                             "(no jobs/cache/backend options)")
+        return run_property_matrix(instances, budget=budget)
     per_method = fan_out_options(methods, options)
     if mode == "sweep":
         if (jobs is not None and jobs > 1) or cache is not None:

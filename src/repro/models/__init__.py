@@ -3,7 +3,8 @@
 from . import (arbiter, barrel, cache_msi, counter, elevator, fifo, gray,
                lfsr, mixer, mutex, pipeline, shift_register, traffic,
                vending)
-from .suite import FAMILIES, Instance, build_suite, suite_summary
+from .suite import (FAMILIES, Instance, build_property_suite, build_suite,
+                    default_property_bundle, suite_summary)
 
 __all__ = [
     "counter",
@@ -22,6 +23,8 @@ __all__ = [
     "vending",
     "Instance",
     "build_suite",
+    "build_property_suite",
+    "default_property_bundle",
     "suite_summary",
     "FAMILIES",
 ]

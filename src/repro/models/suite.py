@@ -14,36 +14,93 @@ Instances carry:
 * ``expected`` — True (reachable in exactly k steps), False, or None
   when the ground truth was not precomputed (never the case for the
   instances generated here);
-* ``family`` / ``name`` — provenance for per-family reporting (E4).
+* ``family`` / ``name`` — provenance for per-family reporting (E4);
+* ``properties`` — the instance's named specifications
+  (:mod:`repro.spec`); by default the single ``Reachable(final)``
+  target.  :func:`build_property_suite` yields one *multi-property*
+  instance per family, bundling the target with invariant and
+  bounded-LTL obligations over the same system — the workload the
+  shared-unrolling session exists for.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..logic import expr as ex
 from ..logic.expr import Expr
+from ..spec.property import (Atom, Finally, Invariant, Next, Property,
+                             Reachable, Until)
 from ..system.model import TransitionSystem
 from . import (arbiter, barrel, cache_msi, counter, elevator, fifo, gray,
                lfsr, mutex, pipeline, shift_register, traffic, vending)
 
-__all__ = ["Instance", "build_suite", "FAMILIES", "suite_summary"]
+__all__ = ["Instance", "build_suite", "build_property_suite",
+           "default_property_bundle", "FAMILIES", "suite_summary"]
 
 
 class Instance:
     """One (design, bound) BMC instance with ground truth."""
 
     def __init__(self, name: str, family: str, system: TransitionSystem,
-                 final: Expr, k: int, expected: Optional[bool]) -> None:
+                 final: Expr, k: int, expected: Optional[bool],
+                 properties: Optional[Mapping[str, Property]] = None
+                 ) -> None:
         self.name = name
         self.family = family
         self.system = system
         self.final = final
         self.k = k
         self.expected = expected        # exact-k reachability ground truth
+        if properties is None:
+            properties = {"target": Reachable(final)}
+        self.properties: Dict[str, Property] = dict(properties)
 
     def __repr__(self) -> str:  # pragma: no cover
         truth = {True: "SAT", False: "UNSAT", None: "?"}[self.expected]
         return f"Instance({self.name!r}, k={self.k}, {truth})"
+
+
+def default_property_bundle(final: Expr) -> Dict[str, Property]:
+    """The standard multi-property bundle around one target predicate.
+
+    Five properties exercising every Property kind over one system:
+    the existential target, its safety dual, and universal
+    F / X / U obligations (checked as bounded-LTL claims, lasso
+    counterexamples included).
+    """
+    not_final = ex.mk_not(final)
+    return {
+        "reach-target": Reachable(final),
+        "never-target": Invariant(not_final),
+        "eventually-target": Finally(Atom(final)),
+        "clear-first-steps": Next(Next(Atom(not_final))),
+        "clear-until-target": Until(Atom(not_final), Atom(final)),
+    }
+
+
+def build_property_suite() -> List[Instance]:
+    """One multi-property instance per design family.
+
+    For each family, the deepest suite rung of the family's first
+    system is reused and equipped with :func:`default_property_bundle`
+    — five named properties over one shared system, the workload for
+    :meth:`repro.bmc.session.BmcSession.check_properties` and the
+    ``bench_multiprop`` benchmark.
+    """
+    deepest: Dict[str, Instance] = {}
+    first_system: Dict[str, int] = {}
+    for inst in build_suite():
+        system_id = first_system.setdefault(inst.family, id(inst.system))
+        if id(inst.system) != system_id:
+            continue
+        best = deepest.get(inst.family)
+        if best is None or inst.k > best.k:
+            deepest[inst.family] = inst
+    return [Instance(f"{inst.family}-multiprop", inst.family, inst.system,
+                     inst.final, inst.k, inst.expected,
+                     properties=default_property_bundle(inst.final))
+            for inst in deepest.values()]
 
 
 # ----------------------------------------------------------------------

@@ -74,7 +74,9 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     with measure_time() as timing:
         try:
-            with BmcSession(payload["system"], payload["final"]) as session:
+            with BmcSession(payload["system"],
+                            properties={"target": payload["final"]}
+                            ) as session:
                 result = session.check(
                     payload["k"], method=payload["method"],
                     semantics=payload.get("semantics", "exact"),

@@ -77,7 +77,9 @@ class CdclSolver:
     -------
     >>> s = CdclSolver()
     >>> s.add_clause([1, 2])
+    True
     >>> s.add_clause([-1, 2])
+    True
     >>> s.solve() is SolveResult.SAT
     True
     >>> s.model_value(2)

@@ -1,0 +1,510 @@
+"""Multi-property checking over one shared unrolling.
+
+The expensive object in BMC is the unrolled transition formula
+I(s_0) ∧ TR(s_0,s_1) ∧ ... ∧ TR(s_{k-1},s_k) — the paper's whole
+argument.  :class:`SharedUnrolling` encodes it exactly once into one
+long-lived incremental CDCL solver (one Tseitin frame per step, like
+:class:`repro.bmc.incremental.IncrementalBmc`), and every *property*
+rides on top as a retractable constraint:
+
+* the property's per-bound witness formula (:mod:`repro.spec.ltl`)
+  is Tseitin-encoded and attached through an assumption *group
+  literal* ``g`` via the guard clause ``(-g, witness)``;
+* solving under the single assumption ``g`` answers that property
+  alone — the unrolling, every other property's encoding, and all
+  surviving learnt clauses stay shared;
+* once answered, the group is retired with the unit ``-g`` and
+  physically reclaimed on the next purge — the jSAT blocking-clause
+  idiom the PR 2/3 machinery established.
+
+:class:`PropertyChecker` drives N named properties through one such
+unrolling (``check_all``) or up a bound ladder (``sweep``), which is
+where the multi-property speedup comes from: k transition frames are
+encoded once instead of N times.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..logic.cnf import CNF, VarPool
+from ..logic.expr import Expr
+from ..logic.tseitin import TseitinEncoder
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SolveResult
+from ..system.model import TransitionSystem
+from ..system.trace import Trace, TraceError
+from .eval import holds_on_path
+from .ltl import (compile_search, loop_conditions_for, loop_input_name,
+                  needs_loop_closure)
+from .property import (Property, Verdict, as_property, reachability_target,
+                       search_plan, support)
+
+__all__ = ["PropertyResult", "SharedUnrolling", "PropertyChecker",
+           "normalize_properties", "OnPropertyBound"]
+
+#: Observer for per-(property, bound) progress during sweeps:
+#: ``on_bound(name, bound_result)`` with a
+#: :class:`repro.bmc.backend.BoundResult` record.
+OnPropertyBound = Callable[[str, object], None]
+
+
+def _frame_name(var: str, step: int) -> str:
+    return f"{var}@{step}"
+
+
+def normalize_properties(properties) -> Dict[str, Property]:
+    """Coerce the accepted property shapes into an ordered dict.
+
+    Accepts a mapping ``{name: Property | Expr}`` (raw expressions are
+    wrapped as :class:`~repro.spec.property.Reachable` targets), a
+    single Property, or a single Expr (both named ``"target"``).
+    """
+    from .property import Reachable
+    if properties is None:
+        return {}
+    if isinstance(properties, (Property, Expr)):
+        properties = {"target": properties}
+    out: Dict[str, Property] = {}
+    for name, prop in dict(properties).items():
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"property names must be non-empty strings, "
+                            f"got {name!r}")
+        if isinstance(prop, Expr):
+            prop = Reachable(prop)
+        out[name] = as_property(prop)
+    return out
+
+
+class PropertyResult:
+    """Outcome of checking one named property at one bound.
+
+    Attributes
+    ----------
+    name, prop:
+        The property as registered.
+    verdict:
+        HOLDS / VIOLATED / UNKNOWN — read against the property's own
+        claim (a violated Invariant has a counterexample, a holding
+        Reachable has a witness).
+    conclusive:
+        True when the verdict is certificate-backed (a concrete path);
+        False for the bounded complement ("no counterexample up to k"
+        / "not reachable within k") and for UNKNOWN.
+    status:
+        Raw SAT / UNSAT / UNKNOWN of the underlying witness search.
+    k:
+        The bound answered.  In a sweep this is the bound at which the
+        property resolved (the shortest witness/counterexample depth
+        for total transition relations).
+    trace:
+        The certificate path (shortened to its first target state for
+        plain reachability-style properties; the full k-path for
+        general bounded-LTL witnesses).
+    seconds, stats:
+        Wall time and solver/encoding counters of the search.
+    """
+
+    def __init__(self, name: str, prop: Property, verdict: Verdict,
+                 conclusive: bool, status: SolveResult, k: int,
+                 trace: Optional[Trace], seconds: float,
+                 stats: Dict[str, int]) -> None:
+        self.name = name
+        self.prop = prop
+        self.verdict = verdict
+        self.conclusive = conclusive
+        self.status = status
+        self.k = k
+        self.trace = trace
+        self.seconds = seconds
+        self.stats = stats
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "certified" if self.conclusive else f"bounded k={self.k}"
+        return (f"PropertyResult({self.name!r}, {self.verdict.name}, "
+                f"{kind}, {self.seconds * 1e3:.1f} ms)")
+
+
+# ----------------------------------------------------------------------
+class SharedUnrolling:
+    """One growing I ∧ TR^k encoding inside one incremental solver.
+
+    Frames are only ever appended; per-query constraints attach through
+    assumption groups (:meth:`activate` / :meth:`retire`), so the
+    clause database carries every frame and every surviving learnt
+    clause across all properties and bounds of the session.
+    """
+
+    def __init__(self, system: TransitionSystem,
+                 purge_interval: int = 4) -> None:
+        self.system = system
+        self.purge_interval = max(1, purge_interval)
+        self.pool = VarPool()
+        self.cnf = CNF()
+        self.encoder = TseitinEncoder(self.cnf, self.pool, False)
+        self.solver = CdclSolver()
+        self._cursor = 0
+        self._retired_since_purge = 0
+        self.k = 0
+        frame0 = [_frame_name(v, 0) for v in system.state_vars]
+        self._frames: List[List[str]] = [frame0]
+        self.encoder.assert_expr(
+            system.rename_state_expr(system.init, frame0))
+        for name in frame0:
+            self.pool.named(name)
+        self._flush()
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        self.solver.ensure_vars(max(self.cnf.num_vars, self.pool.num_vars))
+        new = self.cnf.clauses[self._cursor:]
+        self._cursor = len(self.cnf.clauses)
+        self.solver.add_clauses(new)
+
+    def ensure_frames(self, k: int) -> None:
+        """Grow the unrolling to k transition frames (append-only)."""
+        while self.k < k:
+            i = self.k
+            nxt = [_frame_name(v, i + 1) for v in self.system.state_vars]
+            self._frames.append(nxt)
+            step = self.system.trans_between(self._frames[i], nxt,
+                                             input_suffix=f"@{i}")
+            self.encoder.assert_expr(step)
+            for name in nxt:
+                self.pool.named(name)
+            for name in self.system.input_vars:
+                self.pool.named(_frame_name(name, i))
+            self.k += 1
+            self._flush()
+
+    def frames_upto(self, k: int) -> List[List[str]]:
+        self.ensure_frames(k)
+        return self._frames[:k + 1]
+
+    # ------------------------------------------------------------------
+    def activate(self, constraint: Expr) -> int:
+        """Attach a retractable constraint; returns its group literal.
+
+        The Tseitin definitions are asserted unconditionally (they
+        never constrain the original variables); only the top literal
+        is guarded, so the constraint bites exactly while its group is
+        assumed.
+        """
+        lit = self.encoder.encode(constraint)
+        self._flush()
+        group = self.pool.fresh("spec-group")
+        self.solver.ensure_vars(self.pool.num_vars)
+        self.solver.add_clause([-group, lit])
+        return group
+
+    def retire(self, group: int) -> None:
+        """Permanently disable a group (jSAT-style retirement)."""
+        self.solver.add_clause([-group])
+        self._retired_since_purge += 1
+        if self._retired_since_purge >= self.purge_interval:
+            self.solver.purge_satisfied()
+            self._retired_since_purge = 0
+
+    def solve(self, assumptions: Sequence[int],
+              budget: Budget | None = None) -> SolveResult:
+        return self.solver.solve(list(assumptions), budget=budget)
+
+    # ------------------------------------------------------------------
+    def extract_trace(self, k: int) -> Trace:
+        """The length-k path of the last SAT model."""
+        model_value = self.solver.model_value
+        states = [
+            {v: bool(model_value(self.pool.named(_frame_name(v, i))))
+             for v in self.system.state_vars}
+            for i in range(k + 1)]
+        inputs = [
+            {v: bool(model_value(self.pool.named(_frame_name(v, i))))
+             for v in self.system.input_vars}
+            for i in range(k)]
+        return Trace(states, inputs)
+
+    def extract_loop_inputs(self) -> Dict[str, bool]:
+        """Input valuation of the lasso back-edge in the last model."""
+        model_value = self.solver.model_value
+        return {v: bool(model_value(self.pool.named(loop_input_name(v))))
+                for v in self.system.input_vars}
+
+    def resident_literals(self) -> int:
+        return self.solver.stats.db_literals
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SharedUnrolling({self.system.name!r}, frames={self.k}, "
+                f"clauses={self.solver.num_clauses()})")
+
+
+# ----------------------------------------------------------------------
+class PropertyChecker:
+    """Check many named properties of one system, one unrolling for all.
+
+    The checker owns a :class:`SharedUnrolling` that persists across
+    calls (frames only grow), so repeated ``check_all`` / ``sweep``
+    invocations — and every property inside one — reuse the same
+    transition-frame encoding and solver state.
+
+    Witness traces are validated in debug mode (``__debug__``): the
+    path must replay against the transition system, and the search
+    formula must hold on it under the bounded path semantics
+    (:func:`repro.spec.eval.holds_on_path`), including the lasso
+    back-edge when the witness closes a loop.
+    """
+
+    def __init__(self, system: TransitionSystem,
+                 properties: Optional[Mapping[str, Property]] = None,
+                 purge_interval: int = 4,
+                 validate: Optional[bool] = None) -> None:
+        self.system = system
+        self.properties = normalize_properties(properties)
+        self.purge_interval = purge_interval
+        self.validate = __debug__ if validate is None else validate
+        self._shared: Optional[SharedUnrolling] = None
+        self._low: Optional[SharedUnrolling] = None
+        for name, prop in self.properties.items():
+            self._check_support(name, prop)
+
+    # ------------------------------------------------------------------
+    def _check_support(self, name: str, prop: Property) -> None:
+        stray = set(support(prop)) - set(self.system.state_vars)
+        if stray:
+            raise ValueError(
+                f"property {name!r} mentions non-state variables "
+                f"{sorted(stray)}; state variables of "
+                f"{self.system.name!r} are {self.system.state_vars}")
+
+    def add_property(self, name: str, prop) -> None:
+        prop = normalize_properties({name: prop})[name]
+        self._check_support(name, prop)
+        self.properties[name] = prop
+
+    def close(self) -> None:
+        """Drop the shared solver state."""
+        self._shared = None
+        self._low = None
+
+    # ------------------------------------------------------------------
+    def _unrolling_for(self, k: int) -> SharedUnrolling:
+        """The shared unrolling, or the auxiliary low-bound one.
+
+        Frames beyond the queried bound are asserted unconditionally,
+        which for a non-total TR could exclude witnesses whose final
+        state has no successor — so a query *below* the frames already
+        encoded is answered by a second, lower unrolling that itself
+        only ever grows (the ``IncrementalBmc.check_bound`` policy:
+        the checker stays bounded at two encodings, a monotone
+        re-sweep reuses the low driver ascending until it rejoins the
+        shared one, and only a strictly descending probe pays a
+        rebuild).
+        """
+        if self._shared is None:
+            self._shared = SharedUnrolling(self.system,
+                                           self.purge_interval)
+        if k < self._shared.k:
+            low = self._low
+            if low is None or k < low.k:
+                low = SharedUnrolling(self.system, self.purge_interval)
+                self._low = low
+            return low
+        return self._shared
+
+    def _select(self, names: Optional[Sequence[str]]
+                ) -> Dict[str, Property]:
+        if names is None:
+            if not self.properties:
+                raise ValueError("no properties registered")
+            return dict(self.properties)
+        out = {}
+        for name in names:
+            if name not in self.properties:
+                raise KeyError(
+                    f"unknown property {name!r}; registered: "
+                    f"{sorted(self.properties)}")
+            out[name] = self.properties[name]
+        return out
+
+    # ------------------------------------------------------------------
+    def check(self, name: str, k: int,
+              budget: Budget | None = None) -> PropertyResult:
+        """Check one registered property at bound k (within-k search)."""
+        prop = self._select([name])[name]
+        return self._query(self._unrolling_for(k), name, prop, k, budget)
+
+    def check_all(self, k: int, names: Optional[Sequence[str]] = None,
+                  budget: Budget | None = None,
+                  on_result: Callable[[PropertyResult], None] | None = None
+                  ) -> Dict[str, PropertyResult]:
+        """Check every (selected) property at bound k over one unrolling.
+
+        ``budget`` is a shared pool across the whole batch (one
+        deadline, one conflict pool), mirroring the sweep contract.
+        """
+        from ..bmc.backend import SweepBudget  # deferred: bmc imports spec
+        if k < 0:
+            raise ValueError("bound k must be non-negative")
+        selected = self._select(names)
+        unrolling = self._unrolling_for(k)
+        tracker = SweepBudget(budget)
+        out: Dict[str, PropertyResult] = {}
+        for name, prop in selected.items():
+            if tracker.exhausted():
+                result = PropertyResult(name, prop, Verdict.UNKNOWN,
+                                        False, SolveResult.UNKNOWN, k,
+                                        None, 0.0, {})
+            else:
+                result = self._query(unrolling, name, prop, k,
+                                     tracker.remaining())
+                tracker.charge(
+                    conflicts=result.stats.get("solver_conflicts", 0),
+                    decisions=result.stats.get("solver_decisions", 0),
+                    propagations=result.stats.get("solver_propagations",
+                                                  0))
+            out[name] = result
+            if on_result is not None:
+                on_result(result)
+        return out
+
+    def sweep(self, max_k: int, names: Optional[Sequence[str]] = None,
+              budget: Budget | None = None,
+              on_bound: OnPropertyBound | None = None
+              ) -> Dict[str, PropertyResult]:
+        """Resolve each property at its earliest bound in 0..max_k.
+
+        Walks bounds upward over the one shared unrolling; a property
+        leaves the ladder at its first witness (earliest
+        counterexample for universal claims, earliest witness for
+        Reachable).  Properties never witnessed get their bounded
+        verdict at ``max_k``.  ``on_bound(name, BoundResult)`` streams
+        every (property, bound) record as it lands.
+        """
+        from ..bmc.backend import BoundResult, SweepBudget
+        if max_k < 0:
+            raise ValueError("max_k must be non-negative")
+        selected = self._select(names)
+        tracker = SweepBudget(budget)
+        sweep_start = time.perf_counter()
+        out: Dict[str, PropertyResult] = {}
+        pending = dict(selected)
+        for k in range(max_k + 1):
+            if not pending:
+                break
+            # Selected per bound: low bounds ride the auxiliary driver
+            # until the ladder rejoins (and then grows) the shared one.
+            unrolling = self._unrolling_for(k)
+            unrolling.ensure_frames(k)
+            for name in list(pending):
+                prop = pending[name]
+                if tracker.exhausted():
+                    out[name] = PropertyResult(
+                        name, prop, Verdict.UNKNOWN, False,
+                        SolveResult.UNKNOWN, k, None, 0.0, {})
+                    del pending[name]
+                    continue
+                result = self._query(unrolling, name, prop, k,
+                                     tracker.remaining())
+                tracker.charge(
+                    conflicts=result.stats.get("solver_conflicts", 0),
+                    decisions=result.stats.get("solver_decisions", 0),
+                    propagations=result.stats.get("solver_propagations",
+                                                  0))
+                if on_bound is not None:
+                    on_bound(name, BoundResult(
+                        k, result.status, result.trace, result.seconds,
+                        time.perf_counter() - sweep_start, result.stats))
+                if result.status is not SolveResult.UNSAT:
+                    out[name] = result
+                    del pending[name]
+        for name, prop in pending.items():
+            # Swept every bound without a witness: the bounded verdict.
+            out[name] = self._bounded_verdict(name, prop, max_k)
+        return {name: out[name] for name in selected}
+
+    # ------------------------------------------------------------------
+    def _bounded_verdict(self, name: str, prop: Property,
+                         k: int) -> PropertyResult:
+        _, universal = search_plan(prop)
+        verdict = Verdict.HOLDS if universal else Verdict.VIOLATED
+        return PropertyResult(name, prop, verdict, False,
+                              SolveResult.UNSAT, k, None, 0.0, {})
+
+    def _query(self, unrolling: SharedUnrolling, name: str,
+               prop: Property, k: int,
+               budget: Budget | None) -> PropertyResult:
+        start = time.perf_counter()
+        formula, universal = search_plan(prop)
+        frames = unrolling.frames_upto(k)
+        loops = None
+        if needs_loop_closure(formula):
+            loops = loop_conditions_for(self.system, frames)
+        witness_expr = compile_search(formula, self.system, frames, loops)
+        solver = unrolling.solver
+        before = (solver.stats.conflicts, solver.stats.decisions,
+                  solver.stats.propagations)
+        group = unrolling.activate(witness_expr)
+        status = unrolling.solve([group], budget=budget)
+        trace = None
+        if status is SolveResult.SAT:
+            trace = unrolling.extract_trace(k)
+            loop_inputs = (unrolling.extract_loop_inputs()
+                           if loops is not None else None)
+            if self.validate:
+                self._validate_witness(name, formula, trace, loop_inputs)
+            target = reachability_target(prop)
+            if target is not None:
+                trace = trace.shorten_to(target)
+        unrolling.retire(group)
+        stats = {
+            "trans_frames": unrolling.k,
+            "witness_size": witness_expr.size(),
+            "loop_closure": int(loops is not None),
+            "vars": solver.num_vars,
+            "clauses": solver.num_clauses(),
+            "db_literals": solver.stats.db_literals,
+            "solver_conflicts": solver.stats.conflicts - before[0],
+            "solver_decisions": solver.stats.decisions - before[1],
+            "solver_propagations": solver.stats.propagations - before[2],
+        }
+        seconds = time.perf_counter() - start
+        if status is SolveResult.UNKNOWN:
+            verdict, conclusive = Verdict.UNKNOWN, False
+        elif status is SolveResult.SAT:
+            verdict = Verdict.VIOLATED if universal else Verdict.HOLDS
+            conclusive = True
+        else:
+            verdict = Verdict.HOLDS if universal else Verdict.VIOLATED
+            conclusive = False
+        return PropertyResult(name, prop, verdict, conclusive, status, k,
+                              trace, seconds, stats)
+
+    def _validate_witness(self, name: str, formula: Property,
+                          trace: Trace,
+                          loop_inputs: Optional[Dict[str, bool]]) -> None:
+        """Debug-mode certificate check: replay + bounded semantics.
+
+        ``loop_inputs`` is the model's back-edge input valuation when
+        loop closure was compiled, else None (the witness must then
+        hold under the loop-free semantics alone).
+        """
+        trace.validate(self.system)
+        if holds_on_path(formula, trace.states):
+            return
+        k = trace.length
+        order = self.system.state_vars
+        if loop_inputs is not None:
+            for loopback in range(k + 1):
+                if self.system.holds_trans(
+                        trace.state_bits(k, order), loop_inputs,
+                        trace.state_bits(loopback, order)) \
+                        and holds_on_path(formula, trace.states,
+                                          loopback=loopback):
+                    return
+        raise TraceError(
+            f"witness for property {name!r} does not satisfy its "
+            f"bounded search formula — checker bug")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"PropertyChecker({self.system.name!r}, "
+                f"properties={sorted(self.properties)})")

@@ -1,0 +1,148 @@
+"""Explicit-state bounded-LTL evaluation — the spec layer's ground truth.
+
+Mirrors the bounded semantics of :mod:`repro.spec.ltl` on *concrete*
+paths: :func:`holds_on_path` evaluates an NNF path formula on a list
+of state assignments (optionally under a (k, l)-lasso), and
+:func:`check_explicit` decides a whole :class:`Property` by
+enumerating every length-k path of an
+:class:`~repro.system.oracle.ExplicitOracle` state graph.
+
+The differential test suite drives the symbolic checker and this
+evaluator over the same systems and asserts verdict agreement — the
+same role :class:`ExplicitOracle` plays for the reachability engines.
+Path enumeration is exponential in k, so this is for small systems
+only (the oracle already enforces a bit-width cap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..system.oracle import ExplicitOracle
+from .property import (And, Atom, Finally, Globally, Next, Not, Or,
+                       Property, Release, Until, Verdict, search_plan)
+
+__all__ = ["holds_on_path", "witness_exists", "check_explicit",
+           "enumerate_paths"]
+
+State = Tuple[bool, ...]
+
+
+def holds_on_path(formula: Property,
+                  states: Sequence[Mapping[str, bool]],
+                  loopback: Optional[int] = None,
+                  position: int = 0) -> bool:
+    """Evaluate an NNF path formula on a concrete path.
+
+    ``states`` is the path s_0..s_k as variable assignments;
+    ``loopback`` is the lasso position l (successor of s_k is s_l), or
+    None for the loop-free semantics.  The recursion is literally the
+    bounded translation of :mod:`repro.spec.ltl` with Boolean
+    connectives evaluated instead of built.
+    """
+    k = len(states) - 1
+    if k < 0:
+        raise ValueError("empty path")
+
+    def ev(f: Property, i: int) -> bool:
+        if isinstance(f, Atom):
+            return bool(f.expr.evaluate(states[i]))
+        if isinstance(f, And):
+            return all(ev(a, i) for a in f.args)
+        if isinstance(f, Or):
+            return any(ev(a, i) for a in f.args)
+        if isinstance(f, Next):
+            if i < k:
+                return ev(f.arg, i + 1)
+            return False if loopback is None else ev(f.arg, loopback)
+        if isinstance(f, Finally):
+            lo = i if loopback is None else min(i, loopback)
+            return any(ev(f.arg, j) for j in range(lo, k + 1))
+        if isinstance(f, Globally):
+            if loopback is None:
+                return False
+            return all(ev(f.arg, j)
+                       for j in range(min(i, loopback), k + 1))
+        if isinstance(f, Until):
+            for j in range(i, k + 1):
+                if ev(f.right, j):
+                    return all(ev(f.left, n) for n in range(i, j))
+                if not ev(f.left, j):
+                    return False
+            if loopback is None:
+                return False
+            # Wrap around: left held on i..k; discharge inside the loop.
+            for j in range(loopback, i):
+                if ev(f.right, j):
+                    return all(ev(f.left, n) for n in range(loopback, j))
+                if not ev(f.left, j):
+                    return False
+            return False
+        if isinstance(f, Release):
+            if loopback is not None and \
+                    all(ev(f.right, j)
+                        for j in range(min(i, loopback), k + 1)):
+                return True
+            for j in range(i, k + 1):
+                if not ev(f.right, j):
+                    return False
+                if ev(f.left, j):
+                    return True
+            if loopback is None:
+                return False
+            for j in range(loopback, i):
+                if not ev(f.right, j):
+                    return False
+                if ev(f.left, j):
+                    return True
+            return False
+        if isinstance(f, Not):
+            raise ValueError("formula is not in NNF; run nnf() first")
+        raise TypeError(f"cannot evaluate {type(f).__name__}")
+
+    return ev(formula, position)
+
+
+def enumerate_paths(oracle: ExplicitOracle, k: int) -> Iterator[List[State]]:
+    """Every path of length exactly k from an initial state."""
+    def walk(path: List[State]) -> Iterator[List[State]]:
+        if len(path) == k + 1:
+            yield path
+            return
+        for nxt in sorted(oracle.successors(path[-1])):
+            yield from walk(path + [nxt])
+
+    for init in sorted(oracle.initial_states):
+        yield from walk([init])
+
+
+def witness_exists(oracle: ExplicitOracle, formula: Property,
+                   k: int) -> bool:
+    """Does any length-k path (plain or lasso) witness the formula?"""
+    system = oracle.system
+    for path in enumerate_paths(oracle, k):
+        states: List[Dict[str, bool]] = [system.state_dict(s)
+                                         for s in path]
+        if holds_on_path(formula, states):
+            return True
+        successors = oracle.successors(path[k])
+        for loopback in range(k + 1):
+            if path[loopback] in successors and \
+                    holds_on_path(formula, states, loopback=loopback):
+                return True
+    return False
+
+
+def check_explicit(prop: Property, oracle: ExplicitOracle,
+                   k: int) -> Verdict:
+    """Ground-truth verdict for a property at bound k.
+
+    Same reading as the symbolic checker: a witness violates a
+    universal claim and establishes an existential one; no witness
+    within the bound yields the bounded complement.
+    """
+    formula, universal = search_plan(prop)
+    found = witness_exists(oracle, formula, k)
+    if universal:
+        return Verdict.VIOLATED if found else Verdict.HOLDS
+    return Verdict.HOLDS if found else Verdict.VIOLATED

@@ -1,0 +1,270 @@
+"""Bounded-LTL compilation: NNF path formulas → per-bound Boolean formulas.
+
+This is the translation of Biere, Cimatti, Clarke & Zhu's bounded
+semantics (the scheme the *Linear Encodings of Bounded LTL Model
+Checking* line of work refines): a witness for an NNF path formula
+``f`` on a k-step unrolling is
+
+    ⟦f⟧_k  =  nl(f, 0)  ∨  ⋁_{l=0..k} ( L_l ∧ lp_l(f, 0) )
+
+where ``nl`` is the loop-free translation (a finite prefix proves
+nothing about G, so G compiles to false without a loop), ``L_l`` is
+the back-edge constraint TR(s_k, s_l) closing a (k, l)-lasso, and
+``lp_l`` is the translation under that lasso (successor of position k
+is position l).  Everything is built over hash-consed
+:class:`~repro.logic.expr.Expr` DAGs with per-position memoisation, so
+shared subformulas are compiled once — the DAG-sharing analogue of the
+linear encoding's auxiliary variables.
+
+The loop disjuncts cost one extra TR copy each, so
+:func:`needs_loop_closure` detects the (very common) formulas whose
+loop witnesses are subsumed by the loop-free case — positive Boolean
+combinations of atoms and ``F`` over pure predicates, exactly what
+:class:`~repro.spec.property.Invariant` / ``Reachable`` compile to —
+and the checker skips the loop machinery for them.
+
+Bounded semantics caveat: the translation quantifies over paths of
+length exactly k.  For total transition relations (every circuit
+compiles to one) "witness within k steps" coincides with "witness on
+some length-k path"; for a hand-built non-total TR a short witness
+whose endpoint cannot be extended to k steps is missed at bound k —
+sweep bounds upward (as the checker does) to cover every depth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..system.model import TransitionSystem
+from .property import (And, Atom, Finally, Globally, Next, Not, Or,
+                       Property, Release, Until)
+
+__all__ = ["compile_search", "needs_loop_closure", "loop_conditions_for",
+           "loop_input_name", "LOOP_INPUT_SUFFIX"]
+
+#: Input copies driving the lasso back-edge are named ``<input>@loop``.
+LOOP_INPUT_SUFFIX = "@loop"
+
+
+def loop_input_name(input_var: str) -> str:
+    return input_var + LOOP_INPUT_SUFFIX
+
+
+def needs_loop_closure(formula: Property) -> bool:
+    """Whether the loop disjuncts can add witnesses for ``formula``.
+
+    For a positive Boolean combination of atoms and ``F`` over pure
+    predicates, every loop witness is subsumed by the loop-free
+    translation (both read the same positions 0..k at the top level),
+    so the k+1 extra TR copies would be dead weight.  Anything with G,
+    R, U, X or *nested* temporal operators can genuinely need the
+    lasso.
+    """
+    def predicate_only(f: Property) -> bool:
+        return isinstance(f, Atom)
+
+    def top(f: Property) -> bool:
+        if isinstance(f, Atom):
+            return True
+        if isinstance(f, (And, Or)):
+            return all(top(a) for a in f.args)
+        if isinstance(f, Finally):
+            return predicate_only(f.arg)
+        return False
+
+    return not top(formula)
+
+
+def compile_search(formula: Property, system: TransitionSystem,
+                   frames: Sequence[Sequence[str]],
+                   loop_conditions: Optional[Sequence[Expr]] = None) -> Expr:
+    """Compile an NNF path formula over a k-step unrolling.
+
+    Parameters
+    ----------
+    formula:
+        NNF path formula (no :class:`Not` nodes — produced by
+        :func:`repro.spec.property.search_plan`).
+    frames:
+        ``frames[i]`` is the list of frame variable names for step i
+        (``len(frames) == k + 1``).
+    loop_conditions:
+        ``loop_conditions[l]`` is the back-edge constraint L_l for a
+        (k, l)-lasso (None skips loop closure — only sound when
+        :func:`needs_loop_closure` is False or loop witnesses are not
+        wanted).
+
+    Returns the witness formula over the frame (and loop-input)
+    variables; satisfying assignments are exactly the length-k paths
+    witnessing ``formula`` under the bounded semantics.
+    """
+    k = len(frames) - 1
+    if k < 0:
+        raise ValueError("need at least one frame (k >= 0)")
+    stray = _atom_support(formula) - set(system.state_vars)
+    if stray:
+        raise ValueError(
+            f"property atoms use non-state variables: {sorted(stray)}; "
+            f"state variables are {system.state_vars}")
+
+    atom_cache: Dict[Tuple[Expr, int], Expr] = {}
+
+    def at(predicate: Expr, i: int) -> Expr:
+        key = (predicate, i)
+        got = atom_cache.get(key)
+        if got is None:
+            got = system.rename_state_expr(predicate, frames[i])
+            atom_cache[key] = got
+        return got
+
+    no_loop = _translate_no_loop(k, at)
+    witness = no_loop(formula, 0)
+    if loop_conditions is not None:
+        if len(loop_conditions) != k + 1:
+            raise ValueError("need one loop condition per frame")
+        disjuncts = [witness]
+        for l, condition in enumerate(loop_conditions):
+            looped = _translate_loop(k, l, at)
+            disjuncts.append(ex.mk_and(condition, looped(formula, 0)))
+        witness = ex.disjoin(disjuncts)
+    return witness
+
+
+def _atom_support(formula: Property) -> set:
+    from .property import support
+    return set(support(formula))
+
+
+def _translate_no_loop(k: int,
+                       at: Callable[[Expr, int], Expr]
+                       ) -> Callable[[Property, int], Expr]:
+    """The loop-free bounded translation nl(f, i).
+
+    Positions run 0..k; past the end everything existential fails:
+    X f at k is false, G f is false everywhere (a finite prefix never
+    proves G), U must discharge by position k, R must discharge by f
+    (the "g forever" disjunct needs a loop).
+    """
+    memo: Dict[Tuple[Property, int], Expr] = {}
+
+    def nl(f: Property, i: int) -> Expr:
+        key = (f, i)
+        got = memo.get(key)
+        if got is not None:
+            return got
+        if isinstance(f, Atom):
+            out = at(f.expr, i)
+        elif isinstance(f, And):
+            out = ex.conjoin(nl(a, i) for a in f.args)
+        elif isinstance(f, Or):
+            out = ex.disjoin(nl(a, i) for a in f.args)
+        elif isinstance(f, Next):
+            out = nl(f.arg, i + 1) if i < k else ex.FALSE
+        elif isinstance(f, Finally):
+            out = nl(f.arg, i) if i == k \
+                else ex.mk_or(nl(f.arg, i), nl(f, i + 1))
+        elif isinstance(f, Globally):
+            out = ex.FALSE
+        elif isinstance(f, Until):
+            if i == k:
+                out = nl(f.right, i)
+            else:
+                out = ex.mk_or(nl(f.right, i),
+                               ex.mk_and(nl(f.left, i), nl(f, i + 1)))
+        elif isinstance(f, Release):
+            if i == k:
+                out = ex.mk_and(nl(f.left, i), nl(f.right, i))
+            else:
+                out = ex.mk_and(nl(f.right, i),
+                                ex.mk_or(nl(f.left, i), nl(f, i + 1)))
+        elif isinstance(f, Not):
+            raise ValueError("formula is not in NNF (found Not); "
+                             "run repro.spec.property.nnf first")
+        else:
+            raise TypeError(f"cannot translate {type(f).__name__}")
+        memo[key] = out
+        return out
+
+    return nl
+
+
+def _translate_loop(k: int, l: int,
+                    at: Callable[[Expr, int], Expr]
+                    ) -> Callable[[Property, int], Expr]:
+    """The (k, l)-lasso translation lp_l(f, i).
+
+    The successor of position k is position l; F/G range over every
+    position the suffix from i can visit (min(i, l)..k), U/R use the
+    classical two-pass closed forms (discharge ahead of i, or wrap
+    around through the loop).
+    """
+    memo: Dict[Tuple[Property, int], Expr] = {}
+
+    def lp(f: Property, i: int) -> Expr:
+        key = (f, i)
+        got = memo.get(key)
+        if got is not None:
+            return got
+        if isinstance(f, Atom):
+            out = at(f.expr, i)
+        elif isinstance(f, And):
+            out = ex.conjoin(lp(a, i) for a in f.args)
+        elif isinstance(f, Or):
+            out = ex.disjoin(lp(a, i) for a in f.args)
+        elif isinstance(f, Next):
+            out = lp(f.arg, i + 1 if i < k else l)
+        elif isinstance(f, Finally):
+            out = ex.disjoin(lp(f.arg, j)
+                             for j in range(min(i, l), k + 1))
+        elif isinstance(f, Globally):
+            out = ex.conjoin(lp(f.arg, j)
+                             for j in range(min(i, l), k + 1))
+        elif isinstance(f, Until):
+            ahead = [
+                ex.conjoin([lp(f.right, j)]
+                           + [lp(f.left, n) for n in range(i, j)])
+                for j in range(i, k + 1)]
+            wrapped = [
+                ex.conjoin([lp(f.right, j)]
+                           + [lp(f.left, n) for n in range(i, k + 1)]
+                           + [lp(f.left, n) for n in range(l, j)])
+                for j in range(l, i)]
+            out = ex.disjoin(ahead + wrapped)
+        elif isinstance(f, Release):
+            forever = ex.conjoin(lp(f.right, j)
+                                 for j in range(min(i, l), k + 1))
+            ahead = [
+                ex.conjoin([lp(f.left, j)]
+                           + [lp(f.right, n) for n in range(i, j + 1)])
+                for j in range(i, k + 1)]
+            wrapped = [
+                ex.conjoin([lp(f.left, j)]
+                           + [lp(f.right, n) for n in range(i, k + 1)]
+                           + [lp(f.right, n) for n in range(l, j + 1)])
+                for j in range(l, i)]
+            out = ex.disjoin([forever] + ahead + wrapped)
+        elif isinstance(f, Not):
+            raise ValueError("formula is not in NNF (found Not); "
+                             "run repro.spec.property.nnf first")
+        else:
+            raise TypeError(f"cannot translate {type(f).__name__}")
+        memo[key] = out
+        return out
+
+    return lp
+
+
+def loop_conditions_for(system: TransitionSystem,
+                        frames: Sequence[Sequence[str]]) -> List[Expr]:
+    """The back-edge constraints L_l = TR(s_k, x@loop, s_l), l = 0..k.
+
+    One shared ``@loop`` input copy drives the back edge: the witness
+    formula is a disjunction over l, so a single satisfying lasso only
+    ever needs one back-edge input valuation.
+    """
+    k = len(frames) - 1
+    return [system.trans_between(frames[k], frames[l],
+                                 input_suffix=LOOP_INPUT_SUFFIX)
+            for l in range(k + 1)]

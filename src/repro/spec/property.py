@@ -1,0 +1,515 @@
+"""The Property AST — first-class specifications for BMC queries.
+
+A :class:`Property` says *what* to check about a transition system,
+decoupled from *how* any backend decides it.  Two top-level safety
+forms mirror the queries the paper benchmarks:
+
+* :class:`Invariant` — ``AG p``: the state predicate ``p`` holds in
+  every reachable state (a universal claim; BMC searches for a
+  counterexample path);
+* :class:`Reachable` — ``EF p``: some state satisfying ``p`` is
+  reachable (an existential claim; BMC searches for a witness path).
+
+Beyond those, properties compose from bounded-LTL path combinators —
+:class:`Globally` (G), :class:`Finally` (F), :class:`Next` (X),
+:class:`Until` (U), :class:`Release` (R) — plus Boolean connectives.
+A bare LTL formula used as a property is read as a universal claim
+over all executions (like ``SPEC`` in SMV): checking it searches for a
+path satisfying its negation.
+
+Negation normal form and the search plan
+----------------------------------------
+Bounded translation (see :mod:`repro.spec.ltl`) is defined for NNF
+formulas only, so :func:`nnf` pushes negations to the atoms first,
+using the *infinite-trace* dualities (¬G f = F ¬f, ¬(f U g) =
+¬f R ¬g, ¬X f = X ¬f, ...), which hold before any bounded
+approximation is made.  :func:`search_plan` packages the whole recipe:
+it returns the NNF path formula whose bounded witness decides the
+property, together with the property's polarity (universal claims are
+*violated* by a witness, existential claims are *established* by one).
+
+Example
+-------
+>>> from repro.logic import expr as ex
+>>> req0, req1 = ex.var("req0"), ex.var("req1")
+>>> prop = Invariant(~(req0 & req1))
+>>> str(prop)
+'AG (!(req0 & req1))'
+>>> formula, universal = search_plan(prop)
+>>> str(formula), universal
+('F ((req0 & req1))', True)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Tuple, Union
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+
+__all__ = ["Property", "Atom", "Not", "And", "Or", "Next", "Finally",
+           "Globally", "Until", "Release", "Invariant", "Reachable",
+           "G", "F", "X", "U", "R", "implies", "iff", "as_property",
+           "nnf", "search_plan", "reachability_target", "temporal_depth",
+           "Verdict"]
+
+PropertyLike = Union["Property", Expr]
+
+
+class Verdict(enum.Enum):
+    """Outcome of checking one property at one bound.
+
+    ``HOLDS`` / ``VIOLATED`` speak about the property's own claim:
+    a violated :class:`Invariant` has a counterexample path, a holding
+    :class:`Reachable` has a witness path.  Whether the verdict is a
+    bounded claim ("no counterexample up to k") or certificate-backed
+    is recorded separately on the result.
+    """
+
+    HOLDS = "holds"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+# ----------------------------------------------------------------------
+# The AST
+# ----------------------------------------------------------------------
+class Property:
+    """Base class of every specification node.
+
+    Properties are immutable, structurally comparable/hashable (the
+    atoms hold hash-consed :class:`~repro.logic.expr.Expr` nodes), and
+    picklable, so they travel to worker processes like any other query
+    object.  Boolean operators are overloaded: ``p & q``, ``p | q``,
+    ``~p``, ``p >> q`` (implication).
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: PropertyLike) -> "Property":
+        return And(self, as_property(other))
+
+    def __rand__(self, other: PropertyLike) -> "Property":
+        return And(as_property(other), self)
+
+    def __or__(self, other: PropertyLike) -> "Property":
+        return Or(self, as_property(other))
+
+    def __ror__(self, other: PropertyLike) -> "Property":
+        return Or(as_property(other), self)
+
+    def __invert__(self) -> "Property":
+        if isinstance(self, Atom):
+            return Atom(ex.mk_not(self.expr))
+        return Not(self)
+
+    def __rshift__(self, other: PropertyLike) -> "Property":
+        return implies(self, other)
+
+    # Structural identity --------------------------------------------
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __reduce__(self) -> tuple:
+        # Slots + frozen __setattr__ defeat default pickling; rebuild
+        # through the constructor (Expr re-interns on the other side).
+        return (type(self), self._ctor_args())
+
+    def _ctor_args(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Property):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}<{self}>"
+
+
+class Atom(Property):
+    """A state predicate: an :class:`Expr` over the state variables."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr) -> None:
+        if not isinstance(expr, Expr):
+            raise TypeError(f"Atom expects an Expr, got {type(expr).__name__}")
+        object.__setattr__(self, "expr", expr)
+
+    def __setattr__(self, *a) -> None:
+        raise AttributeError("Property nodes are immutable")
+
+    def _key(self) -> tuple:
+        return ("atom", self.expr)
+
+    def _ctor_args(self) -> tuple:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return render_expr(self.expr)
+
+
+class _Unary(Property):
+    __slots__ = ("arg",)
+    _tag = "?"
+    _symbol = "?"
+
+    def __init__(self, arg: PropertyLike) -> None:
+        object.__setattr__(self, "arg", as_property(arg))
+
+    def __setattr__(self, *a) -> None:
+        raise AttributeError("Property nodes are immutable")
+
+    def _key(self) -> tuple:
+        return (self._tag, self.arg._key())
+
+    def _ctor_args(self) -> tuple:
+        return (self.arg,)
+
+    def __str__(self) -> str:
+        return f"{self._symbol} ({self.arg})"
+
+
+class _Binary(Property):
+    __slots__ = ("left", "right")
+    _tag = "?"
+    _symbol = "?"
+
+    def __init__(self, left: PropertyLike, right: PropertyLike) -> None:
+        object.__setattr__(self, "left", as_property(left))
+        object.__setattr__(self, "right", as_property(right))
+
+    def __setattr__(self, *a) -> None:
+        raise AttributeError("Property nodes are immutable")
+
+    def _key(self) -> tuple:
+        return (self._tag, self.left._key(), self.right._key())
+
+    def _ctor_args(self) -> tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"(({self.left}) {self._symbol} ({self.right}))"
+
+
+class _Nary(Property):
+    __slots__ = ("args",)
+    _tag = "?"
+    _symbol = "?"
+
+    def __init__(self, *args: PropertyLike) -> None:
+        if len(args) < 2:
+            raise ValueError(f"{type(self).__name__} needs >= 2 operands")
+        object.__setattr__(self, "args",
+                           tuple(as_property(a) for a in args))
+
+    def __setattr__(self, *a) -> None:
+        raise AttributeError("Property nodes are immutable")
+
+    def _key(self) -> tuple:
+        return (self._tag,) + tuple(a._key() for a in self.args)
+
+    def _ctor_args(self) -> tuple:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        joint = f" {self._symbol} "
+        return "(" + joint.join(f"({a})" for a in self.args) + ")"
+
+
+class Not(_Unary):
+    """Negation; :func:`nnf` pushes it down to the atoms."""
+    _tag = "not"
+    _symbol = "!"
+
+    def __str__(self) -> str:
+        return f"!({self.arg})"
+
+
+class And(_Nary):
+    _tag = "and"
+    _symbol = "&"
+
+
+class Or(_Nary):
+    _tag = "or"
+    _symbol = "|"
+
+
+class Next(_Unary):
+    """X f — f holds in the next step."""
+    _tag = "next"
+    _symbol = "X"
+
+
+class Finally(_Unary):
+    """F f — f holds now or at some later step."""
+    _tag = "finally"
+    _symbol = "F"
+
+
+class Globally(_Unary):
+    """G f — f holds now and at every later step."""
+    _tag = "globally"
+    _symbol = "G"
+
+
+class Until(_Binary):
+    """f U g — g eventually holds, and f holds until then."""
+    _tag = "until"
+    _symbol = "U"
+
+
+class Release(_Binary):
+    """f R g — g holds up to and including the step where f first
+    holds (or forever); the NNF dual of :class:`Until`."""
+    _tag = "release"
+    _symbol = "R"
+
+
+class Invariant(Property):
+    """AG p — the state predicate ``p`` holds in every reachable state.
+
+    ``p`` must be a pure state predicate (an :class:`Expr` or an
+    :class:`Atom`); for temporal obligations use a bare LTL formula
+    (e.g. ``Globally(Next(...))``) instead.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, predicate: Union[Expr, Atom]) -> None:
+        if isinstance(predicate, Atom):
+            predicate = predicate.expr
+        if not isinstance(predicate, Expr):
+            raise TypeError(
+                f"Invariant expects a state predicate (Expr), got "
+                f"{type(predicate).__name__}; for temporal properties "
+                f"use the LTL combinators directly")
+        object.__setattr__(self, "expr", predicate)
+
+    def __setattr__(self, *a) -> None:
+        raise AttributeError("Property nodes are immutable")
+
+    def _key(self) -> tuple:
+        return ("invariant", self.expr)
+
+    def _ctor_args(self) -> tuple:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"AG ({render_expr(self.expr)})"
+
+
+class Reachable(Property):
+    """EF p — some state satisfying ``p`` is reachable."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, predicate: Union[Expr, Atom]) -> None:
+        if isinstance(predicate, Atom):
+            predicate = predicate.expr
+        if not isinstance(predicate, Expr):
+            raise TypeError(
+                f"Reachable expects a state predicate (Expr), got "
+                f"{type(predicate).__name__}")
+        object.__setattr__(self, "expr", predicate)
+
+    def __setattr__(self, *a) -> None:
+        raise AttributeError("Property nodes are immutable")
+
+    def _key(self) -> tuple:
+        return ("reachable", self.expr)
+
+    def _ctor_args(self) -> tuple:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"EF ({render_expr(self.expr)})"
+
+
+# Short aliases matching the spec-string grammar.
+G = Globally
+F = Finally
+X = Next
+U = Until
+R = Release
+
+
+def implies(left: PropertyLike, right: PropertyLike) -> Property:
+    """``left -> right`` (desugared to ``!left | right``)."""
+    left, right = as_property(left), as_property(right)
+    if isinstance(left, Atom) and isinstance(right, Atom):
+        return Atom(ex.mk_implies(left.expr, right.expr))
+    return Or(~left, right)
+
+
+def iff(left: PropertyLike, right: PropertyLike) -> Property:
+    """``left <-> right`` (desugared to both implications)."""
+    left, right = as_property(left), as_property(right)
+    if isinstance(left, Atom) and isinstance(right, Atom):
+        return Atom(ex.mk_iff(left.expr, right.expr))
+    return And(implies(left, right), implies(right, left))
+
+
+def as_property(obj: PropertyLike) -> Property:
+    """Coerce an :class:`Expr` to an :class:`Atom`; pass properties
+    through."""
+    if isinstance(obj, Property):
+        return obj
+    if isinstance(obj, Expr):
+        return Atom(obj)
+    raise TypeError(f"expected a Property or Expr, got "
+                    f"{type(obj).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Rendering (the inverse of repro.spec.parse)
+# ----------------------------------------------------------------------
+def render_expr(e: Expr) -> str:
+    """Render an :class:`Expr` in the spec-string grammar."""
+    if e.op == "var":
+        return e.name
+    if e.op == "const":
+        return "TRUE" if e.value else "FALSE"
+    if e.op == "not":
+        inner = e.args[0]
+        body = render_expr(inner)
+        if inner.op in ("var", "const"):
+            return f"!{body}"
+        return f"!{body}" if body.startswith("(") else f"!({body})"
+    if e.op == "ite":
+        c, t, f = e.args
+        return render_expr(ex.mk_or(ex.mk_and(c, t),
+                                    ex.mk_and(ex.mk_not(c), f)))
+    joints = {"and": " & ", "or": " | ", "xor": " xor ", "iff": " <-> "}
+    if e.op in joints:
+        return "(" + joints[e.op].join(render_expr(a) for a in e.args) + ")"
+    raise ValueError(f"cannot render expression op {e.op!r}")
+
+
+# ----------------------------------------------------------------------
+# Negation normal form and the search plan
+# ----------------------------------------------------------------------
+def nnf(prop: Property, negate: bool = False) -> Property:
+    """Push negations to the atoms using infinite-trace dualities.
+
+    The result contains no :class:`Not` nodes (negation is absorbed
+    into the atoms' expressions) and no :class:`Invariant` /
+    :class:`Reachable` wrappers (those are top-level forms; see
+    :func:`search_plan`).
+    """
+    if isinstance(prop, Atom):
+        return Atom(ex.mk_not(prop.expr)) if negate else prop
+    if isinstance(prop, Not):
+        return nnf(prop.arg, not negate)
+    if isinstance(prop, And):
+        parts = [nnf(a, negate) for a in prop.args]
+        return Or(*parts) if negate else And(*parts)
+    if isinstance(prop, Or):
+        parts = [nnf(a, negate) for a in prop.args]
+        return And(*parts) if negate else Or(*parts)
+    if isinstance(prop, Next):
+        return Next(nnf(prop.arg, negate))
+    if isinstance(prop, Finally):
+        return Globally(nnf(prop.arg, True)) if negate \
+            else Finally(nnf(prop.arg))
+    if isinstance(prop, Globally):
+        return Finally(nnf(prop.arg, True)) if negate \
+            else Globally(nnf(prop.arg))
+    if isinstance(prop, Until):
+        if negate:
+            return Release(nnf(prop.left, True), nnf(prop.right, True))
+        return Until(nnf(prop.left), nnf(prop.right))
+    if isinstance(prop, Release):
+        if negate:
+            return Until(nnf(prop.left, True), nnf(prop.right, True))
+        return Release(nnf(prop.left), nnf(prop.right))
+    if isinstance(prop, (Invariant, Reachable)):
+        raise ValueError(
+            f"{type(prop).__name__} is a top-level property form and "
+            f"cannot be nested inside an LTL formula; use G/F over "
+            f"plain predicates instead")
+    raise TypeError(f"unknown property node {type(prop).__name__}")
+
+
+def search_plan(prop: Property) -> Tuple[Property, bool]:
+    """The bounded-search recipe for a property.
+
+    Returns ``(formula, universal)``: ``formula`` is the NNF path
+    formula whose bounded witness decides the property, and
+    ``universal`` says how to read a witness — for a universal claim
+    (Invariant, or any bare LTL formula) the witness is a
+    *counterexample* (property VIOLATED); for the existential
+    :class:`Reachable` it *establishes* the property (HOLDS).
+    """
+    if isinstance(prop, Reachable):
+        return Finally(Atom(prop.expr)), False
+    if isinstance(prop, Invariant):
+        return Finally(Atom(ex.mk_not(prop.expr))), True
+    return nnf(prop, negate=True), True
+
+
+def reachability_target(prop: Property) -> Optional[Expr]:
+    """The bad/target state predicate, when the property reduces to
+    plain reachability.
+
+    ``Reachable(p)`` reduces to reaching ``p``; ``Invariant(p)`` (and
+    ``G p`` over a predicate) reduces to reaching ``¬p``.  Properties
+    whose search formula is not a plain ``F <predicate>`` return None —
+    they need the bounded-LTL engine, not a reachability backend.
+    """
+    formula, _ = search_plan(prop)
+    if isinstance(formula, Finally) and isinstance(formula.arg, Atom):
+        return formula.arg.expr
+    return None
+
+
+def temporal_depth(prop: Property) -> int:
+    """Nesting depth of temporal operators (0 for pure predicates)."""
+    if isinstance(prop, Atom):
+        return 0
+    if isinstance(prop, (Invariant, Reachable)):
+        return 1
+    if isinstance(prop, Not):
+        return temporal_depth(prop.arg)
+    if isinstance(prop, (And, Or)):
+        return max(temporal_depth(a) for a in prop.args)
+    if isinstance(prop, (Next, Finally, Globally)):
+        return 1 + temporal_depth(prop.arg)
+    if isinstance(prop, (Until, Release)):
+        return 1 + max(temporal_depth(prop.left),
+                       temporal_depth(prop.right))
+    raise TypeError(f"unknown property node {type(prop).__name__}")
+
+
+def atoms(prop: Property) -> Iterable[Expr]:
+    """Every state-predicate expression mentioned by the property."""
+    if isinstance(prop, Atom):
+        yield prop.expr
+    elif isinstance(prop, (Invariant, Reachable)):
+        yield prop.expr
+    elif isinstance(prop, Not):
+        yield from atoms(prop.arg)
+    elif isinstance(prop, (And, Or)):
+        for a in prop.args:
+            yield from atoms(a)
+    elif isinstance(prop, (Next, Finally, Globally)):
+        yield from atoms(prop.arg)
+    elif isinstance(prop, (Until, Release)):
+        yield from atoms(prop.left)
+        yield from atoms(prop.right)
+    else:
+        raise TypeError(f"unknown property node {type(prop).__name__}")
+
+
+def support(prop: Property) -> frozenset:
+    """Union of the variable supports of every atom."""
+    out: set = set()
+    for expr in atoms(prop):
+        out |= expr.support()
+    return frozenset(out)

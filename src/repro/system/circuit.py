@@ -26,7 +26,12 @@ class Circuit:
       expression over inputs and latch outputs;
     * **outputs** — named combinational functions (observability only);
     * **bad** — named safety targets: the model checker asks whether a
-      state satisfying a bad expression is reachable.
+      state satisfying a bad expression is reachable;
+    * **properties** — named :class:`repro.spec.property.Property`
+      specifications.  Every ``add_bad`` contributes its ``Reachable``
+      form automatically; richer bounded-LTL properties attach via
+      :meth:`add_property` (the SMV front end maps ``SPEC`` /
+      ``INVARSPEC`` here).
 
     Example
     -------
@@ -46,6 +51,7 @@ class Circuit:
         self._next_exprs: Dict[str, Optional[Expr]] = {}
         self.outputs: Dict[str, Expr] = {}
         self.bad: Dict[str, Expr] = {}
+        self.properties: Dict[str, object] = {}    # name -> spec Property
         self.constraints: List[Expr] = []          # invariants assumed on TR
 
     # ------------------------------------------------------------------
@@ -78,8 +84,22 @@ class Circuit:
         self.outputs[name] = expression
 
     def add_bad(self, name: str, expression: Expr) -> None:
-        """Declare a safety target (a set of bad states to reach)."""
+        """Declare a safety target (a set of bad states to reach).
+
+        The target is also registered as the named property
+        ``Reachable(expression)``, so circuit-level bads flow straight
+        into multi-property sessions.
+        """
+        # Imported lazily: repro.spec imports the system layer.
+        from ..spec.property import Reachable
         self.bad[name] = expression
+        self.properties[name] = Reachable(expression)
+
+    def add_property(self, name: str, prop) -> None:
+        """Declare a named specification (a :class:`Property` or a raw
+        state predicate, wrapped as ``Reachable``)."""
+        from ..spec.checker import normalize_properties
+        self.properties[name] = normalize_properties({name: prop})[name]
 
     def add_constraint(self, expression: Expr) -> None:
         """Conjoin an invariant constraint into the transition relation.

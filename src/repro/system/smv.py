@@ -19,8 +19,21 @@ checkers — the natural textual front end for this library::
 
 Expression operators (loosest to tightest): ``<->``, ``->``, ``|``,
 ``xor``, ``&``, ``!``; constants ``TRUE``/``FALSE``; parentheses;
-``--`` comments.  Every ``SPEC AG p`` contributes a bad-state target
-``!p`` to the produced :class:`repro.system.circuit.Circuit`.
+``--`` comments.
+
+Specifications::
+
+    SPEC AG !both                  -- anonymous: property "spec0"
+    SPEC no_both := AG !both       -- labelled
+    INVARSPEC !both                -- anonymous: property "invar0"
+    INVARSPEC safe := x -> !y      -- labelled
+
+``SPEC AG p`` and ``INVARSPEC p`` are equivalent in this Boolean
+subset: each contributes (a) a named bad-state target ``!p`` on the
+produced :class:`repro.system.circuit.Circuit` and (b) the named
+:class:`repro.spec.property.Invariant` in ``circuit.properties``, so
+multi-property sessions check every spec of the module over one shared
+unrolling.
 """
 
 from __future__ import annotations
@@ -45,8 +58,11 @@ _TOKEN = re.compile(r"""
   | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
 """, re.VERBOSE)
 
-_KEYWORDS = {"MODULE", "VAR", "IVAR", "ASSIGN", "DEFINE", "SPEC", "AG",
-             "init", "next", "boolean", "TRUE", "FALSE", "xor"}
+_KEYWORDS = {"MODULE", "VAR", "IVAR", "ASSIGN", "DEFINE", "SPEC",
+             "INVARSPEC", "AG", "init", "next", "boolean", "TRUE",
+             "FALSE", "xor"}
+
+_SECTIONS = ("VAR", "IVAR", "ASSIGN", "DEFINE", "SPEC", "INVARSPEC")
 
 
 def _tokenize(text: str) -> List[str]:
@@ -188,16 +204,29 @@ def parse_smv(text: str, name: str = "smv") -> Circuit:
     init_exprs: Dict[str, List[str]] = {}
     next_exprs: Dict[str, List[str]] = {}
     define_order: List[Tuple[str, List[str]]] = []
-    spec_tokens: List[List[str]] = []
+    # (kind, optional label, body tokens) per SPEC/INVARSPEC entry.
+    spec_entries: List[Tuple[str, Optional[str], List[str]]] = []
+
+    def spec_label() -> Optional[str]:
+        # An optional "name :=" prefix before the spec body.
+        if pos + 1 < len(tokens) and tokens[pos + 1] == ":=" \
+                and re.match(r"[A-Za-z_]", tokens[pos]) \
+                and tokens[pos] not in _KEYWORDS:
+            label = take()
+            take(":=")
+            return label
+        return None
 
     section = None
     while (tok := peek()) is not None:
-        if tok in ("VAR", "IVAR", "ASSIGN", "DEFINE", "SPEC"):
+        if tok in _SECTIONS:
             section = take()
-            if section == "SPEC":
-                take("AG")
-                spec_tokens.append(expr_until(("MODULE", "VAR", "IVAR",
-                                               "ASSIGN", "DEFINE", "SPEC")))
+            if section in ("SPEC", "INVARSPEC"):
+                label = spec_label()
+                if section == "SPEC":
+                    take("AG")
+                spec_entries.append(
+                    (section, label, expr_until(("MODULE",) + _SECTIONS)))
             continue
         if section in ("VAR", "IVAR"):
             var_name = take()
@@ -245,9 +274,22 @@ def parse_smv(text: str, name: str = "smv") -> Circuit:
         circuit.set_next(var_name,
                          _ExprParser(next_exprs[var_name], defines).parse())
 
-    for i, body in enumerate(spec_tokens):
-        prop = _ExprParser(body, defines).parse()
-        circuit.add_bad(f"spec{i}", ex.mk_not(prop))
+    # Imported lazily: repro.spec imports the system layer.
+    from ..spec.property import Invariant
+
+    counters = {"SPEC": 0, "INVARSPEC": 0}
+    for kind, label, body in spec_entries:
+        if label is None:
+            prefix = "spec" if kind == "SPEC" else "invar"
+            label = f"{prefix}{counters[kind]}"
+            counters[kind] += 1
+        if label in circuit.bad:
+            raise SmvError(f"duplicate spec label {label!r}")
+        predicate = _ExprParser(body, defines).parse()
+        circuit.add_bad(label, ex.mk_not(predicate))
+        # The spec's own reading is the invariant, not bad-state
+        # reachability — override the Reachable form add_bad registered.
+        circuit.add_property(label, Invariant(predicate))
     for def_name, _ in define_order:
         circuit.add_output(def_name, defines[def_name])
     return circuit

@@ -93,6 +93,19 @@ class Trace:
         return True
 
     # ------------------------------------------------------------------
+    def shorten_to(self, target: Expr) -> "Trace":
+        """Cut the trace at its first state satisfying ``target``.
+
+        Any prefix of a valid trace is valid, so this turns a within-k
+        witness into the shortest certificate it contains; a trace
+        never reaching ``target`` is returned unchanged.
+        """
+        for i, state in enumerate(self.states):
+            if target.evaluate(state):
+                return Trace(self.states[:i + 1], self.inputs[:i])
+        return self
+
+    # ------------------------------------------------------------------
     def format(self, variables: Sequence[str] | None = None) -> str:
         """Pretty waveform-style rendering (one row per variable)."""
         if not self.states:

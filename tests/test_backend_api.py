@@ -133,7 +133,7 @@ class TestRegistry:
         register_backend("toy-alias")(ToyOracleBackend)
         try:
             system, final, depth = counter.make(3, 5)
-            with BmcSession(system, final) as session:
+            with BmcSession(system, properties={"target": final}) as session:
                 a = session.check(depth, method=toy_backend)
                 b = session.check(depth, method="toy-alias")
             assert a.method == toy_backend
@@ -147,7 +147,7 @@ class TestRegistry:
 class TestOptionsStrictness:
     def test_typo_raises_with_hint(self):
         system, final, _ = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             with pytest.raises(TypeError,
                                match="polarity_reducton.*did you mean"):
                 session.check(2, method="sat-unroll",
@@ -155,7 +155,7 @@ class TestOptionsStrictness:
 
     def test_option_of_other_method_rejected(self):
         system, final, _ = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             with pytest.raises(TypeError, match="unknown option"):
                 session.check(2, method="sat-unroll", use_cache=False)
             # The same key is fine where it belongs.
@@ -182,7 +182,7 @@ class TestOptionsStrictness:
         # method takes the keys its options class declares.  Keys no
         # raced method declares still raise.
         system, final, depth = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             result = session.check(depth, method="portfolio",
                                    portfolio_methods=("jsat",
                                                       "sat-unroll"),
@@ -199,7 +199,7 @@ class TestOptionsStrictness:
         # used to fold into shared_options and surface as a confusing
         # "not accepted by any raced method" error at check time.
         system, final, depth = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             with pytest.raises(TypeError,
                                match="wall_timout.*did you mean "
                                      "'wall_timeout'"):
@@ -253,7 +253,7 @@ class TestOptionsStrictness:
         # Regression: the default (naive) Backend.sweep must time each
         # bound itself — backend.check does not stamp seconds.
         system, final, depth = counter.make(4, 9)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             swept = session.sweep(depth, method="sat-unroll")
         assert len(swept.per_bound) > 1
         assert all(b.seconds > 0.0 for b in swept.per_bound)
@@ -262,7 +262,7 @@ class TestOptionsStrictness:
 
     def test_valid_options_still_flow_through(self):
         system, final, depth = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             a = session.check(depth, method="sat-unroll",
                               polarity_reduction=True)
             b = session.check(depth, method="jsat", f_pruning=False,
@@ -277,13 +277,13 @@ class TestUpFrontValidation:
         # Regression: a bad method used to fail deep inside the
         # per-bound dispatch ladder; now it raises before any solving.
         system, final, _ = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             with pytest.raises(ValueError, match="unknown method"):
                 session.find_reachable(3, method="magic")
 
     def test_find_reachable_unknown_strategy(self):
         system, final, _ = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             with pytest.raises(ValueError, match="unknown strategy"):
                 session.find_reachable(3, strategy="zigzag")
 
@@ -299,7 +299,7 @@ class TestUpFrontValidation:
 
     def test_negative_bounds_rejected(self):
         system, final, _ = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             with pytest.raises(ValueError):
                 session.check(-1)
             with pytest.raises(ValueError):
@@ -307,7 +307,7 @@ class TestUpFrontValidation:
 
     def test_closed_session_refuses_work(self):
         system, final, _ = counter.make(3, 5)
-        session = BmcSession(system, final)
+        session = BmcSession(system, properties={"target": final})
         session.close()
         with pytest.raises(RuntimeError):
             session.check(1)
@@ -317,7 +317,7 @@ class TestUpFrontValidation:
 class TestCustomBackendEndToEnd:
     def test_through_session_check_and_sweep(self, toy_backend):
         system, final, depth = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             result = session.check(depth, method=toy_backend)
             assert result.status is SolveResult.SAT
             assert result.method == toy_backend
@@ -329,7 +329,7 @@ class TestCustomBackendEndToEnd:
 
     def test_typed_options_apply_to_custom_backend(self, toy_backend):
         system, final, depth = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             backend = session.backend(toy_backend, max_states=99)
             assert backend.options.max_states == 99
             with pytest.raises(TypeError, match="max_stats"):
@@ -414,7 +414,7 @@ class TestCustomBackendEndToEnd:
 class TestSessionState:
     def test_incremental_state_persists_across_checks(self):
         system, final, depth = counter.make(4, 9)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             first = session.check(depth - 1, method="sat-incremental")
             second = session.check(depth, method="sat-incremental")
         # The second query reuses the first's clause database instead
@@ -433,7 +433,7 @@ class TestSessionState:
         deadlock = TransitionSystem(
             state_vars=["a"], init=~a, trans=~a & ex.var("a'"),
             name="deadlock")
-        with BmcSession(deadlock, a) as session:
+        with BmcSession(deadlock, properties={"target": a}) as session:
             assert session.check(3, method="sat-incremental").status \
                 is SolveResult.UNSAT
             low = session.check(1, method="sat-incremental")
@@ -444,7 +444,7 @@ class TestSessionState:
 
     def test_jsat_nogood_cache_persists(self):
         system, final, _ = shift_register.make_invariant_violation(4)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             session.check(3, method="jsat")
             backend = session.backend("jsat")
             cached = backend.solver("exact").cache_size()
@@ -455,7 +455,7 @@ class TestSessionState:
 
     def test_distinct_options_get_distinct_instances(self):
         system, final, _ = counter.make(3, 5)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             a = session.backend("jsat", use_cache=True)
             b = session.backend("jsat", use_cache=False)
             again = session.backend("jsat", use_cache=True)
@@ -464,7 +464,7 @@ class TestSessionState:
 
     def test_close_releases_backends(self):
         system, final, _ = counter.make(3, 5)
-        session = BmcSession(system, final)
+        session = BmcSession(system, properties={"target": final})
         session.check(2, method="sat-incremental")
         backend = session.backend("sat-incremental")
         assert backend._inc is not None
@@ -477,7 +477,7 @@ class TestObserver:
     def test_on_bound_streams_sweep_progress(self):
         system, final, depth = counter.make(4, 6)
         seen = []
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             swept = session.sweep(depth + 2, method="sat-incremental",
                                   on_bound=seen.append)
         assert [b.k for b in seen] == [b.k for b in swept.per_bound]
@@ -487,7 +487,7 @@ class TestObserver:
     def test_session_level_observer_and_override(self):
         system, final, depth = counter.make(3, 5)
         session_seen, call_seen = [], []
-        with BmcSession(system, final,
+        with BmcSession(system, properties={"target": final},
                         on_bound=session_seen.append) as session:
             session.sweep(depth, method="jsat")
             assert len(session_seen) == depth + 1
@@ -499,7 +499,7 @@ class TestObserver:
     def test_find_reachable_streams_bounds(self):
         system, final, depth = shift_register.make(5)
         seen = []
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             hit, history = session.find_reachable(
                 depth + 2, method="jsat", on_bound=seen.append)
         assert hit is not None
@@ -542,7 +542,7 @@ class TestShimCompatibility:
                 picked[inst.family] = inst
         instances = list(picked.values())[:6]
         for inst in instances:
-            with BmcSession(inst.system, inst.final) as session:
+            with BmcSession(inst.system, properties={"target": inst.final}) as session:
                 for k in range(5):
                     new = session.check(k, method=method)
                     with warnings.catch_warnings():
@@ -559,7 +559,7 @@ class TestShimCompatibility:
 
     def test_differential_sweep_shim_vs_session(self):
         system, final, depth = counter.make(4, 9)
-        with BmcSession(system, final) as session:
+        with BmcSession(system, properties={"target": final}) as session:
             new = session.sweep(depth + 1, method="sat-incremental")
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)

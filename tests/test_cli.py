@@ -74,3 +74,58 @@ def test_bmc_with_budget_flags(capsys):
     code = main(["--timeout", "5", "--conflicts", "10000",
                  "bmc", "ring", "--method", "sat-unroll"])
     assert code == 0
+
+
+def test_check_command_family_bundle(capsys):
+    # The family's default multi-property bundle includes a failing
+    # invariant (the target IS reachable) -> exit code 1.
+    assert main(["check", "counter"]) == 1
+    out = capsys.readouterr().out
+    assert "reach-target" in out and "never-target" in out
+    assert "HOLDS" in out and "VIOLATED" in out
+
+
+def test_check_command_user_specs(capsys):
+    code = main(["check", "arbiter",
+                 "--spec", "mutex := G !(gnt0 & gnt1)",
+                 "--spec", "EF gnt2", "-k", "6"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mutex" in out and "spec1" in out
+    assert "trace of length" in out          # the EF witness waveform
+
+
+def test_check_command_sweep_streams(capsys):
+    assert main(["check", "counter", "--spec", "EF (c0 & c1)",
+                 "-k", "5", "--sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "[spec0] bound 0" in out
+
+
+def test_check_command_smv(tmp_path, capsys):
+    path = tmp_path / "m.smv"
+    path.write_text(
+        "MODULE main\n"
+        "VAR x : boolean;\n"
+        "ASSIGN init(x) := FALSE; next(x) := !x;\n"
+        "SPEC never_x := AG !x\n"
+        "INVARSPEC TRUE\n")
+    assert main(["check", "--smv", str(path), "-k", "3"]) == 1
+    out = capsys.readouterr().out
+    assert "never_x" in out and "VIOLATED" in out
+    assert "invar0" in out and "HOLDS" in out
+
+
+def test_check_command_bad_spec(capsys):
+    assert main(["check", "counter", "--spec", "G (("]) == 1
+    assert "check:" in capsys.readouterr().err
+
+
+def test_check_command_unknown_variable(capsys):
+    assert main(["check", "counter", "--spec", "EF bogus_var"]) == 1
+    assert "non-state variables" in capsys.readouterr().err
+
+
+def test_check_command_needs_one_subject(capsys):
+    assert main(["check"]) == 1
+    assert "exactly one" in capsys.readouterr().err

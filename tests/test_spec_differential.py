@@ -1,0 +1,122 @@
+"""Differential guarantees for the bounded-LTL specification layer.
+
+Three cross-checks:
+
+* **symbolic vs explicit** — every Property kind (Invariant /
+  Reachable / G / F / X / U, plus nested combinations exercising the
+  Release dual and lasso wrap-around) compiled and solved over random
+  circuit systems, compared verdict-for-verdict against the
+  explicit-state path-semantics evaluator on the
+  :class:`ExplicitOracle` state graph, for k = 0..6;
+* **reachability consistency** — Reachable/Invariant verdicts agree
+  with the oracle's BFS ``reachable_within`` (random circuits compile
+  to total transition relations, where both notions coincide);
+* **shared vs sequential** — the suite's multi-property instances
+  answered through one shared-unrolling session vs one session per
+  property give identical verdicts.
+"""
+
+import random
+
+import pytest
+
+from repro.bmc import BmcSession
+from repro.logic import expr as ex
+from repro.models import build_property_suite
+from repro.spec import (Atom, Finally, Globally, Invariant, Next, Not,
+                        PropertyChecker, Reachable, Until, Verdict,
+                        check_explicit)
+from repro.system.oracle import ExplicitOracle
+from repro.system.random_model import random_predicate, random_system
+
+MAX_K = 6
+SEEDS = (7, 23, 101, 444)
+
+
+def _property_zoo(p, q):
+    """One property per kind, plus shapes that need the lasso."""
+    return {
+        "invariant": Invariant(p),
+        "reachable": Reachable(q),
+        "globally": Globally(Atom(p)),
+        "finally": Finally(Atom(p)),            # negation needs G (lasso)
+        "next": Next(Next(Atom(p))),
+        "until": Until(Atom(p), Atom(q)),       # negation needs R
+        "not-until": Not(Until(Atom(p), Atom(q))),
+        "nested": Globally(implies_atom(p, Next(Atom(q)))),
+    }
+
+
+def implies_atom(p, prop):
+    return Not(Atom(p)) | prop
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_symbolic_matches_explicit_semantics(seed):
+    rng = random.Random(seed)
+    system = random_system(rng, num_latches=3, num_inputs=1, depth=2)
+    p = random_predicate(rng, system)
+    q = random_predicate(rng, system)
+    oracle = ExplicitOracle(system)
+    zoo = _property_zoo(p, q)
+    checker = PropertyChecker(system, zoo)
+    for k in range(MAX_K + 1):
+        symbolic = checker.check_all(k)
+        for name, prop in zoo.items():
+            expected = check_explicit(prop, oracle, k)
+            got = symbolic[name].verdict
+            assert got is expected, (
+                f"seed={seed} k={k} property {name!r} ({prop}): "
+                f"symbolic {got.name} vs explicit {expected.name}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reachability_properties_match_bfs_oracle(seed):
+    rng = random.Random(seed + 1000)
+    system = random_system(rng, num_latches=3, num_inputs=1, depth=2)
+    target = random_predicate(rng, system)
+    oracle = ExplicitOracle(system)
+    checker = PropertyChecker(system, {
+        "reach": Reachable(target),
+        "safe": Invariant(ex.mk_not(target))})
+    for k in range(MAX_K + 1):
+        results = checker.check_all(k)
+        reachable = oracle.reachable_within(target, k)
+        assert (results["reach"].verdict is Verdict.HOLDS) == reachable
+        assert (results["safe"].verdict is Verdict.VIOLATED) == reachable
+        if results["reach"].trace is not None:
+            trace = results["reach"].trace
+            trace.validate(system, target)
+            # The shortened witness is a genuine shortest-or-better path.
+            assert trace.length <= k
+
+
+def test_sweep_resolves_at_shortest_depth():
+    rng = random.Random(5)
+    system = random_system(rng, num_latches=3, num_inputs=1, depth=2)
+    target = random_predicate(rng, system)
+    oracle = ExplicitOracle(system)
+    checker = PropertyChecker(system, {"reach": Reachable(target)})
+    result = checker.sweep(MAX_K)["reach"]
+    distance = oracle.shortest_distance(target, max_depth=MAX_K)
+    if distance is None or distance > MAX_K:
+        assert result.verdict is Verdict.VIOLATED and not result.conclusive
+    else:
+        assert result.verdict is Verdict.HOLDS
+        assert result.k == distance
+        assert result.trace.length == distance
+
+
+def test_suite_shared_vs_sequential_sessions_agree():
+    for instance in build_property_suite():
+        with BmcSession(instance.system,
+                        properties=instance.properties) as session:
+            shared = session.check_properties(instance.k)
+        for name, prop in instance.properties.items():
+            with BmcSession(instance.system,
+                            properties={name: prop}) as session:
+                solo = session.check_properties(instance.k)[name]
+            assert solo.verdict is shared[name].verdict, \
+                (instance.name, name)
+            assert solo.conclusive == shared[name].conclusive, \
+                (instance.name, name)
