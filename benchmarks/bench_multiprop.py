@@ -1,8 +1,9 @@
 """Multi-property benchmark: one shared unrolling vs a session per property.
 
 The acceptance claim of the specification layer: checking the suite's
-multi-property instances (five named properties per design family —
-Reachable / Invariant / F / X / U, see
+multi-property instances (eight named properties per design family —
+the Reachable / Invariant / F / X / U target obligations plus three
+narrow-cone probes, see
 :func:`repro.models.suite.default_property_bundle`) through ONE
 shared-unrolling session must be >= 1.5x faster than checking the same
 properties sequentially, each in its own session.

@@ -82,6 +82,15 @@ class BmcSession:
     method:
         Default backend name for reachability calls that do not name
         one.
+    reduce:
+        Model-reduction knob: ``"off"`` (default) solves the full
+        system, ``"auto"`` runs every query through the default
+        :mod:`repro.reduce` pipeline (per-property cone of influence,
+        constant/duplicate-latch sweeping, input pruning), and a
+        :class:`repro.reduce.Pipeline` instance supplies a custom pass
+        order.  Witness traces are lifted back to full-width paths
+        over the original system before validation or shortening, so
+        callers never observe the reduction.
     on_bound:
         Session-wide per-bound observer (``on_bound(BoundResult)``)
         invoked during sweeps and iterative deepening; a per-call
@@ -89,9 +98,9 @@ class BmcSession:
 
     The session is a context manager; :meth:`close` releases every
     backend's and the property checker's solver state.  Backend
-    instances are cached per ``(method, options)``, so two calls with
-    identical options share state while differing options get
-    independent instances.
+    instances are cached per ``(method, options, target)``, so two
+    calls with identical options share state while differing options —
+    or a replaced single property — get independent instances.
     """
 
     def __init__(self, system: TransitionSystem,
@@ -99,7 +108,9 @@ class BmcSession:
                  properties: Union[Mapping[str, Union[Property, Expr]],
                                    Property, Expr, None] = None,
                  method: str = "sat-unroll",
+                 reduce: object = "off",
                  on_bound: OnBound | None = None) -> None:
+        from ..reduce import resolve_reduce
         validate_method(method)
         if final is not None and properties is not None:
             raise TypeError("pass either final or properties, not both")
@@ -113,9 +124,12 @@ class BmcSession:
         self.properties: Dict[str, Property] = \
             normalize_properties(properties)
         self.method = method
+        self.reduce = reduce
+        self._pipeline = resolve_reduce(reduce)
         self.on_bound = on_bound
-        self._backends: Dict[Tuple[str, str], Backend] = {}
+        self._backends: Dict[Tuple[str, str, int], Backend] = {}
         self._checker: Optional[PropertyChecker] = None
+        self._target_reduction: Optional[Tuple[Expr, object]] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -179,22 +193,47 @@ class BmcSession:
             raise RuntimeError("BmcSession is closed")
 
     # ------------------------------------------------------------------
+    def _reduction(self):
+        """The :class:`~repro.reduce.ReducedSystem` for the session's
+        reachability target (identity when reduction is off); cached
+        per target expression."""
+        from ..reduce import identity_reduction, reduce_for_target
+        final = self._require_final("reduction")
+        cached = self._target_reduction
+        if cached is not None and cached[0] is final:
+            return cached[1]
+        if self._pipeline is None:
+            reduction = identity_reduction(self.system)
+        else:
+            reduction = reduce_for_target(self.system, final,
+                                          self._pipeline)
+        self._target_reduction = (final, reduction)
+        return reduction
+
     def backend(self, method: str | None = None, **options: Any) -> Backend:
         """The session's backend instance for ``method`` + ``options``.
 
         Validates the method name against the registry and the options
         against the backend's typed options class; the instance (and
-        its solver state) is cached for the session's lifetime.
+        its solver state) is cached for the session's lifetime.  With
+        reduction enabled the backend is constructed over the reduced
+        system and the mapped target — its results speak the reduced
+        vocabulary until :meth:`check` / :meth:`sweep` lift them.
         """
         self._require_open()
         final = self._require_final("backend()")
         name = method or self.method
         cls = validate_method(name)
         opts = cls.options_class.from_kwargs(**options)
-        key = (name, opts.cache_key())
+        # The target participates in the key: replacing the session's
+        # single property via add_property must not hand back a cached
+        # backend still solving (a reduction of) the old target.
+        key = (name, opts.cache_key(), final.uid)
         backend = self._backends.get(key)
         if backend is None:
-            backend = create_backend(name, self.system, final,
+            reduction = self._reduction()
+            backend = create_backend(name, reduction.system,
+                                     reduction.map_expr(final),
                                      options=opts)
             self._backends[key] = backend
         return backend
@@ -225,6 +264,8 @@ class BmcSession:
                 f"{backend.supported_semantics})")
         start = time.perf_counter()
         result = backend.check(k, semantics=semantics, budget=budget)
+        if result.trace is not None:
+            result.trace = self._reduction().lift(result.trace)
         if semantics == "within" and result.trace is not None:
             result.trace = result.trace.shorten_to(final)
         if __debug__ and result.status is SolveResult.SAT \
@@ -257,8 +298,21 @@ class BmcSession:
         if max_k < 0:
             raise ValueError("max_k must be non-negative")
         backend = self.backend(method, **options)
+        observer = on_bound or self.on_bound
+        reduction = self._reduction()
+        if reduction.is_identity:
+            return backend.sweep(max_k, budget=budget, on_bound=observer)
+
+        def lifting_observer(bound: BoundResult) -> None:
+            # Records are lifted in place before streaming, so both
+            # the observer and the returned per_bound list see
+            # full-width traces over the original system.
+            if bound.trace is not None:
+                bound.trace = reduction.lift(bound.trace)
+            if observer is not None:
+                observer(bound)
         return backend.sweep(max_k, budget=budget,
-                             on_bound=on_bound or self.on_bound)
+                             on_bound=lifting_observer)
 
     # ------------------------------------------------------------------
     def find_reachable(self, max_bound: int, method: str | None = None,
@@ -313,13 +367,17 @@ class BmcSession:
     # ------------------------------------------------------------------
     def checker(self) -> PropertyChecker:
         """The session's shared-unrolling property checker (created on
-        first use; frames and learnt clauses persist across calls)."""
+        first use; frames and learnt clauses persist across calls).
+        Inherits the session's ``reduce`` knob, so with ``"auto"`` the
+        checker groups properties by reduced cone and answers each
+        group over its own (smaller) shared unrolling."""
         self._require_open()
         if not self.properties:
             raise ValueError("this session has no properties; construct "
                              "it with properties={...} or add_property()")
         if self._checker is None:
-            self._checker = PropertyChecker(self.system, self.properties)
+            self._checker = PropertyChecker(self.system, self.properties,
+                                            reduce=self.reduce)
         return self._checker
 
     def check_properties(self, k: int, names: List[str] | None = None,
@@ -363,4 +421,4 @@ class BmcSession:
         return (f"BmcSession({self.system.name!r}, "
                 f"properties={sorted(self.properties)}, "
                 f"method={self.method!r}, "
-                f"backends={sorted(k for k, _ in self._backends)})")
+                f"backends={sorted(k[0] for k in self._backends)})")

@@ -33,6 +33,13 @@ Subcommands
     its capabilities and typed options.  Custom backends registered
     via :func:`repro.bmc.register_backend` appear here — and are
     accepted by ``bmc``/``sweep``/``batch`` — without any CLI edit.
+``reduce FAMILY``
+    Report the model-reduction pipeline's effect on a family's
+    multi-property instance: latches / inputs / TR size before→after
+    per property, plus how many distinct cones the properties share.
+    ``bmc`` / ``sweep`` / ``check`` / ``batch`` all accept
+    ``--reduce`` (default) / ``--no-reduce`` to toggle the pipeline
+    on their queries.
 ``experiment {e1,...,e8}``
     Regenerate one evaluation artifact (scaled budgets by default).
 ``suite``
@@ -64,6 +71,11 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
     if args.timeout is None and args.conflicts is None:
         return None
     return Budget(max_seconds=args.timeout, max_conflicts=args.conflicts)
+
+
+def _reduce_from_args(args: argparse.Namespace) -> str:
+    """Map the --reduce/--no-reduce flag onto the session knob."""
+    return "auto" if getattr(args, "reduce", False) else "off"
 
 
 def _cmd_solve_cnf(args: argparse.Namespace) -> int:
@@ -111,7 +123,8 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
         from .portfolio.race import DEFAULT_RACE_METHODS
         options["portfolio_methods"] = DEFAULT_RACE_METHODS[:args.jobs]
     with BmcSession(instance.system,
-                    properties={"target": instance.final}) as session:
+                    properties={"target": instance.final},
+                    reduce=_reduce_from_args(args)) as session:
         result = session.check(k, method=args.method,
                                semantics=args.semantics,
                                budget=_budget_from_args(args), **options)
@@ -136,7 +149,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     max_k = args.max_k if args.max_k is not None else instance.k
     status = 0
     with BmcSession(instance.system,
-                    properties={"target": instance.final}) as session:
+                    properties={"target": instance.final},
+                    reduce=_reduce_from_args(args)) as session:
         for method in args.methods:
             result = session.sweep(max_k, method=method,
                                    budget=_budget_from_args(args))
@@ -202,7 +216,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
             return 1
         k = args.k if args.k is not None else default_k
         budget = _budget_from_args(args)
-        with BmcSession(system, properties=properties) as session:
+        with BmcSession(system, properties=properties,
+                        reduce=_reduce_from_args(args)) as session:
             if args.sweep:
                 results = session.sweep_properties(
                     k, budget=budget,
@@ -261,7 +276,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache = ResultCache(args.cache)
     start = time.perf_counter()
     results = run_matrix(instances, args.methods, budget=budget,
-                         jobs=args.jobs, cache=cache)
+                         jobs=args.jobs, cache=cache,
+                         reduce=_reduce_from_args(args))
     wall = time.perf_counter() - start
     cpu = sum(c.cpu_seconds for c in results)
     print(f"== batch: {len(instances)} instances x "
@@ -318,6 +334,36 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    from .harness.report import format_reduction
+    from .models.suite import build_property_suite
+    from .reduce import default_pipeline
+
+    instances = [i for i in build_property_suite()
+                 if i.family == args.family]
+    if not instances:
+        print(f"unknown family {args.family!r}; "
+              f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+        return 1
+    instance = instances[0]
+    pipeline = default_pipeline()
+    rows = []
+    cones = set()
+    for name, prop in instance.properties.items():
+        reduction = pipeline.reduce(instance.system, prop)
+        cones.add(reduction.cone_key())
+        summary = reduction.summary()
+        summary["property"] = name
+        rows.append(summary)
+    print(f"== {instance.name}: model reduction, "
+          f"{len(instance.properties)} properties ==")
+    print(format_reduction(rows))
+    print(f"\n{len(cones)} distinct cone(s) across "
+          f"{len(instance.properties)} properties (each cone pays for "
+          f"its shared unrolling once)")
+    return 0
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     suite = build_suite()
     print(f"{len(suite)} instances across {len(FAMILIES)} families")
@@ -332,6 +378,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     # after the subcommand; SUPPRESS keeps a pre-subcommand value.
     parser.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
                         help="worker processes")
+
+
+def _add_reduce_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="run the model-reduction pipeline "
+                             "(cone of influence, constant/duplicate "
+                             "latch sweeping) before solving")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -367,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--semantics", choices=("exact", "within"),
                    default="exact")
     _add_jobs_flag(p)
+    _add_reduce_flag(p)
     p.set_defaults(fn=_cmd_bmc)
 
     p = sub.add_parser("sweep",
@@ -378,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--methods", nargs="+", choices=ALL_METHODS,
                    default=["sat-incremental"],
                    help="methods to sweep (each gets its own pass)")
+    _add_reduce_flag(p)
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("check",
@@ -397,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep", action="store_true",
                    help="resolve each property at its earliest bound "
                         "0..k, streaming per-bound progress")
+    _add_reduce_flag(p)
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("batch",
@@ -415,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.2,
                    help="budget scale when no explicit budget is given")
     _add_jobs_flag(p)
+    _add_reduce_flag(p)
     p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("experiment", help="regenerate an evaluation table")
@@ -426,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("backends",
                        help="list the decision-method registry")
     p.set_defaults(fn=_cmd_backends)
+
+    p = sub.add_parser("reduce",
+                       help="report the model-reduction pipeline's "
+                            "effect on a family's properties")
+    p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
+    p.set_defaults(fn=_cmd_reduce)
 
     p = sub.add_parser("suite", help="describe the 234-instance suite")
     p.set_defaults(fn=_cmd_suite)

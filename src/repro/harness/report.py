@@ -14,7 +14,31 @@ from .runner import CellResult, PropertyCellResult
 
 __all__ = ["format_table", "format_solved_counts", "format_per_family",
            "format_growth", "format_worker_attribution", "format_sweep",
-           "format_property_results"]
+           "format_property_results", "format_reduction"]
+
+
+def format_reduction(rows: Iterable[Mapping[str, object]]) -> str:
+    """Per-property before→after table for the ``repro reduce`` report.
+
+    Each row is a dict with ``property`` plus the counters of
+    :meth:`repro.reduce.ReducedSystem.summary` (latches / inputs /
+    TR DAG nodes before and after, and how many latches each transform
+    removed).
+    """
+    headers = ["property", "latches", "inputs", "trans-nodes",
+               "fixed", "merged", "freed"]
+    table: List[List[object]] = []
+    for row in rows:
+        def arrow(before: object, after: object) -> str:
+            return f"{before}" if before == after else f"{before}->{after}"
+        table.append([
+            row["property"],
+            arrow(row["latches_before"], row["latches_after"]),
+            arrow(row["inputs_before"], row["inputs_after"]),
+            arrow(row["trans_nodes_before"], row["trans_nodes_after"]),
+            row["fixed"], row["merged"], row["freed"],
+        ])
+    return format_table(headers, table)
 
 
 def format_property_results(cells: Iterable[PropertyCellResult]) -> str:

@@ -97,16 +97,20 @@ class CellResult:
 def run_cell(instance: Instance, method: str,
              budget: Budget | None = None,
              semantics: str = "exact",
+             reduce: object = "off",
              **options) -> CellResult:
     """Run one instance with one method under the budget.
 
     ``method`` may name any registered backend — built-in or custom —
     and ``**options`` are validated by that backend's typed options
-    class (unknown keys raise).
+    class (unknown keys raise).  ``reduce`` is the session's
+    model-reduction knob (``"off"`` / ``"auto"`` / a
+    :class:`repro.reduce.Pipeline`).
     """
     with measure_time() as timing:
         with BmcSession(instance.system,
-                        properties={"target": instance.final}) as session:
+                        properties={"target": instance.final},
+                        reduce=reduce) as session:
             result = session.check(instance.k, method=method,
                                    semantics=semantics, budget=budget,
                                    **options)
@@ -122,6 +126,7 @@ def run_cell(instance: Instance, method: str,
 
 def run_sweep_cell(instance: Instance, method: str,
                    budget: Budget | None = None,
+                   reduce: object = "off",
                    **options) -> CellResult:
     """Sweep bounds 0..instance.k with one method; one CellResult.
 
@@ -132,7 +137,8 @@ def run_sweep_cell(instance: Instance, method: str,
     """
     with measure_time() as timing:
         with BmcSession(instance.system,
-                        properties={"target": instance.final}) as session:
+                        properties={"target": instance.final},
+                        reduce=reduce) as session:
             swept = session.sweep(instance.k, method=method,
                                   budget=budget, **options)
     correct: Optional[bool] = None
@@ -187,19 +193,22 @@ class PropertyCellResult:
 
 def run_property_cell(instance: Instance,
                       budget: Budget | None = None,
-                      shared: bool = True) -> List[PropertyCellResult]:
+                      shared: bool = True,
+                      reduce: object = "off") -> List[PropertyCellResult]:
     """Check every named property of one instance at its bound.
 
     ``shared=True`` answers all properties over one shared unrolling
     in one session; ``shared=False`` opens a fresh session per
     property — the sequential baseline (same verdicts, re-encoded
-    transition frames per property).
+    transition frames per property).  ``reduce`` is forwarded to the
+    sessions, so ``"auto"`` groups properties by reduced cone.
     """
     out: List[PropertyCellResult] = []
     if shared:
         with measure_time() as timing:
             with BmcSession(instance.system,
-                            properties=instance.properties) as session:
+                            properties=instance.properties,
+                            reduce=reduce) as session:
                 results = session.check_properties(instance.k,
                                                    budget=budget)
         per = timing.wall_seconds / max(1, len(results))
@@ -210,7 +219,8 @@ def run_property_cell(instance: Instance,
     for name, prop in instance.properties.items():
         with measure_time() as timing:
             with BmcSession(instance.system,
-                            properties={name: prop}) as session:
+                            properties={name: prop},
+                            reduce=reduce) as session:
                 result = session.check_properties(instance.k,
                                                   budget=budget)[name]
         out.append(PropertyCellResult(instance, result,
@@ -221,12 +231,14 @@ def run_property_cell(instance: Instance,
 
 def run_property_matrix(instances: Sequence[Instance],
                         budget: Budget | None = None,
-                        shared: bool = True) -> List[PropertyCellResult]:
+                        shared: bool = True,
+                        reduce: object = "off"
+                        ) -> List[PropertyCellResult]:
     """The (instances × properties) matrix, instance-major."""
     out: List[PropertyCellResult] = []
     for instance in instances:
         out.extend(run_property_cell(instance, budget=budget,
-                                     shared=shared))
+                                     shared=shared, reduce=reduce))
     return out
 
 
@@ -253,6 +265,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                cache=None,
                timings: Mapping[Tuple[str, str], float] | None = None,
                mode: str = "single",
+               reduce: object = "off",
                **options) -> List[CellResult]:
     """Run the full (instances × methods) matrix.
 
@@ -280,6 +293,12 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
     ``**options`` are broadcast: each method takes the keys its typed
     options class accepts (e.g. ``use_cache=False`` tunes jsat while
     sat-unroll ignores it); a key no listed method accepts raises.
+
+    ``reduce`` (``"off"`` / ``"auto"`` / a
+    :class:`repro.reduce.Pipeline`) forwards the model-reduction knob
+    to every cell's session; parallel (``jobs``/``cache``) runs accept
+    the string forms only, because the knob travels in worker payloads
+    and cache keys.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -295,7 +314,8 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
         if (jobs is not None and jobs > 1) or cache is not None or options:
             raise ValueError("property mode runs serially "
                              "(no jobs/cache/backend options)")
-        return run_property_matrix(instances, budget=budget)
+        return run_property_matrix(instances, budget=budget,
+                                   reduce=reduce)
     per_method = fan_out_options(methods, options)
     if mode == "sweep":
         if (jobs is not None and jobs > 1) or cache is not None:
@@ -306,15 +326,23 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
             cell_budget = method_budgets.get(method, budget)
             for instance in instances:
                 out.append(run_sweep_cell(instance, method, cell_budget,
+                                          reduce=reduce,
                                           **per_method[method]))
         return out
     if (jobs is not None and jobs > 1) or cache is not None:
+        from ..reduce import REDUCE_MODES
+        if reduce not in REDUCE_MODES:
+            raise ValueError(
+                f"parallel/cached runs take reduce='auto' or 'off' "
+                f"(the knob travels in worker payloads and cache "
+                f"keys), got {reduce!r}")
         from ..portfolio.scheduler import BatchScheduler
         scheduler = BatchScheduler(jobs=jobs or 1, cache=cache,
                                    timings=timings)
         return scheduler.run(instances, methods, budget=budget,
                              semantics=semantics,
-                             method_budgets=method_budgets, **options)
+                             method_budgets=method_budgets,
+                             reduce=reduce, **options)
 
     method_budgets = method_budgets or {}
     out: List[CellResult] = []
@@ -322,7 +350,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
         cell_budget = method_budgets.get(method, budget)
         for instance in instances:
             out.append(run_cell(instance, method, cell_budget, semantics,
-                                **per_method[method]))
+                                reduce=reduce, **per_method[method]))
     return out
 
 

@@ -61,22 +61,63 @@ class Instance:
         return f"Instance({self.name!r}, k={self.k}, {truth})"
 
 
-def default_property_bundle(final: Expr) -> Dict[str, Property]:
+def default_property_bundle(final: Expr,
+                            probe: Optional[Expr] = None
+                            ) -> Dict[str, Property]:
     """The standard multi-property bundle around one target predicate.
 
     Five properties exercising every Property kind over one system:
     the existential target, its safety dual, and universal
     F / X / U obligations (checked as bounded-LTL claims, lasso
     counterexamples included).
+
+    ``probe`` (optional) is a *local* state predicate — typically a
+    single latch, the narrow-cone assertions real BMC workloads carry
+    alongside their end-to-end targets — and adds three obligations
+    over it (reach / safety / eventuality).  Probe properties observe
+    a small cone of the design, which is what the model-reduction
+    pipeline (:mod:`repro.reduce`) exists for: with ``reduce="auto"``
+    they resolve over a reduced unrolling instead of the full one.
     """
     not_final = ex.mk_not(final)
-    return {
+    bundle = {
         "reach-target": Reachable(final),
         "never-target": Invariant(not_final),
         "eventually-target": Finally(Atom(final)),
         "clear-first-steps": Next(Next(Atom(not_final))),
         "clear-until-target": Until(Atom(not_final), Atom(final)),
     }
+    if probe is not None:
+        bundle["probe-reach"] = Reachable(probe)
+        bundle["probe-safe"] = Invariant(ex.mk_not(probe))
+        bundle["probe-eventually"] = Finally(Atom(probe))
+    return bundle
+
+
+def _narrowest_cone_latch(system: TransitionSystem) -> Optional[str]:
+    """The non-constant latch with the smallest transitive support cone.
+
+    Used to seed the probe properties of the multi-property suite with
+    a genuinely local observable.  Latches the constant-propagation
+    pass would fold (stuck at reset under ternary simulation) are
+    skipped — a probe over one of those is three degenerate constant
+    properties, not a workload.  Returns None when the system has no
+    latches, its TR does not decompose per latch, or every latch is
+    constant.
+    """
+    from ..reduce.structure import (FunctionalView, constant_latch_values,
+                                    support_cone)
+    view = FunctionalView.from_system(system)
+    if view is None or not system.state_vars:
+        return None
+    values = constant_latch_values(view.updates, view.resets)
+    candidates = [v for v in system.state_vars if values[v] is None]
+    if not candidates:
+        return None
+    sizes = {latch: len(support_cone(view.updates, [latch]))
+             for latch in candidates}
+    return min(candidates, key=lambda v: (sizes[v],
+                                          system.state_vars.index(v)))
 
 
 def build_property_suite() -> List[Instance]:
@@ -84,9 +125,12 @@ def build_property_suite() -> List[Instance]:
 
     For each family, the deepest suite rung of the family's first
     system is reused and equipped with :func:`default_property_bundle`
-    — five named properties over one shared system, the workload for
-    :meth:`repro.bmc.session.BmcSession.check_properties` and the
-    ``bench_multiprop`` benchmark.
+    — the five target-centric properties plus three narrow-cone probe
+    obligations over the family's most local latch — eight named
+    properties over one shared system, the workload for
+    :meth:`repro.bmc.session.BmcSession.check_properties`, the
+    ``bench_multiprop`` benchmark and the ``bench_reduce`` reduction
+    benchmark.
     """
     deepest: Dict[str, Instance] = {}
     first_system: Dict[str, int] = {}
@@ -97,10 +141,15 @@ def build_property_suite() -> List[Instance]:
         best = deepest.get(inst.family)
         if best is None or inst.k > best.k:
             deepest[inst.family] = inst
-    return [Instance(f"{inst.family}-multiprop", inst.family, inst.system,
-                     inst.final, inst.k, inst.expected,
-                     properties=default_property_bundle(inst.final))
-            for inst in deepest.values()]
+    out = []
+    for inst in deepest.values():
+        probe_latch = _narrowest_cone_latch(inst.system)
+        probe = ex.var(probe_latch) if probe_latch is not None else None
+        out.append(Instance(f"{inst.family}-multiprop", inst.family,
+                            inst.system, inst.final, inst.k, inst.expected,
+                            properties=default_property_bundle(inst.final,
+                                                               probe)))
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -64,8 +64,14 @@ def fingerprint_system(system: TransitionSystem) -> str:
 
 def cell_key(system: TransitionSystem, final: Expr, k: int, method: str,
              semantics: str = "exact", budget: Budget | None = None,
-             options: Dict[str, Any] | None = None) -> str:
-    """The cache key of one reachability cell."""
+             options: Dict[str, Any] | None = None,
+             reduce: str = "off") -> str:
+    """The cache key of one reachability cell.
+
+    ``reduce`` participates in the key: a reduced run's stats and
+    trace provenance differ from an unreduced run's, so the two must
+    never serve each other's cached outcomes.
+    """
     doc = {
         "system": fingerprint_system(system),
         "final": fingerprint_expr(final),
@@ -74,6 +80,7 @@ def cell_key(system: TransitionSystem, final: Expr, k: int, method: str,
         "semantics": semantics,
         "budget": budget_to_dict(budget),
         "options": sorted((options or {}).items()),
+        "reduce": reduce,
     }
     return hashlib.sha256(
         json.dumps(doc, sort_keys=True).encode()).hexdigest()

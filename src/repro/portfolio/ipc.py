@@ -46,13 +46,14 @@ def budget_from_dict(data: Optional[Dict[str, Any]]) -> Optional[Budget]:
 def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
                       method: str, semantics: str = "exact",
                       budget: Budget | None = None,
-                      options: Dict[str, Any] | None = None
-                      ) -> Dict[str, Any]:
+                      options: Dict[str, Any] | None = None,
+                      reduce: str = "off") -> Dict[str, Any]:
     """Bundle one reachability query for execution in a worker.
 
     The system and target expression ride along as live objects —
     :class:`~repro.logic.expr.Expr` pickles via re-interning — so the
-    payload works under both fork and spawn start methods.
+    payload works under both fork and spawn start methods.  ``reduce``
+    (``"auto"`` / ``"off"``) is applied by the worker's session.
     """
     return {
         "system": system,
@@ -62,6 +63,7 @@ def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
         "semantics": semantics,
         "budget": budget_to_dict(budget),
         "options": dict(options or {}),
+        "reduce": reduce,
     }
 
 
@@ -75,7 +77,8 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     with measure_time() as timing:
         try:
             with BmcSession(payload["system"],
-                            properties={"target": payload["final"]}
+                            properties={"target": payload["final"]},
+                            reduce=payload.get("reduce", "off")
                             ) as session:
                 result = session.check(
                     payload["k"], method=payload["method"],

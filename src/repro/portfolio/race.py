@@ -132,6 +132,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
          wall_timeout: Optional[float] = None,
          validate: bool = True,
          method_options: Optional[Dict[str, Dict[str, Any]]] = None,
+         reduce: object = "off",
          **options) -> RaceOutcome:
     """Run ``methods`` concurrently; first conclusive answer wins.
 
@@ -148,7 +149,14 @@ def race(system: TransitionSystem, final: Expr, k: int,
     misspellings cannot silently kill a contender.  ``method_options``
     maps a method name to options for that method alone (these win
     over broadcast keys).
+
+    ``reduce`` (``"off"`` / ``"auto"`` / a :class:`repro.reduce.Pipeline`)
+    runs the model-reduction pipeline once in the parent; every
+    contender then races on the same reduced system, witnesses are
+    validated in the reduced vocabulary, and the winning trace is
+    lifted back to a full-width path over the original system.
     """
+    from ..reduce import reduce_for_target, resolve_reduce
     methods = list(methods)
     if not methods:
         raise ValueError("race needs at least one method")
@@ -161,6 +169,15 @@ def race(system: TransitionSystem, final: Expr, k: int,
         wall_timeout = budget.max_seconds * 3.0 + 1.0
     per_method_options = fan_out_options(methods, options,
                                          method_options or {})
+    pipeline = resolve_reduce(reduce)
+    reduction = None
+    original_system = system
+    if pipeline is not None:
+        candidate = reduce_for_target(system, final, pipeline)
+        if not candidate.is_identity:
+            reduction = candidate
+            system = candidate.system
+            final = candidate.map_expr(final)
 
     ctx = pool_context()
     ensure_methods_spawnable(methods, ctx)
@@ -246,9 +263,21 @@ def race(system: TransitionSystem, final: Expr, k: int,
     seconds = time.perf_counter() - start
 
     if winning is not None:
-        result = BmcResult(winning["status"], winning["trace"], k,
+        trace = winning["trace"]
+        if reduction is not None and trace is not None:
+            # Workers validated in the reduced vocabulary; the lifted
+            # full-width path must replay on the original system too
+            # (the same double check every session/checker path runs).
+            trace = reduction.lift(trace)
+            if validate:
+                trace.validate(original_system)
+        result = BmcResult(winning["status"], trace, k,
                            "portfolio", seconds, dict(winning["stats"]))
         result.stats["portfolio_winner"] = winner
+        if reduction is not None:
+            result.stats["reduced_latches"] = len(system.state_vars)
+            result.stats["original_latches"] = \
+                len(original_system.state_vars)
     else:
         stats = dict(fallback["stats"]) if fallback else {}
         result = BmcResult(SolveResult.UNKNOWN,

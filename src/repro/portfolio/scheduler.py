@@ -81,8 +81,15 @@ class BatchScheduler:
             budget: Budget | None = None,
             semantics: str = "exact",
             method_budgets: Dict[str, Budget] | None = None,
+            reduce: str = "off",
             **options) -> List:
-        """Parallel equivalent of ``run_matrix`` (same result order)."""
+        """Parallel equivalent of ``run_matrix`` (same result order).
+
+        ``reduce`` (``"auto"`` / ``"off"``) rides along in every cell
+        payload — reduction happens inside the worker's session — and
+        is part of the cache key, so reduced and unreduced runs never
+        serve each other's cached traces.
+        """
         from ..bmc.backend import fan_out_options
         from ..harness.runner import CellResult   # deferred: no cycle
         method_budgets = method_budgets or {}
@@ -108,7 +115,7 @@ class BatchScheduler:
             if self.cache is not None:
                 key = cell_key(instance.system, instance.final, instance.k,
                                method, semantics, cell_budget,
-                               per_method[method])
+                               per_method[method], reduce=reduce)
                 keys[slot] = key
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -135,7 +142,8 @@ class BatchScheduler:
                 instance, method, cell_budget = cells[slot]
                 payload = make_cell_payload(instance.system, instance.final,
                                             instance.k, method, semantics,
-                                            cell_budget, per_method[method])
+                                            cell_budget, per_method[method],
+                                            reduce=reduce)
                 wall_timeout = None
                 if cell_budget is not None \
                         and cell_budget.max_seconds is not None:

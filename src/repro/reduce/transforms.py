@@ -1,0 +1,364 @@
+"""The reduction transforms and the pipeline that runs them.
+
+Each :class:`Reduction` is a sound structural transform over a
+:class:`ReductionState` — a mutable per-latch view (updates, resets,
+constraints, the query property) threaded through the pipeline:
+
+* :class:`ConstantLatches` — ternary simulation with all inputs at X:
+  latches stuck at their reset value on every execution are folded to
+  constants everywhere they occur;
+* :class:`DuplicateLatches` — partition refinement over structurally
+  hashed next-state functions: latches with equal resets whose updates
+  coincide under the partition's representative map are provably
+  equivalent and merged (SNIPPETS' ``signature`` sweeping, done on the
+  hash-consed ``Expr`` DAG so "same function" is pointer equality);
+* :class:`ConeOfInfluence` — transitive support closure seeded from
+  the property's atoms *and every constraint* (a constraint restricts
+  all paths, so its cone must survive); latches outside the closure
+  cannot influence the query and are freed;
+* :class:`InputPruning` — inputs read by no surviving update or
+  constraint are dropped (witness lifting refills them).
+
+Soundness note: every transform preserves the query's verdict at
+every bound, because removed latches either provably never change
+(constants), provably track a kept twin (duplicates), or provably
+cannot be observed by the property or any constraint (cone).  Witness
+traces are lifted back and replay-validated against the *original*
+system, so an unsound reduction cannot survive the debug checks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..logic import expr as ex
+from ..logic.expr import Expr
+from ..spec.property import Property, as_property, support
+from ..system.model import TransitionSystem, primed
+from .reduced import ReducedSystem, identity_reduction, _map_property
+from .structure import (FunctionalView, constant_latch_values,
+                        support_cone)
+
+__all__ = ["Reduction", "ReductionState", "ConstantLatches",
+           "DuplicateLatches", "ConeOfInfluence", "InputPruning",
+           "Pipeline", "default_pipeline", "reduce_system",
+           "reduce_for_target", "resolve_reduce", "REDUCE_MODES"]
+
+#: String knob values accepted everywhere a ``reduce=`` argument is.
+REDUCE_MODES = ("auto", "off")
+
+
+class ReductionState:
+    """Mutable working state of one pipeline run.
+
+    Holds the surviving latches/inputs with their (progressively
+    rewritten) updates, resets and constraints, the query property
+    mapped along, and the accumulated variable map (``fixed`` /
+    ``merged`` / ``freed``) that :meth:`build` bakes into the final
+    :class:`ReducedSystem`.
+    """
+
+    def __init__(self, view: FunctionalView, prop: Property) -> None:
+        self.view = view
+        self.latches: List[str] = list(view.system.state_vars)
+        self.inputs: List[str] = list(view.system.input_vars)
+        self.updates: Dict[str, Expr] = dict(view.updates)
+        self.resets: Dict[str, bool] = dict(view.resets)
+        self.constraints: List[Expr] = list(view.constraints)
+        self.prop = prop
+        self.fixed: Dict[str, bool] = {}
+        self.merged: Dict[str, str] = {}
+        self.freed: List[str] = []
+
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Dict[str, Expr]) -> None:
+        """Apply a variable substitution to every surviving formula."""
+        self.updates = {latch: ex.substitute(update, mapping)
+                        for latch, update in self.updates.items()}
+        self.constraints = [ex.substitute(c, mapping)
+                            for c in self.constraints]
+        self.prop = _map_property(
+            self.prop, lambda e: ex.substitute(e, mapping))
+
+    def drop_latches(self, removed: Sequence[str]) -> None:
+        """Remove latches from the surviving set (map entries are the
+        caller's responsibility)."""
+        gone = set(removed)
+        self.latches = [v for v in self.latches if v not in gone]
+        for latch in gone:
+            self.updates.pop(latch, None)
+            self.resets.pop(latch, None)
+
+    # ------------------------------------------------------------------
+    def build(self) -> ReducedSystem:
+        """Bake the state into a :class:`ReducedSystem`.
+
+        A run that changed nothing returns the identity reduction —
+        the *original* system object — so an all-kept cone is a
+        guaranteed no-op, never a re-encoded pessimization.  "Changed
+        nothing" is judged structurally, not by the removal maps:
+        hash-consing makes a true no-op rebuild pointer-identical to
+        the original init/TR, so a custom transform that rewrites
+        updates or constraints without removing a variable still gets
+        its rewritten system solved.
+        """
+        original = self.view.system
+        init = ex.conjoin(
+            (ex.var(v) if self.resets[v] else ex.mk_not(ex.var(v)))
+            for v in self.latches if v in self.resets)
+        trans = ex.conjoin(
+            [ex.mk_iff(ex.var(primed(v)), self.updates[v])
+             for v in self.latches] + self.constraints)
+        untouched = (not self.fixed and not self.merged and not self.freed
+                     and self.latches == list(original.state_vars)
+                     and self.inputs == list(original.input_vars)
+                     and init is original.init
+                     and trans is original.trans)
+        if untouched:
+            return identity_reduction(original)
+        reduced = TransitionSystem(
+            state_vars=list(self.latches), init=init, trans=trans,
+            input_vars=list(self.inputs),
+            name=f"{original.name}#reduced")
+        return ReducedSystem(original, reduced, self.view,
+                             self.latches, self.inputs,
+                             self.fixed, self.merged, self.freed)
+
+
+# ----------------------------------------------------------------------
+class Reduction(ABC):
+    """One sound transform step of the reduction pipeline."""
+
+    name = "?"
+
+    #: True when the transform's outcome depends on the property only
+    #: through its atom *support* (which variables it observes), never
+    #: its temporal structure.  Every built-in transform qualifies, so
+    #: callers may memoize pipeline runs per support set; custom
+    #: subclasses that specialize on the property AST must leave this
+    #: False (the conservative default) to stay cache-safe.
+    support_determined = False
+
+    @abstractmethod
+    def apply(self, state: ReductionState) -> None:
+        """Transform ``state`` in place."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class ConstantLatches(Reduction):
+    """Fold latches stuck at their reset value under ternary simulation.
+
+    The fixpoint starts every latch at its reset value (X when
+    unconstrained) and every input at X, then repeatedly re-evaluates
+    each update three-valued; a latch whose image ever disagrees with
+    its current value falls to X.  Latches still definite at the
+    fixpoint are constant on *every* execution (ternary X
+    over-approximates all concrete input choices), so substituting the
+    constant is verdict-preserving.
+    """
+
+    name = "constant-latches"
+    support_determined = True
+
+    def apply(self, state: ReductionState) -> None:
+        """Run the ternary fixpoint and fold the surviving constants."""
+        values = constant_latch_values(state.updates, state.resets)
+        fixed = {latch: value for latch, value in values.items()
+                 if value is not None}
+        if not fixed:
+            return
+        state.fixed.update(fixed)
+        state.drop_latches(list(fixed))
+        state.substitute({latch: ex.const(value)
+                          for latch, value in fixed.items()})
+
+
+class DuplicateLatches(Reduction):
+    """Merge provably equivalent latches by partition refinement.
+
+    Latches with equal (defined) reset values start in one class;
+    each round rewrites every update with the current class
+    representatives and re-keys the class by the resulting hash-consed
+    expression — structurally identical updates become pointer-equal
+    — until the partition is stable.  Classmates then provably carry
+    the same value in every state, so all but the representative are
+    renamed away.
+    """
+
+    name = "duplicate-latches"
+    support_determined = True
+
+    def apply(self, state: ReductionState) -> None:
+        """Refine the latch partition to a fixpoint and merge classes."""
+        classes: Dict[str, Tuple] = {}
+        for latch in state.latches:
+            reset = state.resets.get(latch)
+            if reset is None:                   # independent free init
+                classes[latch] = ("self", latch)
+            else:
+                classes[latch] = ("reset", reset)
+        while True:
+            reps: Dict[Tuple, str] = {}
+            for latch in state.latches:         # first-in-order rep
+                reps.setdefault(classes[latch], latch)
+            mapping = {latch: ex.var(reps[classes[latch]])
+                       for latch in state.latches}
+            refined: Dict[str, Tuple] = {}
+            for latch in state.latches:
+                if classes[latch][0] == "self":
+                    refined[latch] = classes[latch]
+                else:
+                    signature = ex.substitute(state.updates[latch], mapping)
+                    refined[latch] = (classes[latch], signature.uid)
+            if _partition(refined) == _partition(classes):
+                break
+            classes = refined
+        reps = {}
+        for latch in state.latches:
+            reps.setdefault(classes[latch], latch)
+        merged = {latch: reps[classes[latch]] for latch in state.latches
+                  if reps[classes[latch]] != latch}
+        if not merged:
+            return
+        state.merged.update(merged)
+        state.drop_latches(list(merged))
+        state.substitute({latch: ex.var(rep)
+                          for latch, rep in merged.items()})
+
+
+def _partition(classes: Dict[str, Tuple]) -> Set[frozenset]:
+    groups: Dict[Tuple, Set[str]] = {}
+    for latch, key in classes.items():
+        groups.setdefault(key, set()).add(latch)
+    return {frozenset(members) for members in groups.values()}
+
+
+class ConeOfInfluence(Reduction):
+    """Free every latch the query provably cannot observe.
+
+    The closure is seeded from the property's atom support *and* from
+    every constraint's support (constraints restrict all paths — e.g.
+    a globally-false constraint empties the reachable set — so their
+    cone must survive for the reduction to stay verdict-preserving),
+    then saturated through update-function supports.
+    """
+
+    name = "cone-of-influence"
+    support_determined = True
+
+    def apply(self, state: ReductionState) -> None:
+        """Saturate the support closure and free everything outside."""
+        latch_set = set(state.latches)
+        seed = set(support(state.prop)) & latch_set
+        for constraint in state.constraints:
+            seed |= constraint.support() & latch_set
+        cone = support_cone(state.updates, seed)
+        freed = [latch for latch in state.latches if latch not in cone]
+        if not freed:
+            return
+        state.freed.extend(freed)
+        state.drop_latches(freed)
+
+
+class InputPruning(Reduction):
+    """Drop inputs no surviving update or constraint reads.
+
+    Pruned inputs reappear (with a default value) when witnesses are
+    lifted, so downstream consumers still see full-width traces.
+    """
+
+    name = "input-pruning"
+    support_determined = True
+
+    def apply(self, state: ReductionState) -> None:
+        """Drop inputs outside every surviving support set."""
+        used: Set[str] = set()
+        for latch in state.latches:
+            used |= state.updates[latch].support()
+        for constraint in state.constraints:
+            used |= constraint.support()
+        state.inputs = [name for name in state.inputs if name in used]
+
+
+# ----------------------------------------------------------------------
+class Pipeline:
+    """An ordered list of reductions applied per query.
+
+    ``reduce`` extracts the per-latch view (or bails to the identity
+    reduction when the system is not functional), runs every transform
+    and bakes the result.
+
+    >>> from repro.models import counter
+    >>> from repro.spec import Reachable
+    >>> system, final, depth = counter.make(4, 9)
+    >>> rs = default_pipeline().reduce(system, Reachable(ex.var("c0")))
+    >>> rs.kept_latches                      # c0 only feeds on itself
+    ['c0']
+    """
+
+    def __init__(self, reductions: Sequence[Reduction]) -> None:
+        self.reductions = list(reductions)
+        for reduction in self.reductions:
+            if not isinstance(reduction, Reduction):
+                raise TypeError(f"Pipeline expects Reduction instances, "
+                                f"got {type(reduction).__name__}")
+
+    @property
+    def support_determined(self) -> bool:
+        """Whether every pass is determined by the property's support
+        alone — the precondition for memoizing runs per support set
+        (see :meth:`repro.spec.checker.PropertyChecker._cone_for`)."""
+        return all(r.support_determined for r in self.reductions)
+
+    def reduce(self, system: TransitionSystem,
+               prop: Union[Property, Expr]) -> ReducedSystem:
+        """Reduce ``system`` for the single query ``prop``."""
+        view = FunctionalView.from_system(system)
+        if view is None:
+            return identity_reduction(system)
+        state = ReductionState(view, as_property(prop))
+        for reduction in self.reductions:
+            reduction.apply(state)
+        return state.build()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Pipeline({[r.name for r in self.reductions]})"
+
+
+def default_pipeline() -> Pipeline:
+    """The standard pass order: constants, duplicates, cone, inputs."""
+    return Pipeline([ConstantLatches(), DuplicateLatches(),
+                     ConeOfInfluence(), InputPruning()])
+
+
+def reduce_system(system: TransitionSystem, prop: Union[Property, Expr],
+                  pipeline: Optional[Pipeline] = None) -> ReducedSystem:
+    """Reduce ``system`` for ``prop`` (default pipeline when None)."""
+    return (pipeline or default_pipeline()).reduce(system, prop)
+
+
+def reduce_for_target(system: TransitionSystem, final: Expr,
+                      pipeline: Optional[Pipeline] = None) -> ReducedSystem:
+    """Reduce for a plain reachability target (the backend query)."""
+    from ..spec.property import Reachable
+    return reduce_system(system, Reachable(final), pipeline)
+
+
+def resolve_reduce(knob: Union[str, Pipeline, None]
+                   ) -> Optional[Pipeline]:
+    """Normalize the ``reduce=`` knob accepted across the stack.
+
+    ``"auto"`` → the default pipeline, ``"off"`` / None → no
+    reduction, a :class:`Pipeline` instance → itself.
+    """
+    if knob is None or knob == "off":
+        return None
+    if knob == "auto":
+        return default_pipeline()
+    if isinstance(knob, Pipeline):
+        return knob
+    raise ValueError(f"reduce must be 'auto', 'off' or a Pipeline, "
+                     f"got {knob!r}")

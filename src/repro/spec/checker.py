@@ -21,6 +21,16 @@ rides on top as a retractable constraint:
 unrolling (``check_all``) or up a bound ladder (``sweep``), which is
 where the multi-property speedup comes from: k transition frames are
 encoded once instead of N times.
+
+With ``reduce="auto"`` the checker additionally runs each property
+through the model-reduction pipeline (:mod:`repro.reduce`) and groups
+properties by their reduced cone: every cone gets its *own* shared
+unrolling over its (smaller) reduced system, so the k transition
+frames are not just encoded once per bound — they are encoded once
+per bound *per cone*, and each cone only pays for the latches the
+property can actually observe.  Witness traces are lifted back to
+full-width paths over the original system before validation,
+shortening, or anything downstream sees them.
 """
 
 from __future__ import annotations
@@ -179,6 +189,7 @@ class SharedUnrolling:
             self._flush()
 
     def frames_upto(self, k: int) -> List[List[str]]:
+        """Frame variable names for steps 0..k (frames grown on demand)."""
         self.ensure_frames(k)
         return self._frames[:k + 1]
 
@@ -208,6 +219,7 @@ class SharedUnrolling:
 
     def solve(self, assumptions: Sequence[int],
               budget: Budget | None = None) -> SolveResult:
+        """Solve the unrolling under the given assumption literals."""
         return self.solver.solve(list(assumptions), budget=budget)
 
     # ------------------------------------------------------------------
@@ -231,6 +243,7 @@ class SharedUnrolling:
                 for v in self.system.input_vars}
 
     def resident_literals(self) -> int:
+        """Clause-database literals currently resident in the solver."""
         return self.solver.stats.db_literals
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -239,31 +252,92 @@ class SharedUnrolling:
 
 
 # ----------------------------------------------------------------------
-class PropertyChecker:
-    """Check many named properties of one system, one unrolling for all.
+class _Cone:
+    """One reduced cone and its unrollings, shared by every property
+    whose reduction produced the same cone key.
 
-    The checker owns a :class:`SharedUnrolling` that persists across
-    calls (frames only grow), so repeated ``check_all`` / ``sweep``
-    invocations — and every property inside one — reuse the same
-    transition-frame encoding and solver state.
+    Owns the :class:`~repro.reduce.ReducedSystem` (identity when
+    reduction is off or inert) plus the cone's main and auxiliary
+    low-bound :class:`SharedUnrolling` instances — the two-driver
+    policy of ``IncrementalBmc.check_bound``, kept per cone.
+    """
+
+    def __init__(self, reduction, purge_interval: int) -> None:
+        self.reduction = reduction
+        self.system: TransitionSystem = reduction.system
+        self.purge_interval = purge_interval
+        self._shared: Optional[SharedUnrolling] = None
+        self._low: Optional[SharedUnrolling] = None
+
+    def unrolling_for(self, k: int) -> SharedUnrolling:
+        """The cone's shared unrolling, or the auxiliary low one.
+
+        Frames beyond the queried bound are asserted unconditionally,
+        which for a non-total TR could exclude witnesses whose final
+        state has no successor — so a query *below* the frames already
+        encoded is answered by a second, lower unrolling that itself
+        only ever grows (the ``IncrementalBmc.check_bound`` policy:
+        the cone stays bounded at two encodings, a monotone re-sweep
+        reuses the low driver ascending until it rejoins the shared
+        one, and only a strictly descending probe pays a rebuild).
+        """
+        if self._shared is None:
+            self._shared = SharedUnrolling(self.system,
+                                           self.purge_interval)
+        if k < self._shared.k:
+            low = self._low
+            if low is None or k < low.k:
+                low = SharedUnrolling(self.system, self.purge_interval)
+                self._low = low
+            return low
+        return self._shared
+
+    def close(self) -> None:
+        self._shared = None
+        self._low = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Cone({self.system.name!r}, frames=" \
+               f"{self._shared.k if self._shared else 0})"
+
+
+class PropertyChecker:
+    """Check many named properties of one system, one unrolling per cone.
+
+    The checker owns one :class:`_Cone` (reduced system + shared
+    unrolling) per distinct reduced cone of its properties — a single
+    identity cone when reduction is off — and the unrollings persist
+    across calls (frames only grow), so repeated ``check_all`` /
+    ``sweep`` invocations — and every property inside one — reuse the
+    same transition-frame encodings and solver state.
+
+    ``reduce`` accepts ``"off"`` (default: solve the full system),
+    ``"auto"`` (the default :func:`repro.reduce.default_pipeline`) or
+    a :class:`repro.reduce.Pipeline` instance.
 
     Witness traces are validated in debug mode (``__debug__``): the
-    path must replay against the transition system, and the search
-    formula must hold on it under the bounded path semantics
-    (:func:`repro.spec.eval.holds_on_path`), including the lasso
-    back-edge when the witness closes a loop.
+    search formula must hold on the witness under the bounded path
+    semantics (:func:`repro.spec.eval.holds_on_path`) over the cone it
+    was found in — including the lasso back-edge when the witness
+    closes a loop — and the lifted full-width path must replay against
+    the *original* transition system.
     """
 
     def __init__(self, system: TransitionSystem,
                  properties: Optional[Mapping[str, Property]] = None,
                  purge_interval: int = 4,
-                 validate: Optional[bool] = None) -> None:
+                 validate: Optional[bool] = None,
+                 reduce: object = "off") -> None:
+        from ..reduce import resolve_reduce
         self.system = system
         self.properties = normalize_properties(properties)
         self.purge_interval = purge_interval
         self.validate = __debug__ if validate is None else validate
-        self._shared: Optional[SharedUnrolling] = None
-        self._low: Optional[SharedUnrolling] = None
+        self.pipeline = resolve_reduce(reduce)
+        self._cones: Dict[tuple, _Cone] = {}
+        self._assignments: Dict[str, _Cone] = {}
+        self._mapped: Dict[str, Property] = {}
+        self._reductions_by_support: Dict[frozenset, object] = {}
         for name, prop in self.properties.items():
             self._check_support(name, prop)
 
@@ -277,39 +351,60 @@ class PropertyChecker:
                 f"{self.system.name!r} are {self.system.state_vars}")
 
     def add_property(self, name: str, prop) -> None:
+        """Register (or replace) a named property on the live checker."""
         prop = normalize_properties({name: prop})[name]
         self._check_support(name, prop)
         self.properties[name] = prop
+        self._assignments.pop(name, None)
+        self._mapped.pop(name, None)
 
     def close(self) -> None:
-        """Drop the shared solver state."""
-        self._shared = None
-        self._low = None
+        """Drop every cone's solver state."""
+        for cone in self._cones.values():
+            cone.close()
+        self._cones.clear()
+        self._assignments.clear()
+        self._mapped.clear()
 
     # ------------------------------------------------------------------
-    def _unrolling_for(self, k: int) -> SharedUnrolling:
-        """The shared unrolling, or the auxiliary low-bound one.
+    def _cone_for(self, name: str) -> _Cone:
+        """The cone answering property ``name`` (computed on first use;
+        properties with equal cone keys share one instance).
 
-        Frames beyond the queried bound are asserted unconditionally,
-        which for a non-total TR could exclude witnesses whose final
-        state has no successor — so a query *below* the frames already
-        encoded is answered by a second, lower unrolling that itself
-        only ever grows (the ``IncrementalBmc.check_bound`` policy:
-        the checker stays bounded at two encodings, a monotone
-        re-sweep reuses the low driver ascending until it rejoins the
-        shared one, and only a strictly descending probe pays a
-        rebuild).
+        Pipeline runs are memoized per property *support* set when the
+        pipeline declares itself ``support_determined`` (every built-in
+        transform is: the property matters only through which
+        variables it observes, never its temporal structure), so
+        same-support properties share one reduction computation.
+        Custom pipelines containing transforms that inspect the
+        property AST are re-run per property.
         """
-        if self._shared is None:
-            self._shared = SharedUnrolling(self.system,
-                                           self.purge_interval)
-        if k < self._shared.k:
-            low = self._low
-            if low is None or k < low.k:
-                low = SharedUnrolling(self.system, self.purge_interval)
-                self._low = low
-            return low
-        return self._shared
+        cone = self._assignments.get(name)
+        if cone is None:
+            from ..reduce import identity_reduction
+            prop = self.properties[name]
+            if self.pipeline is None:
+                reduction = identity_reduction(self.system)
+            elif self.pipeline.support_determined:
+                support_key = frozenset(support(prop))
+                reduction = self._reductions_by_support.get(support_key)
+                if reduction is None:
+                    reduction = self.pipeline.reduce(self.system, prop)
+                    self._reductions_by_support[support_key] = reduction
+            else:
+                reduction = self.pipeline.reduce(self.system, prop)
+            key = reduction.cone_key()
+            cone = self._cones.get(key)
+            if cone is None:
+                cone = _Cone(reduction, self.purge_interval)
+                self._cones[key] = cone
+            self._assignments[name] = cone
+            self._mapped[name] = cone.reduction.map_property(prop)
+        return cone
+
+    def cone_count(self) -> int:
+        """Distinct cones currently materialized (diagnostics)."""
+        return len(self._cones)
 
     def _select(self, names: Optional[Sequence[str]]
                 ) -> Dict[str, Property]:
@@ -331,13 +426,14 @@ class PropertyChecker:
               budget: Budget | None = None) -> PropertyResult:
         """Check one registered property at bound k (within-k search)."""
         prop = self._select([name])[name]
-        return self._query(self._unrolling_for(k), name, prop, k, budget)
+        return self._query(name, prop, k, budget)
 
     def check_all(self, k: int, names: Optional[Sequence[str]] = None,
                   budget: Budget | None = None,
                   on_result: Callable[[PropertyResult], None] | None = None
                   ) -> Dict[str, PropertyResult]:
-        """Check every (selected) property at bound k over one unrolling.
+        """Check every (selected) property at bound k over one unrolling
+        per cone.
 
         ``budget`` is a shared pool across the whole batch (one
         deadline, one conflict pool), mirroring the sweep contract.
@@ -346,7 +442,6 @@ class PropertyChecker:
         if k < 0:
             raise ValueError("bound k must be non-negative")
         selected = self._select(names)
-        unrolling = self._unrolling_for(k)
         tracker = SweepBudget(budget)
         out: Dict[str, PropertyResult] = {}
         for name, prop in selected.items():
@@ -355,7 +450,7 @@ class PropertyChecker:
                                         False, SolveResult.UNKNOWN, k,
                                         None, 0.0, {})
             else:
-                result = self._query(unrolling, name, prop, k,
+                result = self._query(name, prop, k,
                                      tracker.remaining())
                 tracker.charge(
                     conflicts=result.stats.get("solver_conflicts", 0),
@@ -391,10 +486,6 @@ class PropertyChecker:
         for k in range(max_k + 1):
             if not pending:
                 break
-            # Selected per bound: low bounds ride the auxiliary driver
-            # until the ladder rejoins (and then grows) the shared one.
-            unrolling = self._unrolling_for(k)
-            unrolling.ensure_frames(k)
             for name in list(pending):
                 prop = pending[name]
                 if tracker.exhausted():
@@ -403,7 +494,7 @@ class PropertyChecker:
                         SolveResult.UNKNOWN, k, None, 0.0, {})
                     del pending[name]
                     continue
-                result = self._query(unrolling, name, prop, k,
+                result = self._query(name, prop, k,
                                      tracker.remaining())
                 tracker.charge(
                     conflicts=result.stats.get("solver_conflicts", 0),
@@ -430,16 +521,20 @@ class PropertyChecker:
         return PropertyResult(name, prop, verdict, False,
                               SolveResult.UNSAT, k, None, 0.0, {})
 
-    def _query(self, unrolling: SharedUnrolling, name: str,
-               prop: Property, k: int,
+    def _query(self, name: str, prop: Property, k: int,
                budget: Budget | None) -> PropertyResult:
         start = time.perf_counter()
-        formula, universal = search_plan(prop)
+        cone = self._cone_for(name)
+        reduction = cone.reduction
+        system = cone.system
+        mapped = self._mapped[name]
+        formula, universal = search_plan(mapped)
+        unrolling = cone.unrolling_for(k)
         frames = unrolling.frames_upto(k)
         loops = None
         if needs_loop_closure(formula):
-            loops = loop_conditions_for(self.system, frames)
-        witness_expr = compile_search(formula, self.system, frames, loops)
+            loops = loop_conditions_for(system, frames)
+        witness_expr = compile_search(formula, system, frames, loops)
         solver = unrolling.solver
         before = (solver.stats.conflicts, solver.stats.decisions,
                   solver.stats.propagations)
@@ -451,7 +546,15 @@ class PropertyChecker:
             loop_inputs = (unrolling.extract_loop_inputs()
                            if loops is not None else None)
             if self.validate:
-                self._validate_witness(name, formula, trace, loop_inputs)
+                # The bounded path semantics (lasso back-edge included)
+                # hold over the cone the witness was found in ...
+                self._validate_witness(name, formula, trace, loop_inputs,
+                                       system)
+            trace = reduction.lift(trace)
+            if self.validate and not reduction.is_identity:
+                # ... and the lifted full-width path must replay
+                # against the original transition system.
+                trace.validate(self.system)
             target = reachability_target(prop)
             if target is not None:
                 trace = trace.shorten_to(target)
@@ -467,6 +570,9 @@ class PropertyChecker:
             "solver_decisions": solver.stats.decisions - before[1],
             "solver_propagations": solver.stats.propagations - before[2],
         }
+        if not reduction.is_identity:
+            stats["latches_before"] = len(self.system.state_vars)
+            stats["latches_after"] = len(system.state_vars)
         seconds = time.perf_counter() - start
         if status is SolveResult.UNKNOWN:
             verdict, conclusive = Verdict.UNKNOWN, False
@@ -481,21 +587,27 @@ class PropertyChecker:
 
     def _validate_witness(self, name: str, formula: Property,
                           trace: Trace,
-                          loop_inputs: Optional[Dict[str, bool]]) -> None:
+                          loop_inputs: Optional[Dict[str, bool]],
+                          system: Optional[TransitionSystem] = None
+                          ) -> None:
         """Debug-mode certificate check: replay + bounded semantics.
 
         ``loop_inputs`` is the model's back-edge input valuation when
         loop closure was compiled, else None (the witness must then
-        hold under the loop-free semantics alone).
+        hold under the loop-free semantics alone).  ``system`` is the
+        system the witness was found on — the reduced cone for a
+        reduced query, the checker's own system otherwise.
         """
-        trace.validate(self.system)
+        if system is None:
+            system = self.system
+        trace.validate(system)
         if holds_on_path(formula, trace.states):
             return
         k = trace.length
-        order = self.system.state_vars
+        order = system.state_vars
         if loop_inputs is not None:
             for loopback in range(k + 1):
-                if self.system.holds_trans(
+                if system.holds_trans(
                         trace.state_bits(k, order), loop_inputs,
                         trace.state_bits(loopback, order)) \
                         and holds_on_path(formula, trace.states,

@@ -8,11 +8,14 @@ benchmark designs (:mod:`repro.models`) are built with it, and the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..logic import expr as ex
 from ..logic.expr import Expr
 from .model import TransitionSystem, primed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle at runtime only
+    from ..spec.property import Property
 
 __all__ = ["Circuit"]
 
@@ -51,7 +54,7 @@ class Circuit:
         self._next_exprs: Dict[str, Optional[Expr]] = {}
         self.outputs: Dict[str, Expr] = {}
         self.bad: Dict[str, Expr] = {}
-        self.properties: Dict[str, object] = {}    # name -> spec Property
+        self.properties: Dict[str, "Property"] = {}
         self.constraints: List[Expr] = []          # invariants assumed on TR
 
     # ------------------------------------------------------------------
@@ -81,6 +84,7 @@ class Circuit:
         self._next_exprs[latch_name] = next_expr
 
     def add_output(self, name: str, expression: Expr) -> None:
+        """Declare a named combinational output (observability only)."""
         self.outputs[name] = expression
 
     def add_bad(self, name: str, expression: Expr) -> None:
@@ -95,10 +99,22 @@ class Circuit:
         self.bad[name] = expression
         self.properties[name] = Reachable(expression)
 
-    def add_property(self, name: str, prop) -> None:
-        """Declare a named specification (a :class:`Property` or a raw
-        state predicate, wrapped as ``Reachable``)."""
+    def add_property(self, name: str, prop: "Property | Expr") -> None:
+        """Declare a named specification.
+
+        ``prop`` must be a :class:`repro.spec.property.Property` or a
+        raw :class:`~repro.logic.expr.Expr` state predicate (wrapped
+        as ``Reachable``); anything else is rejected here, with the
+        offending type named, instead of surfacing later as a checker
+        failure.
+        """
         from ..spec.checker import normalize_properties
+        from ..spec.property import Property
+        if not isinstance(prop, (Property, Expr)):
+            raise TypeError(
+                f"add_property({name!r}) expects a repro.spec Property "
+                f"or an Expr state predicate, got "
+                f"{type(prop).__name__}")
         self.properties[name] = normalize_properties({name: prop})[name]
 
     def add_constraint(self, expression: Expr) -> None:
@@ -193,6 +209,7 @@ class Circuit:
                 for name, expr in self.outputs.items()}
 
     def stats(self) -> Dict[str, int]:
+        """Size counters: inputs, latches and compiled DAG nodes."""
         gates = ex.conjoin([self.trans_expr(), self.init_expr()]).size()
         return {
             "inputs": len(self.input_names),

@@ -1,0 +1,59 @@
+"""Docstring-coverage gate, mirrored from the CI interrogate check.
+
+CI runs ``interrogate --fail-under 80 src/repro`` (configured in
+``pyproject.toml``); this test enforces the same floor with a small
+stdlib-only counter so offline runs (and environments without
+interrogate) cannot silently rot the docs.  The counting rules match
+the interrogate configuration: modules, public classes and public
+functions/methods count; private names (leading underscore, dunders
+and ``__init__`` included) and nested functions are exempt.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+FAIL_UNDER = 80.0
+
+
+def _walk(node, qualname, in_class):
+    """Yield (qualname, documented) for every countable definition."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.ClassDef):
+            if not child.name.startswith("_"):
+                yield (f"{qualname}.{child.name}",
+                       bool(ast.get_docstring(child)))
+                yield from _walk(child, f"{qualname}.{child.name}",
+                                 in_class=True)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if child.name.startswith("_"):
+                continue
+            if not in_class and qualname:
+                continue                 # nested function: exempt
+            yield (f"{qualname}.{child.name}",
+                   bool(ast.get_docstring(child)))
+
+
+def test_docstring_coverage_floor():
+    total = documented = 0
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        tree = ast.parse(path.read_text())
+        total += 1
+        if ast.get_docstring(tree):
+            documented += 1
+        else:
+            missing.append(f"{rel} (module)")
+        for name, has_doc in _walk(tree, "", in_class=False):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(f"{rel}:{name.lstrip('.')}")
+    coverage = 100.0 * documented / total
+    worst = "\n  ".join(missing[:25])
+    assert coverage >= FAIL_UNDER, (
+        f"docstring coverage {coverage:.1f}% fell below "
+        f"{FAIL_UNDER}% ({documented}/{total} documented); "
+        f"undocumented (first 25):\n  {worst}")

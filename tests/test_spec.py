@@ -381,17 +381,18 @@ class TestReviewRegressions:
     def test_sweep_after_growth_keeps_two_encodings(self):
         system, final, depth = counter.make(3, 5)
         checker = PropertyChecker(system, {"hit": Reachable(final)})
-        shared = checker._unrolling_for(0)
+        cone = checker._cone_for("hit")
+        shared = cone.unrolling_for(0)
         checker.check_all(depth + 2)               # shared grows deep
         # A sweep below the shared frames rides ONE auxiliary low
         # driver (not a throwaway per bound), and keeps it afterwards.
         first = checker.sweep(depth)["hit"]
-        low = checker._low
+        low = cone._low
         assert low is not None and low.k == depth
-        assert checker._unrolling_for(depth + 2) is shared
+        assert cone.unrolling_for(depth + 2) is shared
         # Follow-up monotone queries below the shared frames reuse the
         # kept low encoding instead of rebuilding.
         again = checker.check_all(depth)["hit"]
-        assert checker._low is low
+        assert cone._low is low
         assert first.verdict is again.verdict is Verdict.HOLDS
         assert first.k == depth

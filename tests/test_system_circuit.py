@@ -113,3 +113,27 @@ class TestTrace:
     def test_input_count_mismatch(self):
         with pytest.raises(ValueError):
             Trace([{"q": False}, {"q": True}], [])
+
+
+class TestPropertyValidation:
+    def test_add_property_rejects_non_property_values(self):
+        circuit = toggler()
+        with pytest.raises(TypeError, match="Property"):
+            circuit.add_property("spec", "AG q")      # a string, not a spec
+        with pytest.raises(TypeError, match="Property"):
+            circuit.add_property("spec", 42)
+
+    def test_add_property_accepts_property_and_expr(self):
+        from repro.spec import Invariant, Reachable
+        circuit = toggler()
+        circuit.add_property("safe", Invariant(~ex.var("q")))
+        circuit.add_property("hits", ex.var("q"))     # wrapped Reachable
+        assert isinstance(circuit.properties["safe"], Invariant)
+        assert isinstance(circuit.properties["hits"], Reachable)
+
+    def test_properties_are_typed_after_add_bad(self):
+        from repro.spec import Property
+        circuit = toggler()
+        circuit.add_bad("boom", ex.var("q"))
+        assert all(isinstance(p, Property)
+                   for p in circuit.properties.values())
