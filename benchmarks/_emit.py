@@ -1,0 +1,136 @@
+"""Machine-readable result emission shared by the bench_* scripts.
+
+Every benchmark in this directory can run two ways:
+
+* under ``pytest --benchmark`` (the ``bench_*(benchmark)`` functions
+  use the pytest-benchmark fixture), or
+* standalone — ``python benchmarks/bench_foo.py [--json PATH]`` — via
+  :func:`run`, which discovers the module's ``bench_*`` functions
+  (falling back to ``main()`` for report-style scripts), executes them
+  with a :class:`FakeBenchmark` stand-in, and writes a
+  ``BENCH_<name>.json`` document holding per-function wall seconds,
+  guard status (an ``AssertionError`` is a failed perf guard, any
+  other exception an error), and whatever the benchmark
+  :func:`record`-ed (measured values and guard thresholds).
+
+The JSON artifacts give CI a perf trajectory to track run-over-run;
+see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_RECORDS: Dict[str, Any] = {}
+
+
+def record(**values: Any) -> None:
+    """Merge measured values / guard thresholds into the JSON payload.
+
+    Call from inside a benchmark function::
+
+        _emit.record(direct_s=direct_s, session_s=session_s,
+                     guard_relative=0.02)
+    """
+    _RECORDS.update(values)
+
+
+class FakeBenchmark:
+    """pytest-benchmark fixture stand-in for standalone runs.
+
+    Supports the two idioms the bench files use — ``benchmark(fn)``
+    and ``benchmark.pedantic(fn, rounds=..., iterations=...)`` — by
+    running the callable exactly once and returning its result (the
+    surrounding :func:`run` does the timing).
+    """
+
+    def __call__(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn: Callable, args: Tuple = (),
+                 kwargs: Optional[Dict[str, Any]] = None,
+                 rounds: int = 1, iterations: int = 1,
+                 **_ignored: Any) -> Any:
+        return fn(*args, **(kwargs or {}))
+
+
+def _discover(module_globals: Dict[str, Any]
+              ) -> List[Tuple[str, Callable]]:
+    """The module's ``bench_*`` functions, else its ``main``."""
+    found = [(name, obj) for name, obj in module_globals.items()
+             if name.startswith("bench_") and inspect.isfunction(obj)]
+    if found:
+        return found
+    entry = module_globals.get("main")
+    if inspect.isfunction(entry):
+        return [("main", entry)]
+    return []
+
+
+def run(module_globals: Dict[str, Any],
+        argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point: run the module's benchmarks, emit JSON.
+
+    Returns a process exit code: 0 when every function passed, 1 when
+    any guard failed or errored (the JSON is still written, with the
+    failure recorded, so CI keeps the artifact of a red run).
+    """
+    stem = os.path.splitext(
+        os.path.basename(module_globals.get("__file__", "bench")))[0]
+    parser = argparse.ArgumentParser(
+        prog=f"{stem}.py",
+        description=(module_globals.get("__doc__") or "").strip()
+        .splitlines()[0] if module_globals.get("__doc__") else None)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help=f"write machine-readable results (a directory gets "
+             f"BENCH_{stem}.json inside it)")
+    args = parser.parse_args(argv)
+
+    _RECORDS.clear()
+    results: Dict[str, Dict[str, Any]] = {}
+    failed = False
+    for name, fn in _discover(module_globals):
+        start = time.perf_counter()
+        status, error = "ok", None
+        try:
+            if inspect.signature(fn).parameters:
+                fn(FakeBenchmark())
+            else:
+                fn()
+        except AssertionError as exc:
+            status, error, failed = "guard-failed", str(exc), True
+        except Exception as exc:   # noqa: BLE001 - keep the artifact
+            status = "error"
+            error = f"{type(exc).__name__}: {exc}"
+            failed = True
+        entry: Dict[str, Any] = {
+            "seconds": round(time.perf_counter() - start, 6),
+            "status": status,
+        }
+        if error:
+            entry["error"] = error
+        results[name] = entry
+        print(f"[{stem}] {name}: {status} "
+              f"({entry['seconds']:.3f}s)", file=sys.stderr)
+
+    if args.json is not None:
+        path = args.json
+        if os.path.isdir(path):
+            path = os.path.join(path, f"BENCH_{stem}.json")
+        payload = {
+            "bench": stem,
+            "results": results,
+            "measured": dict(_RECORDS),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[{stem}] wrote {path}", file=sys.stderr)
+    return 1 if failed else 0

@@ -53,3 +53,7 @@ def bench_e1_solved_counts(benchmark):
     # synthetic designs are smaller than Intel's).
     assert qbf["solved"] <= 0.25 * total
     assert qbf["solved"] < jsat["solved"] / 2
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

@@ -65,3 +65,7 @@ def bench_e2_universal_counts(benchmark):
     assert len(set(qbf_universals)) == 1
     assert sorted(squaring_universals) == squaring_universals
     assert squaring_universals[-1] > squaring_universals[0]
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

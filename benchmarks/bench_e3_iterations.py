@@ -53,3 +53,7 @@ def bench_e3_schedule_scaling(benchmark):
     assert linears == [d + 1 for d in depths]
     assert all(sq <= math.ceil(math.log2(d)) + 2
                for d, sq in zip(depths, squarings))
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

@@ -51,3 +51,7 @@ def bench_e4_agreement(benchmark):
                 assert a.status is b.status, name
                 compared += 1
     assert compared > 10
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

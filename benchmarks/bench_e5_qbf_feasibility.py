@@ -29,3 +29,7 @@ def bench_e5_qbf_feasibility(benchmark):
     for r in rows:
         if r["qbf"] != "UNKNOWN":
             assert r["qbf"] == r["jsat"], r
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

@@ -65,3 +65,7 @@ def bench_e6_memory_budget_cliff(benchmark):
     assert out["unroll"].status is SolveResult.UNKNOWN
     assert out["jsat"].status is not SolveResult.UNKNOWN
     assert out["jsat"].stats["peak_db_literals"] < 60_000
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

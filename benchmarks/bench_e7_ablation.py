@@ -47,3 +47,7 @@ def bench_e7_cache_effect_on_revisits(benchmark):
           f"without: {uncached.stats.queries}")
     assert r1 is r2
     assert cached.stats.queries <= uncached.stats.queries
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

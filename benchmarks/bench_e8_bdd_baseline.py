@@ -72,3 +72,7 @@ def bench_e8_allsat_blocking_growth(benchmark):
     assert states == 64
     # Blocking clauses scale with the enumerated set — the §1 blow-up.
     assert peak >= states
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

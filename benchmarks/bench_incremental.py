@@ -112,3 +112,7 @@ def bench_incremental_formula_growth(benchmark):
     assert all(bounds == MAX_K + 1 and verdict == SolveResult.UNSAT.name
                for _, bounds, verdict, _, _ in rows)
     assert speedup >= 2.0
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

@@ -98,3 +98,7 @@ def bench_portfolio_cancellation_latency(benchmark):
     # Cancellation must be orders of magnitude below the loser's
     # remaining budget — killing is immediate, not cooperative.
     assert outcome.cancel_latency < 5.0
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

@@ -94,3 +94,7 @@ def bench_qdpll_small_2qbf(benchmark):
 
     result = benchmark(run)
     assert result in (SolveResult.SAT, SolveResult.UNSAT)
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

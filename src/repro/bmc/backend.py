@@ -43,6 +43,8 @@ from typing import (Any, Callable, ClassVar, Dict, Iterator, List, Optional,
 
 from ..logic.expr import Expr
 from ..sat.types import Budget, SolveResult
+from ..telemetry.metrics import current_metrics
+from ..telemetry.trace import current_tracer
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
 
@@ -291,6 +293,8 @@ def drive_sweep(method: str, max_k: int, bounds,
     exhausted budget records an UNKNOWN for the bound it would have
     run next.
     """
+    tracer = current_tracer()
+    registry = current_metrics()
     tracker = SweepBudget(budget)
     per_bound: List[BoundResult] = []
     sweep_start = time.perf_counter()
@@ -300,7 +304,10 @@ def drive_sweep(method: str, max_k: int, bounds,
                        None, 0.0, sweep_start, {})
             break
         bound_start = time.perf_counter()
-        status, trace, stats = check(k, tracker.remaining())
+        with tracer.span("bmc.bound", method=method, k=k) as sp:
+            status, trace, stats = check(k, tracker.remaining())
+            sp.set(status=status.name)
+        registry.inc("bmc.bounds_checked")
         tracker.charge(
             conflicts=stats.get("solver_conflicts",
                                 stats.get("sat_conflicts", 0)),

@@ -37,6 +37,7 @@ from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+from ..telemetry.trace import current_tracer
 # The sweep record types and the shared ladder loop live with the
 # Backend protocol; re-exported here for the callers that historically
 # imported them from this module.
@@ -126,17 +127,20 @@ class IncrementalBmc:
         clauses — stays in the solver untouched.
         """
         i = self.k
-        nxt = [_frame_name(v, i + 1) for v in self.system.state_vars]
-        self._frames.append(nxt)
-        step = self.system.trans_between(self._frames[i], nxt,
-                                         input_suffix=f"@{i}")
-        self.encoder.assert_expr(step)
-        for name in nxt:
-            self.pool.named(name)
-        for name in self.system.input_vars:
-            self.pool.named(_frame_name(name, i))
-        self.k += 1
-        return self._flush()
+        with current_tracer().span("encode.frame", frame=i + 1) as sp:
+            nxt = [_frame_name(v, i + 1) for v in self.system.state_vars]
+            self._frames.append(nxt)
+            step = self.system.trans_between(self._frames[i], nxt,
+                                             input_suffix=f"@{i}")
+            self.encoder.assert_expr(step)
+            for name in nxt:
+                self.pool.named(name)
+            for name in self.system.input_vars:
+                self.pool.named(_frame_name(name, i))
+            self.k += 1
+            added = self._flush()
+            sp.set(clauses=added)
+        return added
 
     def _final_group(self, k: int) -> int:
         """Group literal activating F(Z_k) (allocated on first use).

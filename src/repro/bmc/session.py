@@ -51,6 +51,7 @@ from ..spec.checker import (OnPropertyBound, PropertyChecker,
 from ..spec.property import Property, reachability_target
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+from ..telemetry.trace import current_tracer
 from .backend import (SEMANTICS, Backend, BmcResult, OnBound, create_backend,
                       validate_method)
 from .backends import squaring_ladder
@@ -263,7 +264,10 @@ class BmcSession:
                 f"{semantics!r} semantics (supports "
                 f"{backend.supported_semantics})")
         start = time.perf_counter()
-        result = backend.check(k, semantics=semantics, budget=budget)
+        with current_tracer().span("session.check", method=backend.name,
+                                   k=k, semantics=semantics) as sp:
+            result = backend.check(k, semantics=semantics, budget=budget)
+            sp.set(status=result.status.name)
         if result.trace is not None:
             result.trace = self._reduction().lift(result.trace)
         if semantics == "within" and result.trace is not None:

@@ -18,6 +18,7 @@ from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+from ..telemetry.trace import current_tracer
 
 __all__ = ["UnrolledEncoding", "encode_unrolled"]
 
@@ -59,6 +60,12 @@ class UnrolledEncoding:
 
     # ------------------------------------------------------------------
     def _encode(self, polarity_reduction: bool) -> None:
+        with current_tracer().span("encode.unroll", k=self.k,
+                                   semantics=self.semantics) as sp:
+            self._encode_body(polarity_reduction)
+            sp.set(clauses=len(self.cnf.clauses), vars=self.cnf.num_vars)
+
+    def _encode_body(self, polarity_reduction: bool) -> None:
         system = self.system
         k = self.k
         encoder = TseitinEncoder(self.cnf, self.pool, polarity_reduction)

@@ -49,6 +49,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from typing import List, Optional
@@ -63,8 +64,43 @@ from .qbf.pcnf import PCNF
 from .qbf.qdpll import QdpllSolver
 from .sat.solver import CdclSolver
 from .sat.types import Budget, SolveResult
+from .telemetry import (MetricsRegistry, Tracer, set_metrics, set_tracer,
+                        write_chrome_trace)
 
 __all__ = ["main"]
+
+logger = logging.getLogger(__name__)
+
+
+class _StderrHandler(logging.Handler):
+    """Log handler that resolves ``sys.stderr`` at emit time.
+
+    A plain StreamHandler captures the stream once at construction,
+    which breaks under test harnesses (pytest capsys) that swap
+    ``sys.stderr`` per test; looking it up per record keeps in-process
+    ``main()`` calls observable.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        print(self.format(record), file=sys.stderr)
+
+
+def _setup_logging(verbosity: int) -> None:
+    """Configure the ``repro`` logger tree for one CLI invocation.
+
+    WARNING by default, INFO at ``-v``, DEBUG at ``-vv``; messages go
+    to stderr so report tables on stdout stay machine-readable.
+    """
+    package_logger = logging.getLogger("repro")
+    if not any(isinstance(h, _StderrHandler)
+               for h in package_logger.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        package_logger.addHandler(handler)
+        package_logger.propagate = False
+    level = (logging.WARNING if verbosity <= 0
+             else logging.INFO if verbosity == 1 else logging.DEBUG)
+    package_logger.setLevel(level)
 
 
 def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
@@ -219,10 +255,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         with BmcSession(system, properties=properties,
                         reduce=_reduce_from_args(args)) as session:
             if args.sweep:
+                # Per-bound progress streams on the logger (stderr,
+                # enabled with -v) so stdout stays report-only.
                 results = session.sweep_properties(
                     k, budget=budget,
-                    on_bound=lambda name, b: print(
-                        f"  [{name}] bound {b.k}: {b.status.name}"))
+                    on_bound=lambda name, b: logger.info(
+                        "[%s] bound %d: %s", name, b.k, b.status.name))
             else:
                 results = session.check_properties(k, budget=budget)
     except (SpecError, ValueError) as err:
@@ -288,8 +326,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"\nwall {wall:.2f} s, worker cpu {cpu:.2f} s "
           f"(speedup proxy {cpu / wall if wall > 0 else 0.0:.2f}x)")
     if cache is not None:
-        print(f"cache: {len(cache)} entries on disk, "
-              f"{cache.hits}/{len(results)} cells served from cache")
+        # hits + misses is the number of lookups this run; len(results)
+        # would misread whenever a cell is computed then re-served.
+        lookups = cache.hits + cache.misses
+        rate = 100.0 * cache.hits / lookups if lookups else 0.0
+        print(f"cache: {len(cache)} entries on disk; this run: "
+              f"{cache.hits} hits, {cache.misses} misses "
+              f"({rate:.0f}% hit rate)")
     return 0
 
 
@@ -380,6 +423,23 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
                         help="worker processes")
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    # Mirrors of the global telemetry flags (same SUPPRESS idiom as
+    # --jobs) so they work both before and after the subcommand.
+    parser.add_argument("--trace", metavar="FILE.json",
+                        default=argparse.SUPPRESS,
+                        help="write a Chrome trace-event timeline "
+                             "(open at https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="print the aggregated metrics table "
+                             "after the command")
+    parser.add_argument("-v", "--verbose", action="count",
+                        default=argparse.SUPPRESS,
+                        help="log progress to stderr "
+                             "(-v INFO, -vv DEBUG)")
+
+
 def _add_reduce_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
                         default=True,
@@ -400,6 +460,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for parallel commands "
                              "(batch sharding, portfolio racing)")
+    parser.add_argument("--trace", metavar="FILE.json", default=None,
+                        help="write a Chrome trace-event timeline of "
+                             "the run (open at https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true", default=False,
+                        help="print the aggregated metrics table "
+                             "after the command")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr "
+                             "(-v INFO, -vv DEBUG)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve-cnf", help="decide a DIMACS CNF")
@@ -422,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="exact")
     _add_jobs_flag(p)
     _add_reduce_flag(p)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_bmc)
 
     p = sub.add_parser("sweep",
@@ -434,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default=["sat-incremental"],
                    help="methods to sweep (each gets its own pass)")
     _add_reduce_flag(p)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("check",
@@ -454,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resolve each property at its earliest bound "
                         "0..k, streaming per-bound progress")
     _add_reduce_flag(p)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("batch",
@@ -473,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="budget scale when no explicit budget is given")
     _add_jobs_flag(p)
     _add_reduce_flag(p)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("experiment", help="regenerate an evaluation table")
@@ -501,7 +574,37 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", None) is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    return args.fn(args)
+    _setup_logging(getattr(args, "verbose", 0))
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    tracer = prev_tracer = None
+    registry = prev_metrics = None
+    if trace_path is not None:
+        tracer = Tracer()
+        prev_tracer = set_tracer(tracer)
+    if want_metrics:
+        registry = MetricsRegistry()
+        prev_metrics = set_metrics(registry)
+    try:
+        status = args.fn(args)
+    finally:
+        if tracer is not None:
+            set_tracer(prev_tracer)
+        if registry is not None:
+            set_metrics(prev_metrics)
+    if registry is not None:
+        from .harness.report import format_metrics
+        print("\n== metrics ==")
+        print(format_metrics(registry.snapshot()))
+    if tracer is not None:
+        count = write_chrome_trace(trace_path, tracer.events())
+        if tracer.dropped:
+            logger.warning("trace ring buffer dropped %d events",
+                           tracer.dropped)
+        print(f"trace: {count} events written to {trace_path}",
+              file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,37 @@ from .runner import CellResult, PropertyCellResult
 
 __all__ = ["format_table", "format_solved_counts", "format_per_family",
            "format_growth", "format_worker_attribution", "format_sweep",
-           "format_property_results", "format_reduction"]
+           "format_property_results", "format_reduction",
+           "format_metrics"]
+
+
+def format_metrics(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a telemetry metrics snapshot as a fixed-width table.
+
+    ``snapshot`` is the nested dict produced by
+    :meth:`repro.telemetry.MetricsRegistry.snapshot` (counters sum
+    across workers, gauges are peak values, histograms show
+    count/sum/min/max).
+
+    >>> from repro.telemetry import MetricsRegistry
+    >>> m = MetricsRegistry()
+    >>> m.inc("sat.conflicts", 5)
+    >>> print(format_metrics(m.snapshot()))
+    metric         kind     value
+    -------------  -------  -----
+    sat.conflicts  counter  5
+    """
+    rows: List[List[object]] = []
+    for name in sorted(snapshot.get("counters", {})):
+        rows.append([name, "counter", snapshot["counters"][name]])
+    for name in sorted(snapshot.get("gauges", {})):
+        rows.append([name, "gauge", snapshot["gauges"][name]])
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        rows.append([name, "histogram",
+                     (f"count={h['count']} sum={h['sum']:.6g} "
+                      f"min={h['min']:.6g} max={h['max']:.6g}")])
+    return format_table(["metric", "kind", "value"], rows)
 
 
 def format_reduction(rows: Iterable[Mapping[str, object]]) -> str:

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, Optional
 from ..logic.expr import Expr
 from ..sat.types import Budget
 from ..system.model import TransitionSystem
+from ..telemetry.metrics import current_metrics
 from .ipc import budget_to_dict
 
 __all__ = ["fingerprint_expr", "fingerprint_system", "cell_key",
@@ -112,11 +113,14 @@ class ResultCache:
                 entry = json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             self.misses += 1
+            current_metrics().inc("cache.misses")
             return None
         if entry.get("key") != key:     # 128-bit-prefix collision guard
             self.misses += 1
+            current_metrics().inc("cache.misses")
             return None
         self.hits += 1
+        current_metrics().inc("cache.hits")
         return entry["outcome"]
 
     def put(self, key: str, outcome: Dict[str, Any]) -> None:
@@ -134,6 +138,7 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        current_metrics().inc("cache.stores")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -10,6 +10,7 @@ the pool, the race primitive and the cache all agree on the format.
 
 from __future__ import annotations
 
+import os
 import traceback
 from typing import Any, Dict, Optional
 
@@ -20,6 +21,8 @@ from ..logic.expr import Expr
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+from ..telemetry.metrics import MetricsRegistry, set_metrics
+from ..telemetry.trace import NULL_TRACER, Tracer, set_tracer
 
 __all__ = ["budget_to_dict", "budget_from_dict", "make_cell_payload",
            "execute_cell", "encode_outcome", "decode_outcome",
@@ -47,13 +50,16 @@ def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
                       method: str, semantics: str = "exact",
                       budget: Budget | None = None,
                       options: Dict[str, Any] | None = None,
-                      reduce: str = "off") -> Dict[str, Any]:
+                      reduce: str = "off",
+                      telemetry: bool = False) -> Dict[str, Any]:
     """Bundle one reachability query for execution in a worker.
 
     The system and target expression ride along as live objects —
     :class:`~repro.logic.expr.Expr` pickles via re-interning — so the
     payload works under both fork and spawn start methods.  ``reduce``
     (``"auto"`` / ``"off"``) is applied by the worker's session.
+    ``telemetry`` asks the worker to attach its trace events and
+    metrics snapshot to the outcome (see :func:`execute_cell`).
     """
     return {
         "system": system,
@@ -64,6 +70,7 @@ def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
         "budget": budget_to_dict(budget),
         "options": dict(options or {}),
         "reduce": reduce,
+        "telemetry": telemetry,
     }
 
 
@@ -73,31 +80,65 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     This is the function worker processes actually call; it never
     raises — solver errors are folded into an ``error`` outcome so a
     bad cell cannot take down its worker.
+
+    When the payload carries ``telemetry: True`` a fresh worker-local
+    :class:`~repro.telemetry.trace.Tracer` and
+    :class:`~repro.telemetry.metrics.MetricsRegistry` are installed for
+    the duration of the cell (so a fork-inherited parent tracer never
+    records worker events) and their contents ride back on the outcome
+    under ``trace_events`` / ``metrics`` / ``worker_pid``, ready for
+    the parent to merge into one timeline.
     """
-    with measure_time() as timing:
-        try:
-            with BmcSession(payload["system"],
-                            properties={"target": payload["final"]},
-                            reduce=payload.get("reduce", "off")
-                            ) as session:
-                result = session.check(
-                    payload["k"], method=payload["method"],
-                    semantics=payload.get("semantics", "exact"),
-                    budget=budget_from_dict(payload.get("budget")),
-                    **payload.get("options", {}))
-            outcome = encode_outcome(result)
-        except Exception:
-            outcome = {
-                "status": SolveResult.UNKNOWN.name,
-                "k": payload["k"],
-                "method": payload["method"],
-                "seconds": 0.0,
-                "stats": {},
-                "trace": None,
-                "error": traceback.format_exc(limit=8),
-            }
+    telemetry = bool(payload.get("telemetry"))
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
+    if telemetry:
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        prev_tracer = set_tracer(tracer)
+        prev_metrics = set_metrics(registry)
+    try:
+        with measure_time() as timing:
+            try:
+                # Explicit None check: an empty Tracer is falsy
+                # (it has __len__), so `tracer or NULL_TRACER` would
+                # silently discard it.
+                span_tracer = NULL_TRACER if tracer is None else tracer
+                with span_tracer.span(
+                        "worker.cell", method=payload["method"],
+                        k=payload["k"]):
+                    with BmcSession(payload["system"],
+                                    properties={
+                                        "target": payload["final"]},
+                                    reduce=payload.get("reduce", "off")
+                                    ) as session:
+                        result = session.check(
+                            payload["k"], method=payload["method"],
+                            semantics=payload.get("semantics", "exact"),
+                            budget=budget_from_dict(
+                                payload.get("budget")),
+                            **payload.get("options", {}))
+                outcome = encode_outcome(result)
+            except Exception:
+                outcome = {
+                    "status": SolveResult.UNKNOWN.name,
+                    "k": payload["k"],
+                    "method": payload["method"],
+                    "seconds": 0.0,
+                    "stats": {},
+                    "trace": None,
+                    "error": traceback.format_exc(limit=8),
+                }
+    finally:
+        if telemetry:
+            set_tracer(prev_tracer)
+            set_metrics(prev_metrics)
     outcome["wall_seconds"] = timing.wall_seconds
     outcome["cpu_seconds"] = timing.cpu_seconds
+    if telemetry:
+        outcome["trace_events"] = tracer.drain()
+        outcome["metrics"] = registry.snapshot()
+        outcome["worker_pid"] = os.getpid()
     return outcome
 
 

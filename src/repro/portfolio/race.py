@@ -12,6 +12,7 @@ so a buggy or lucky method cannot poison the portfolio.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing.connection
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -22,8 +23,13 @@ from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.oracle import ExplicitOracle
 from ..system.trace import Trace
-from .ipc import execute_cell, decode_outcome, make_cell_payload
+from ..telemetry.metrics import current_metrics
+from ..telemetry.trace import current_tracer
+from .ipc import (decode_outcome, encode_outcome, execute_cell,
+                  make_cell_payload)
 from .pool import pool_context
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["RaceOutcome", "race", "DEFAULT_RACE_METHODS"]
 
@@ -46,7 +52,9 @@ class RaceOutcome:
         Name of the winning method, or None.
     method_outcomes:
         Per-method terminal state: "won", "cancelled", "inconclusive",
-        "invalid-witness", or "timeout".
+        "invalid-witness", or "timeout"; when a result cache serves
+        the whole race (see ``race(cache=...)``) the recorded winner
+        is "cache" and every other method "skipped".
     cancel_latency:
         Wall seconds from the winning answer's arrival until every
         loser process was confirmed dead.
@@ -133,6 +141,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
          validate: bool = True,
          method_options: Optional[Dict[str, Dict[str, Any]]] = None,
          reduce: object = "off",
+         cache: Optional[Any] = None,
          **options) -> RaceOutcome:
     """Run ``methods`` concurrently; first conclusive answer wins.
 
@@ -155,6 +164,14 @@ def race(system: TransitionSystem, final: Expr, k: int,
     contender then races on the same reduced system, witnesses are
     validated in the reduced vocabulary, and the winning trace is
     lifted back to a full-width path over the original system.
+
+    ``cache`` (a :class:`~repro.portfolio.cache.ResultCache`) serves a
+    previously-raced identical query without spawning anything — the
+    returned result carries ``stats["cache_served"] = True`` and the
+    method outcomes record "cache" / "skipped" — and stores every
+    conclusive live win.  Races whose ``reduce`` knob is a custom
+    :class:`~repro.reduce.Pipeline` object are never cached (the
+    pipeline cannot participate in the fingerprint).
     """
     from ..reduce import reduce_for_target, resolve_reduce
     methods = list(methods)
@@ -169,6 +186,34 @@ def race(system: TransitionSystem, final: Expr, k: int,
         wall_timeout = budget.max_seconds * 3.0 + 1.0
     per_method_options = fan_out_options(methods, options,
                                          method_options or {})
+
+    tracer = current_tracer()
+    registry = current_metrics()
+    race_key = None
+    if cache is not None and isinstance(reduce, str):
+        from .cache import cell_key
+        race_key = cell_key(
+            system, final, k, "race:" + "+".join(sorted(methods)),
+            semantics, budget,
+            {m: sorted(per_method_options[m].items()) for m in methods},
+            reduce)
+        cached = cache.get(race_key)
+        if cached is not None and cached.get("error") is None \
+                and cached["status"] != SolveResult.UNKNOWN.name:
+            outcome = decode_outcome(cached)
+            winner = outcome["stats"].get("portfolio_winner")
+            logger.info("race served from cache (winner %s)", winner)
+            tracer.instant("cache.hit", scope="race", k=k,
+                           method=str(winner))
+            result = BmcResult(outcome["status"], outcome["trace"], k,
+                               "portfolio", 0.0, dict(outcome["stats"]))
+            result.stats["cache_served"] = True
+            result.stats["portfolio_cancelled"] = 0
+            method_outcomes = {m: "cache" if m == winner else "skipped"
+                               for m in methods}
+            return RaceOutcome(result, winner, method_outcomes,
+                               0.0, [], 0.0)
+
     pipeline = resolve_reduce(reduce)
     reduction = None
     original_system = system
@@ -181,11 +226,19 @@ def race(system: TransitionSystem, final: Expr, k: int,
 
     ctx = pool_context()
     ensure_methods_spawnable(methods, ctx)
+    telemetry = tracer.enabled or registry.enabled
+    # Manual enter/exit: the span brackets spawn-to-cancel without
+    # reindenting the whole race body; a raised exception simply
+    # forfeits the (advisory) parent span.
+    race_span = tracer.span("portfolio.race", k=k,
+                            methods=",".join(methods))
+    race_span.__enter__()
     start = time.perf_counter()
     children: List[Tuple[str, Any, Any]] = []     # (method, process, conn)
     for method in methods:
         payload = make_cell_payload(system, final, k, method, semantics,
-                                    budget, per_method_options[method])
+                                    budget, per_method_options[method],
+                                    telemetry=telemetry)
         parent_conn, child_conn = ctx.Pipe()
         process = ctx.Process(target=_race_child,
                               args=(child_conn, payload), daemon=True,
@@ -198,6 +251,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
     winner: Optional[str] = None
     winning: Optional[Dict[str, Any]] = None
     fallback: Optional[Dict[str, Any]] = None     # an UNKNOWN to report
+    received: List[Dict[str, Any]] = []           # for telemetry merge
     live = list(children)
     timed_out = False
 
@@ -224,6 +278,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
             except (EOFError, OSError):
                 method_outcomes[method] = "inconclusive"
                 continue
+            received.append(outcome)
             status = outcome["status"]
             if status is SolveResult.UNKNOWN:
                 method_outcomes[method] = "inconclusive"
@@ -262,6 +317,26 @@ def race(system: TransitionSystem, final: Expr, k: int,
     cancel_latency = time.perf_counter() - cancel_start
     seconds = time.perf_counter() - start
 
+    if telemetry:
+        # Replay worker telemetry into the parent timeline (losers
+        # killed before reporting necessarily contribute nothing).
+        for outcome in received:
+            events = outcome.get("trace_events")
+            if events:
+                tracer.extend(events)
+                pid = outcome.get("worker_pid")
+                if pid:
+                    tracer.name_lane(pid, f"race:{outcome['method']}")
+            snapshot = outcome.get("metrics")
+            if snapshot:
+                registry.merge(snapshot)
+        if winner is not None:
+            tracer.instant("portfolio.winner", method=winner, k=k)
+    race_span.set(winner=winner or "none")
+    race_span.__exit__(None, None, None)
+    logger.info("race finished in %.3fs: winner=%s outcomes=%s",
+                seconds, winner, method_outcomes)
+
     if winning is not None:
         trace = winning["trace"]
         if reduction is not None and trace is not None:
@@ -283,5 +358,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
         result = BmcResult(SolveResult.UNKNOWN,
                            None, k, "portfolio", seconds, stats)
     result.stats["portfolio_cancelled"] = len(loser_pids)
+    if race_key is not None and winning is not None:
+        cache.put(race_key, encode_outcome(result))
     return RaceOutcome(result, winner, method_outcomes, cancel_latency,
                        loser_pids, seconds)

@@ -16,14 +16,19 @@ The scheduler owns three concerns the raw pool does not:
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..models.suite import Instance
 from ..sat.types import Budget, SolveResult
+from ..telemetry.metrics import current_metrics
+from ..telemetry.trace import current_tracer
 from .cache import ResultCache, cell_key
 from .ipc import decode_outcome, make_cell_payload
 from .pool import Task, WorkerPool
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["BatchScheduler", "hardness_estimate"]
 
@@ -110,6 +115,15 @@ class BatchScheduler:
         pending: List[int] = []
         cache_hits = 0
 
+        tracer = current_tracer()
+        registry = current_metrics()
+        telemetry = tracer.enabled or registry.enabled
+        # Manual enter/exit (same pattern as race): the span brackets
+        # the whole batch without reindenting the body.
+        batch_span = tracer.span("batch.run", cells=len(cells),
+                                 methods=",".join(methods))
+        batch_span.__enter__()
+
         wall_start = time.perf_counter()
         for slot, (instance, method, cell_budget) in enumerate(cells):
             if self.cache is not None:
@@ -122,6 +136,10 @@ class BatchScheduler:
                     slots[slot] = self._to_cell_result(
                         instance, method, cached, worker="cache")
                     cache_hits += 1
+                    tracer.instant("cache.hit", instance=instance.name,
+                                   method=method, k=instance.k)
+                    logger.debug("cache hit: %s/%s k=%d", instance.name,
+                                 method, instance.k)
                     continue
             pending.append(slot)
 
@@ -143,7 +161,8 @@ class BatchScheduler:
                 payload = make_cell_payload(instance.system, instance.final,
                                             instance.k, method, semantics,
                                             cell_budget, per_method[method],
-                                            reduce=reduce)
+                                            reduce=reduce,
+                                            telemetry=telemetry)
                 wall_timeout = None
                 if cell_budget is not None \
                         and cell_budget.max_seconds is not None:
@@ -159,17 +178,25 @@ class BatchScheduler:
                     worker=outcome.get("worker"))
                 executed += 1
                 cpu_total += outcome.get("cpu_seconds", 0.0)
+                if telemetry:
+                    self._merge_telemetry(tracer, registry, outcome)
                 if outcome.get("timed_out"):
                     timeouts += 1
                 elif self._cacheable(outcome, cell_budget) \
                         and keys[slot] is not None:
                     self.cache.put(keys[slot], _jsonable(outcome))
         wall = time.perf_counter() - wall_start
+        batch_span.set(executed=executed, cache_hits=cache_hits)
+        batch_span.__exit__(None, None, None)
+        logger.info("batch: %d cells (%d executed, %d cached) in %.3fs",
+                    len(cells), executed, cache_hits, wall)
 
         self.stats = {
             "cells": len(cells),
             "executed": executed,
             "cache_hits": cache_hits,
+            "cache_misses": (len(cells) - cache_hits
+                             if self.cache is not None else 0),
             "timeouts": timeouts,
             "jobs": self.jobs,
             "wall_seconds": wall,
@@ -177,6 +204,21 @@ class BatchScheduler:
         }
         assert all(result is not None for result in slots)
         return list(slots)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_telemetry(tracer, registry, outcome: Dict[str, Any]) -> None:
+        """Fold one worker outcome's telemetry into the parent's."""
+        events = outcome.get("trace_events")
+        if events:
+            tracer.extend(events)
+            pid = outcome.get("worker_pid")
+            if pid:
+                tracer.name_lane(pid,
+                                 f"worker {outcome.get('worker', pid)}")
+        snapshot = outcome.get("metrics")
+        if snapshot:
+            registry.merge(snapshot)
 
     # ------------------------------------------------------------------
     def _cacheable(self, outcome: Dict[str, Any],
@@ -210,20 +252,28 @@ class BatchScheduler:
             want = SolveResult.SAT if instance.expected \
                 else SolveResult.UNSAT
             correct = status is want
+        stats = dict(decoded["stats"])
         if worker == "cache":
             # A hit costs (essentially) nothing this run; the original
             # run's timings must not inflate this run's attribution.
             wall = 0.0
             cpu = 0.0
+            stats["served_from_cache"] = True
         else:
             wall = outcome.get("wall_seconds", decoded["seconds"])
             cpu = outcome.get("cpu_seconds", 0.0)
         return CellResult(instance, method, status, wall, correct,
-                          dict(decoded["stats"]), cpu_seconds=cpu,
+                          stats, cpu_seconds=cpu,
                           worker=worker)
 
 
+# Per-run keys that must never be served back out of the cache: worker
+# identity and the run's own telemetry are properties of the run that
+# produced the entry, not of the query.
+_EPHEMERAL_KEYS = ("worker_pid", "trace_events", "metrics")
+
+
 def _jsonable(outcome: Dict[str, Any]) -> Dict[str, Any]:
-    """Strip non-JSON keys from an outcome before caching."""
-    out = {k: v for k, v in outcome.items() if k != "worker_pid"}
-    return out
+    """Strip non-JSON / per-run keys from an outcome before caching."""
+    return {k: v for k, v in outcome.items()
+            if k not in _EPHEMERAL_KEYS}

@@ -29,6 +29,7 @@ system, so an unsound reduction cannot survive the debug checks.
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -36,6 +37,8 @@ from ..logic import expr as ex
 from ..logic.expr import Expr
 from ..spec.property import Property, as_property, support
 from ..system.model import TransitionSystem, primed
+from ..telemetry.metrics import current_metrics
+from ..telemetry.trace import current_tracer
 from .reduced import ReducedSystem, identity_reduction, _map_property
 from .structure import (FunctionalView, constant_latch_values,
                         support_cone)
@@ -47,6 +50,8 @@ __all__ = ["Reduction", "ReductionState", "ConstantLatches",
 
 #: String knob values accepted everywhere a ``reduce=`` argument is.
 REDUCE_MODES = ("auto", "off")
+
+logger = logging.getLogger(__name__)
 
 
 class ReductionState:
@@ -316,13 +321,28 @@ class Pipeline:
     def reduce(self, system: TransitionSystem,
                prop: Union[Property, Expr]) -> ReducedSystem:
         """Reduce ``system`` for the single query ``prop``."""
-        view = FunctionalView.from_system(system)
-        if view is None:
-            return identity_reduction(system)
-        state = ReductionState(view, as_property(prop))
-        for reduction in self.reductions:
-            reduction.apply(state)
-        return state.build()
+        tracer = current_tracer()
+        with tracer.span("reduce.pipeline", system=system.name) as sp:
+            view = FunctionalView.from_system(system)
+            if view is None:
+                sp.set(skipped="not-functional")
+                return identity_reduction(system)
+            state = ReductionState(view, as_property(prop))
+            total_before = len(state.latches)
+            for reduction in self.reductions:
+                before = len(state.latches)
+                with tracer.span("reduce." + reduction.name) as stage:
+                    reduction.apply(state)
+                    after = len(state.latches)
+                    stage.set(latches_before=before, latches_after=after)
+                logger.debug("reduce.%s: %d -> %d latches",
+                             reduction.name, before, after)
+            reduced = state.build()
+            sp.set(latches_before=total_before,
+                   cone=len(reduced.kept_latches))
+        current_metrics().inc("reduce.latches_removed",
+                              total_before - len(reduced.kept_latches))
+        return reduced
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Pipeline({[r.name for r in self.reductions]})"

@@ -28,6 +28,8 @@ import time
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..telemetry.metrics import current_metrics
+from ..telemetry.trace import current_tracer
 from .proof import ResolutionProof
 from .types import (
     UNDEF,
@@ -614,7 +616,42 @@ class CdclSolver:
         Returns SAT / UNSAT / UNKNOWN (budget exhausted).  After SAT,
         :meth:`model_value` reads the model; after UNSAT under
         assumptions, :meth:`core` gives the failed-assumption subset.
+
+        When the process tracer / metrics registry is enabled (see
+        :mod:`repro.telemetry`) each call emits a ``sat.solve`` span
+        and per-call counter deltas; with both disabled the fast path
+        below adds two attribute checks.
         """
+        tracer = current_tracer()
+        registry = current_metrics()
+        if not tracer.enabled and not registry.enabled:
+            return self._solve(assumptions, budget)
+
+        stats = self.stats
+        before = (stats.conflicts, stats.decisions, stats.propagations,
+                  stats.restarts, stats.learned)
+        start = time.monotonic()
+        with tracer.span("sat.solve", assumptions=len(assumptions)) as sp:
+            result = self._solve(assumptions, budget)
+            sp.set(result=result.name,
+                   conflicts=stats.conflicts - before[0],
+                   decisions=stats.decisions - before[1],
+                   propagations=stats.propagations - before[2],
+                   db_literals=stats.db_literals)
+        registry.inc("sat.solve_calls")
+        registry.inc("sat.conflicts", stats.conflicts - before[0])
+        registry.inc("sat.decisions", stats.decisions - before[1])
+        registry.inc("sat.propagations", stats.propagations - before[2])
+        registry.inc("sat.restarts", stats.restarts - before[3])
+        registry.inc("sat.learned", stats.learned - before[4])
+        registry.gauge("sat.db_literals", stats.db_literals)
+        registry.gauge_max("sat.peak_db_literals", stats.peak_db_literals)
+        registry.observe("sat.solve_seconds", time.monotonic() - start)
+        return result
+
+    def _solve(self, assumptions: Sequence[int] = (),
+               budget: Budget | None = None) -> SolveResult:
+        """Uninstrumented body of :meth:`solve`."""
         self.stats.solve_calls += 1
         self._budget = budget or Budget.unlimited()
         self._deadline = (time.monotonic() + self._budget.max_seconds

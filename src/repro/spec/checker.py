@@ -45,6 +45,7 @@ from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace, TraceError
+from ..telemetry.trace import current_tracer
 from .eval import holds_on_path
 from .ltl import (compile_search, loop_conditions_for, loop_input_name,
                   needs_loop_closure)
@@ -174,19 +175,22 @@ class SharedUnrolling:
 
     def ensure_frames(self, k: int) -> None:
         """Grow the unrolling to k transition frames (append-only)."""
+        tracer = current_tracer()
         while self.k < k:
             i = self.k
-            nxt = [_frame_name(v, i + 1) for v in self.system.state_vars]
-            self._frames.append(nxt)
-            step = self.system.trans_between(self._frames[i], nxt,
-                                             input_suffix=f"@{i}")
-            self.encoder.assert_expr(step)
-            for name in nxt:
-                self.pool.named(name)
-            for name in self.system.input_vars:
-                self.pool.named(_frame_name(name, i))
-            self.k += 1
-            self._flush()
+            with tracer.span("encode.frame", frame=i + 1):
+                nxt = [_frame_name(v, i + 1)
+                       for v in self.system.state_vars]
+                self._frames.append(nxt)
+                step = self.system.trans_between(self._frames[i], nxt,
+                                                 input_suffix=f"@{i}")
+                self.encoder.assert_expr(step)
+                for name in nxt:
+                    self.pool.named(name)
+                for name in self.system.input_vars:
+                    self.pool.named(_frame_name(name, i))
+                self.k += 1
+                self._flush()
 
     def frames_upto(self, k: int) -> List[List[str]]:
         """Frame variable names for steps 0..k (frames grown on demand)."""
@@ -523,6 +527,16 @@ class PropertyChecker:
 
     def _query(self, name: str, prop: Property, k: int,
                budget: Budget | None) -> PropertyResult:
+        with current_tracer().span("spec.property", property=name,
+                                   k=k) as sp:
+            result = self._query_body(name, prop, k, budget)
+            sp.set(status=result.status.name,
+                   verdict=result.verdict.name)
+        return result
+
+    def _query_body(self, name: str, prop: Property, k: int,
+                    budget: Budget | None) -> PropertyResult:
+        """Uninstrumented body of :meth:`_query`."""
         start = time.perf_counter()
         cone = self._cone_for(name)
         reduction = cone.reduction

@@ -1,0 +1,53 @@
+"""Unified telemetry: span tracing and a metrics registry.
+
+The paper's contribution is empirical — E1–E8 measure formula growth,
+memory residency and solve time across encodings — so the repo needs
+one substrate that answers "where did the wall-clock go?" across every
+layer: per-``solve()`` SAT counters, per-bound BMC spans, per-stage
+reduction timings, and a merged cross-worker portfolio timeline.
+
+Two halves, both process-local and dependency-free:
+
+* :mod:`repro.telemetry.trace` — a :class:`Tracer` of timed *spans*
+  and *instant* events over a bounded ring buffer, exported as Chrome
+  trace-event JSON (open the file at https://ui.perfetto.dev).  The
+  default is a zero-overhead :class:`NullTracer`, so instrumented code
+  pays one attribute check when tracing is off.
+* :mod:`repro.telemetry.metrics` — a :class:`MetricsRegistry` of
+  named counters / gauges / histograms with cheap
+  :meth:`~MetricsRegistry.snapshot` / :func:`~metrics.diff` so
+  per-solve deltas cost two dict copies, and
+  :meth:`~MetricsRegistry.merge` so worker snapshots aggregate into
+  the parent's registry.
+
+Workers serialize ``tracer.drain()`` + ``registry.snapshot()`` into
+their IPC outcome dicts; ``race()`` and ``BatchScheduler`` replay them
+into the parent tracer so one timeline shows every worker lane.  The
+CLI surfaces both via ``--trace FILE.json`` / ``--metrics``; see
+``docs/OBSERVABILITY.md`` for the span glossary.
+
+>>> from repro.telemetry import Tracer, MetricsRegistry
+>>> tracer = Tracer()
+>>> with tracer.span("encode", k=3):
+...     pass
+>>> [e["name"] for e in tracer.events()]
+['encode']
+>>> registry = MetricsRegistry()
+>>> registry.inc("sat.conflicts", 7)
+>>> registry.snapshot()["counters"]["sat.conflicts"]
+7
+"""
+
+from .metrics import (MetricsRegistry, current_metrics, diff,
+                      set_metrics)
+from .trace import (NULL_TRACER, NullTracer, Tracer, chrome_trace_document,
+                    current_tracer, set_tracer, validate_chrome_trace,
+                    write_chrome_trace)
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER",
+    "current_tracer", "set_tracer",
+    "chrome_trace_document", "write_chrome_trace",
+    "validate_chrome_trace",
+    "MetricsRegistry", "current_metrics", "set_metrics", "diff",
+]

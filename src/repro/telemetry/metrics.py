@@ -1,0 +1,180 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of three instrument
+kinds, all updated through cheap method calls:
+
+* *counters* (:meth:`~MetricsRegistry.inc`) — monotonically summed
+  (``sat.conflicts``, ``cache.hits``); merged across workers by
+  addition;
+* *gauges* (:meth:`~MetricsRegistry.gauge` /
+  :meth:`~MetricsRegistry.gauge_max`) — last-or-peak values
+  (``sat.db_literals``); merged by taking the max;
+* *histograms* (:meth:`~MetricsRegistry.observe`) — running
+  ``{count, sum, min, max}`` summaries (``sat.solve_seconds``);
+  merged field-wise.
+
+:meth:`~MetricsRegistry.snapshot` returns a plain nested dict (JSON-
+and IPC-safe), :func:`diff` subtracts two snapshots so per-solve /
+per-bound deltas are two dict copies, and
+:meth:`~MetricsRegistry.merge` folds a worker's snapshot into the
+parent registry.  The module default registry is *disabled*: every
+update method returns immediately, so instrumented code pays one
+attribute check when metrics are off.
+
+>>> registry = MetricsRegistry()
+>>> registry.inc("sat.conflicts", 3)
+>>> before = registry.snapshot()
+>>> registry.inc("sat.conflicts", 4)
+>>> registry.gauge("sat.db_literals", 120)
+>>> diff(before, registry.snapshot())["counters"]["sat.conflicts"]
+4
+>>> registry.snapshot()["gauges"]["sat.db_literals"]
+120
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "MetricsRegistry", "current_metrics", "set_metrics", "diff",
+]
+
+Snapshot = Dict[str, Dict[str, Any]]
+
+
+class MetricsRegistry:
+    """Registry of named counters, gauges and histograms."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        #: When False every update method is a no-op.
+        self.enabled = enabled
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    # -- updates -------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name*."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value*."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the gauge *name* to *value* if larger."""
+        if not self.enabled:
+            return
+        if value > self._gauges.get(name, float("-inf")):
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into the histogram *name*."""
+        if not self.enabled:
+            return
+        h = self._histograms.get(name)
+        if h is None:
+            self._histograms[name] = {"count": 1, "sum": value,
+                                      "min": value, "max": value}
+        else:
+            h["count"] += 1
+            h["sum"] += value
+            if value < h["min"]:
+                h["min"] = value
+            if value > h["max"]:
+                h["max"] = value
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """A plain-dict copy of every instrument (JSON/IPC-safe)."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {k: dict(v)
+                           for k, v in self._histograms.items()},
+        }
+
+    def merge(self, snapshot: Snapshot) -> None:
+        """Fold a snapshot (e.g. from a worker) into this registry.
+
+        Counters add, gauges take the max, histograms merge
+        field-wise.  Works even when the registry is disabled — the
+        parent aggregates worker metrics regardless of whether its own
+        instrumentation records.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+        for name, h in snapshot.get("histograms", {}).items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = dict(h)
+            else:
+                mine["count"] += h["count"]
+                mine["sum"] += h["sum"]
+                mine["min"] = min(mine["min"], h["min"])
+                mine["max"] = max(mine["max"], h["max"])
+
+    def clear(self) -> None:
+        """Reset every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+
+def diff(before: Snapshot, after: Snapshot) -> Snapshot:
+    """Delta of two snapshots (counters/histograms subtract).
+
+    Gauges keep their *after* value — a point-in-time reading has no
+    meaningful subtraction.  Counters absent from *before* are treated
+    as zero.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta:
+            counters[name] = delta
+    histograms = {}
+    for name, h in after.get("histograms", {}).items():
+        prev = before.get("histograms", {}).get(name)
+        if prev is None:
+            histograms[name] = dict(h)
+            continue
+        count = h["count"] - prev["count"]
+        if count:
+            histograms[name] = {"count": count,
+                                "sum": h["sum"] - prev["sum"],
+                                "min": h["min"], "max": h["max"]}
+    return {
+        "counters": counters,
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": histograms,
+    }
+
+
+#: The shared default registry — recording is opt-in.
+_METRICS = MetricsRegistry(enabled=False)
+
+
+def current_metrics() -> MetricsRegistry:
+    """The process's active registry (disabled by default)."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install *registry* as the active one; returns the previous."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry if registry is not None \
+        else MetricsRegistry(enabled=False)
+    return previous

@@ -1,0 +1,321 @@
+"""Span tracer with Chrome trace-event export.
+
+A :class:`Tracer` records two kinds of events into a bounded ring
+buffer (oldest events are dropped first, counted in
+:attr:`Tracer.dropped`):
+
+* *spans* — ``with tracer.span("sat.solve", k=3) as sp:`` measures a
+  timed region; attributes set up front or via :meth:`Span.set` land
+  in the event's ``args``;
+* *instants* — ``tracer.instant("cache.hit", method="jsat")`` marks a
+  point in time.
+
+Events are plain dicts in the Chrome trace-event format (``name``,
+``ph``, ``ts`` in microseconds, ``pid``, ``tid``, ``dur`` for spans,
+``args``), so :func:`write_chrome_trace` only has to sort and wrap
+them.  Timestamps come from ``time.monotonic()``, which on Linux is
+``CLOCK_MONOTONIC`` — shared by fork'd worker processes — so events
+recorded in workers and replayed into the parent's tracer line up on
+one timeline, one Perfetto lane per worker pid.
+
+The module-level default is :data:`NULL_TRACER`, a
+:class:`NullTracer` whose ``span``/``instant`` are no-ops returning a
+shared inert context manager; instrumented code checks
+``tracer.enabled`` (or just uses the null object) and pays nothing
+when tracing is off.
+
+>>> tracer = Tracer()
+>>> with tracer.span("outer", k=2) as sp:
+...     _ = sp.set(status="SAT")
+...     tracer.instant("mark")
+>>> [(e["name"], e["ph"]) for e in tracer.events()]
+[('mark', 'i'), ('outer', 'X')]
+>>> tracer.events()[1]["args"] == {"k": 2, "status": "SAT"}
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span", "Tracer", "NullTracer", "NULL_TRACER",
+    "current_tracer", "set_tracer",
+    "chrome_trace_document", "write_chrome_trace",
+    "validate_chrome_trace", "validate_chrome_trace_file",
+]
+
+#: Default ring-buffer capacity.  At ~120 bytes/event this bounds a
+#: runaway trace at a few MB; the drop counter makes truncation loud.
+DEFAULT_CAPACITY = 65536
+
+
+def _now_us() -> int:
+    """Current monotonic time in integer microseconds."""
+    return int(time.monotonic() * 1e6)
+
+
+class Span:
+    """A timed region; use as a context manager (see :class:`Tracer`).
+
+    The complete event ("ph": "X") is recorded on exit, carrying the
+    attributes passed to :meth:`Tracer.span` plus anything added via
+    :meth:`set` while the span was open.
+    """
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (recorded in the event's ``args``)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._start = _now_us()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end = _now_us()
+        self._tracer._record({
+            "name": self.name,
+            "ph": "X",
+            "ts": self._start,
+            "dur": end - self._start,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "args": self.args,
+        })
+
+
+class _NullSpan:
+    """Shared inert span: accepts everything, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Ignore attributes."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-local recording tracer over a bounded ring buffer."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._buffer: deque = deque(maxlen=capacity)
+        self.capacity = capacity
+        #: Events discarded because the ring buffer was full.
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a timed span; attributes land in the event ``args``."""
+        return Span(self, name, dict(attrs))
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event."""
+        self._record({
+            "name": name,
+            "ph": "i",
+            "ts": _now_us(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "s": "t",
+            "args": dict(attrs),
+        })
+
+    def name_lane(self, pid: int, label: str) -> None:
+        """Label the Perfetto lane for *pid* (metadata event)."""
+        self._record({
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+
+    def _record(self, event: Dict[str, Any]) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    # -- draining ------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """All buffered events, in recording order."""
+        return list(self._buffer)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear all buffered events (for IPC hand-off)."""
+        events = list(self._buffer)
+        self._buffer.clear()
+        return events
+
+    def extend(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Replay events drained elsewhere (e.g. a worker process)."""
+        for event in events:
+            self._record(event)
+
+    def clear(self) -> None:
+        """Discard all buffered events and reset the drop counter."""
+        self._buffer.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class NullTracer:
+    """Zero-overhead tracer: every operation is a no-op.
+
+    Shares the interface of :class:`Tracer` so instrumented code never
+    branches on the tracer type; ``span``/``instant`` cost one method
+    call returning shared singletons.
+    """
+
+    enabled = False
+    dropped = 0
+    capacity = 0
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """Return the shared inert span."""
+        return _NULL_SPAN
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Ignore the event."""
+
+    def name_lane(self, pid: int, label: str) -> None:
+        """Ignore the metadata."""
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+    def extend(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Ignore replayed events."""
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared default tracer — recording is opt-in.
+NULL_TRACER = NullTracer()
+
+_TRACER: Any = NULL_TRACER
+
+
+def current_tracer() -> Any:
+    """The process's active tracer (default :data:`NULL_TRACER`)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Any) -> Any:
+    """Install *tracer* as the active one; returns the previous."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+# ======================================================================
+# Chrome trace-event export
+# ======================================================================
+def chrome_trace_document(
+        events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap events in a Chrome trace-event JSON object.
+
+    Events are sorted by timestamp (spans are recorded at *exit*, so
+    raw buffer order is completion order, not start order); metadata
+    events ("ph": "M") sort first so lane names apply from t=0.
+    """
+    ordered = sorted(events,
+                     key=lambda e: (e.get("ph") != "M", e.get("ts", 0)))
+    return {
+        "traceEvents": ordered,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path: str,
+                       events: Optional[Iterable[Dict[str, Any]]] = None,
+                       ) -> int:
+    """Write events (default: the active tracer's) as a Chrome trace.
+
+    Returns the number of events written.  The file loads directly in
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+    """
+    if events is None:
+        events = current_tracer().events()
+    document = chrome_trace_document(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+    return len(document["traceEvents"])
+
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid")
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Check a trace document's schema; returns its event list.
+
+    Raises :class:`ValueError` on a malformed document: missing
+    ``traceEvents``, an event lacking ``name``/``ph``/``ts``/``pid``,
+    a complete event without ``dur``, or non-monotonic timestamps
+    among non-metadata events.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    last_ts = None
+    for i, event in enumerate(events):
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"event {i} missing required key "
+                                 f"{key!r}: {event!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"complete event {i} missing 'dur'")
+        if event["ph"] == "M":
+            continue
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"event {i} breaks timestamp order: "
+                             f"{ts} < {last_ts}")
+        last_ts = ts
+    return events
+
+
+def validate_chrome_trace_file(path: str) -> List[Dict[str, Any]]:
+    """Load and :func:`validate_chrome_trace` a trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_chrome_trace(json.load(fh))

@@ -96,10 +96,21 @@ def test_check_command_user_specs(capsys):
 
 
 def test_check_command_sweep_streams(capsys):
+    # Per-bound progress goes to the logger (stderr, behind -v);
+    # stdout stays report-only.
+    assert main(["-v", "check", "counter", "--spec", "EF (c0 & c1)",
+                 "-k", "5", "--sweep"]) == 0
+    captured = capsys.readouterr()
+    assert "[spec0] bound 0" in captured.err
+    assert "[spec0] bound 0" not in captured.out
+
+
+def test_check_sweep_quiet_without_verbose(capsys):
     assert main(["check", "counter", "--spec", "EF (c0 & c1)",
                  "-k", "5", "--sweep"]) == 0
-    out = capsys.readouterr().out
-    assert "[spec0] bound 0" in out
+    captured = capsys.readouterr()
+    assert "bound 0" not in captured.err
+    assert "bound 0" not in captured.out
 
 
 def test_check_command_smv(tmp_path, capsys):

@@ -281,6 +281,8 @@ class TestResultCache:
                    for c in second)
         for a, b in zip(first, second):
             assert a.status is b.status
+            # Identical modulo the hit annotation the cache adds.
+            assert b.stats.pop("served_from_cache") is True
             assert a.stats == b.stats
 
     def test_wall_clock_unknown_not_cached(self, small_suite, tmp_path):
