@@ -1,0 +1,156 @@
+"""Unbounded-prover benchmark: conclusive HOLDS where bounded BMC says
+"no counterexample up to k".
+
+For every suite family this script derives a *true* safety property
+from the design itself — ``AG !(cube)`` for a concrete state the BDD
+fixpoint proves unreachable — and checks it twice through the
+specification layer:
+
+* bounded only: the verdict is HOLDS but inconclusive ("holds up to
+  k"), exactly what ``repro check --require-proof`` refuses to pass;
+* with a prover paired (k-induction / interpolation / diameter): the
+  verdict must upgrade to a conclusive, *proved* HOLDS.
+
+Every proof is differentially validated: the BDD oracle must agree the
+cube is unreachable, and an emitted inductive invariant must pass
+``validate_invariant`` (contains init, excludes bad, closed under TR).
+
+Three families (counter, gray, barrel) reach their entire state space,
+so no non-trivial state invariant is true of them; they are reported
+and excluded.  The guard requires a conclusive proof for >= 8 of the
+remaining families.
+
+Run:  PYTHONPATH=src python benchmarks/bench_unbounded.py
+"""
+
+import itertools
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+import _emit
+
+from repro.bdd.reachability import BddReachability
+from repro.bmc.provers import validate_invariant
+from repro.harness.report import format_table
+from repro.logic import expr as ex
+from repro.models import build_suite
+from repro.sat import Budget
+from repro.spec import Invariant, PropertyChecker, Verdict
+
+REQUIRED_PROVED_FAMILIES = 8
+PROVER_ORDER = ("k-induction", "interpolation", "diameter")
+MAX_LATCHES = 8
+PROVER_BUDGET_S = 20.0
+
+
+def _unreachable_cube(system):
+    """A concrete state the BDD fixpoint proves unreachable, or None."""
+    reach = BddReachability(system)
+    reached, _ = reach.reachable_fixpoint()
+    m = reach.manager
+    names = system.state_vars
+    for bits in itertools.product([False, True], repeat=len(names)):
+        cube = ex.mk_and(*[ex.var(v) if b else ex.mk_not(ex.var(v))
+                           for v, b in zip(names, bits)])
+        if m.apply_and(m.from_expr(cube), reached) == m.false:
+            return cube
+    return None
+
+
+def _candidates():
+    """(family, instance, unreachable-cube) triples, one per family."""
+    by_family = {}
+    for inst in build_suite():
+        by_family.setdefault(inst.family, []).append(inst)
+    out = []
+    for family in sorted(by_family):
+        chosen = None
+        for inst in sorted(by_family[family],
+                           key=lambda i: len(i.system.state_vars)):
+            if len(inst.system.state_vars) > MAX_LATCHES:
+                continue
+            cube = _unreachable_cube(inst.system)
+            if cube is not None:
+                chosen = (family, inst, cube)
+                break
+        out.append(chosen or (family, None, None))
+    return out
+
+
+def _check(inst, cube, prover):
+    checker = PropertyChecker(inst.system,
+                              properties={"safe": Invariant(
+                                  ex.mk_not(cube))},
+                              prover=prover, prover_max_k=48)
+    try:
+        return checker.check("safe", inst.k,
+                             budget=Budget(max_seconds=PROVER_BUDGET_S)
+                             if prover else None)
+    finally:
+        checker.close()
+
+
+def main() -> None:
+    rows = []
+    proved_families = []
+    skipped = []
+    inconclusive_bounded = 0
+    for family, inst, cube in _candidates():
+        if inst is None:
+            skipped.append(family)
+            rows.append([family, "-", "all states reachable", "-", "-"])
+            continue
+
+        bounded = _check(inst, cube, prover=None)
+        assert bounded.verdict is Verdict.HOLDS, \
+            f"{family}: bounded check refuted a BDD-unreachable cube"
+        assert not bounded.conclusive, \
+            f"{family}: bounded check claims conclusiveness without " \
+            f"a prover"
+        inconclusive_bounded += 1
+
+        proved_by = None
+        elapsed = 0.0
+        for prover in PROVER_ORDER:
+            start = time.perf_counter()
+            result = _check(inst, cube, prover)
+            elapsed = time.perf_counter() - start
+            if result.proved:
+                # Differential validation: verdict against the BDD
+                # oracle (the cube IS unreachable by construction),
+                # invariant against the three inductiveness queries.
+                assert result.verdict is Verdict.HOLDS
+                assert result.conclusive
+                if result.invariant is not None:
+                    assert validate_invariant(inst.system, cube,
+                                              result.invariant), \
+                        f"{family}: {prover} emitted a bogus invariant"
+                proved_by = prover
+                break
+        if proved_by:
+            proved_families.append(family)
+        rows.append([family, inst.name,
+                     "holds up to %d (bounded)" % bounded.k,
+                     proved_by or "none", f"{elapsed * 1e3:.1f}"])
+
+    print(format_table(
+        ["family", "instance", "bounded verdict", "proved by", "ms"],
+        rows))
+    print(f"\nconclusive HOLDS: {len(proved_families)} families "
+          f"(need >= {REQUIRED_PROVED_FAMILIES}); "
+          f"no true invariant exists for: {', '.join(skipped) or '-'}")
+
+    _emit.record(proved_families=len(proved_families),
+                 candidate_families=13 - len(skipped),
+                 skipped_families=skipped,
+                 inconclusive_bounded=inconclusive_bounded,
+                 guard_required_proved=REQUIRED_PROVED_FAMILIES)
+    assert len(proved_families) >= REQUIRED_PROVED_FAMILIES, \
+        f"only {len(proved_families)} families proved " \
+        f"(need {REQUIRED_PROVED_FAMILIES})"
+
+
+if __name__ == "__main__":
+    raise SystemExit(_emit.run(globals()))

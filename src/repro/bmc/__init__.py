@@ -22,6 +22,8 @@ from .interpolation import InterpolationResult, prove_by_interpolation
 from .jsat import JsatSolver, JsatStats
 from .metrics import (TimeBreakdown, encoding_sizes, growth_table,
                       jsat_resident_size, measure_time)
+from .provers import (DiameterBackend, InterpolationBackend,
+                      KInductionBackend, validate_invariant)
 from .qbf_encoding import QbfEncoding, encode_qbf
 from .session import BmcSession
 from .squaring import SquaringEncoding, encode_squaring
@@ -57,6 +59,10 @@ __all__ = [
     "InductionResult",
     "prove_by_interpolation",
     "InterpolationResult",
+    "KInductionBackend",
+    "InterpolationBackend",
+    "DiameterBackend",
+    "validate_invariant",
     "METHODS",
     "ALL_METHODS",
     "PORTFOLIO",

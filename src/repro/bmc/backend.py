@@ -77,21 +77,34 @@ class BmcResult:
         Wall-clock time of the query.
     stats:
         Method-specific counters (formula sizes, solver statistics).
+    proved:
+        True when an UNSAT answer is an *unbounded* proof — the target
+        is unreachable at every depth, not merely within ``k``.  Only
+        backends with ``proves_unbounded`` set ever produce this.
+    invariant:
+        The inductive invariant certifying a proof, when the method
+        constructs one (interpolation); ``None`` for proofs by
+        exhaustion (k-induction, diameter) and for all bounded answers.
     """
 
     def __init__(self, status: SolveResult, trace: Optional[Trace],
                  k: int, method: str, seconds: float,
-                 stats: Dict[str, int]) -> None:
+                 stats: Dict[str, int], proved: bool = False,
+                 invariant: Optional[Expr] = None) -> None:
         self.status = status
         self.trace = trace
         self.k = k
         self.method = method
         self.seconds = seconds
         self.stats = stats
+        self.proved = proved
+        self.invariant = invariant
 
     def __repr__(self) -> str:  # pragma: no cover
+        tag = ", proved" if self.proved else ""
         return (f"BmcResult({self.status.name}, k={self.k}, "
-                f"method={self.method!r}, {self.seconds * 1e3:.1f} ms)")
+                f"method={self.method!r}, {self.seconds * 1e3:.1f} ms"
+                f"{tag})")
 
 
 # ----------------------------------------------------------------------
@@ -118,21 +131,27 @@ class BoundResult:
         ``clauses_reused`` (problem clauses carried over from earlier
         bounds) and ``learnts_retained`` (learnt clauses alive at query
         start).
+    proved:
+        True when this bound's UNSAT answer closed an unbounded proof
+        (the prover's induction/fixpoint/diameter side-check fired), so
+        the sweep may stop early with a conclusive verdict.
     """
 
     def __init__(self, k: int, status: SolveResult, trace: Optional[Trace],
                  seconds: float, cumulative_seconds: float,
-                 stats: Dict[str, int]) -> None:
+                 stats: Dict[str, int], proved: bool = False) -> None:
         self.k = k
         self.status = status
         self.trace = trace
         self.seconds = seconds
         self.cumulative_seconds = cumulative_seconds
         self.stats = stats
+        self.proved = proved
 
     def __repr__(self) -> str:  # pragma: no cover
+        tag = ", proved" if self.proved else ""
         return (f"BoundResult(k={self.k}, {self.status.name}, "
-                f"{self.seconds * 1e3:.1f} ms)")
+                f"{self.seconds * 1e3:.1f} ms{tag})")
 
 
 # Observer signature for per-bound progress streaming.
@@ -163,15 +182,22 @@ class SweepResult:
 
     @property
     def status(self) -> SolveResult:
-        """SAT (cex found), UNSAT (all bounds refuted), or UNKNOWN."""
+        """SAT (cex found), UNSAT (all bounds refuted, or an unbounded
+        proof closed early), or UNKNOWN."""
         if not self.per_bound:
             return SolveResult.UNKNOWN
         last = self.per_bound[-1]
         if last.status is SolveResult.SAT:
             return SolveResult.SAT
-        if last.status is SolveResult.UNSAT and last.k == self.max_k:
+        if last.status is SolveResult.UNSAT and (last.proved
+                                                 or last.k == self.max_k):
             return SolveResult.UNSAT
         return SolveResult.UNKNOWN
+
+    @property
+    def proved(self) -> bool:
+        """True when the sweep ended with an unbounded proof."""
+        return bool(self.per_bound) and self.per_bound[-1].proved
 
     @property
     def shortest_k(self) -> Optional[int]:
@@ -257,7 +283,7 @@ class SweepBudget:
 def emit_bound(per_bound: List[BoundResult], on_bound, k: int,
                status: SolveResult, trace: Optional[Trace],
                seconds: float, sweep_start: float,
-               stats: Dict[str, int]) -> BoundResult:
+               stats: Dict[str, int], proved: bool = False) -> BoundResult:
     """Record one sweep bound and notify the observer.
 
     The single bookkeeping point every sweep implementation shares:
@@ -266,7 +292,8 @@ def emit_bound(per_bound: List[BoundResult], on_bound, k: int,
     one is installed.
     """
     record = BoundResult(k, status, trace, seconds,
-                         time.perf_counter() - sweep_start, stats)
+                         time.perf_counter() - sweep_start, stats,
+                         proved=proved)
     per_bound.append(record)
     if on_bound is not None:
         on_bound(record)
@@ -285,13 +312,15 @@ def drive_sweep(method: str, max_k: int, bounds,
     loop every sweep implementation shares.
 
     ``check(k, remaining)`` answers one bound and returns
-    ``(status, trace, stats)``; ``bounds`` is the ladder (ascending
-    integers for the linear sweep, the squaring schedule for formula
-    (3)); ``after_unsat(k)`` runs after each refuted bound (the
-    incremental driver retires the bound's final-constraint group
-    there).  The ladder stops at the first non-UNSAT answer; an
-    exhausted budget records an UNKNOWN for the bound it would have
-    run next.
+    ``(status, trace, stats)`` — or ``(status, trace, stats, proved)``
+    from a prover backend whose bound-k refutation may close an
+    unbounded proof; ``bounds`` is the ladder (ascending integers for
+    the linear sweep, the squaring schedule for formula (3));
+    ``after_unsat(k)`` runs after each refuted bound (the incremental
+    driver retires the bound's final-constraint group there).  The
+    ladder stops at the first non-UNSAT answer or the first proved
+    bound; an exhausted budget records an UNKNOWN for the bound it
+    would have run next.
     """
     tracer = current_tracer()
     registry = current_metrics()
@@ -305,8 +334,12 @@ def drive_sweep(method: str, max_k: int, bounds,
             break
         bound_start = time.perf_counter()
         with tracer.span("bmc.bound", method=method, k=k) as sp:
-            status, trace, stats = check(k, tracker.remaining())
+            answer = check(k, tracker.remaining())
+            status, trace, stats = answer[:3]
+            proved = bool(answer[3]) if len(answer) > 3 else False
             sp.set(status=status.name)
+            if proved:
+                sp.set(proved=True)
         registry.inc("bmc.bounds_checked")
         tracker.charge(
             conflicts=stats.get("solver_conflicts",
@@ -315,8 +348,9 @@ def drive_sweep(method: str, max_k: int, bounds,
             propagations=stats.get("solver_propagations",
                                    stats.get("sat_propagations", 0)))
         emit_bound(per_bound, on_bound, k, status, trace,
-                   time.perf_counter() - bound_start, sweep_start, stats)
-        if status is not SolveResult.UNSAT:
+                   time.perf_counter() - bound_start, sweep_start, stats,
+                   proved=proved)
+        if status is not SolveResult.UNSAT or proved:
             break
         if after_unsat is not None:
             after_unsat(k)
@@ -397,6 +431,11 @@ class Backend(ABC):
         bounds instead of re-encoding per bound.
     ``supported_semantics``
         Which of "exact" / "within" the backend answers.
+    ``proves_unbounded``
+        True for backends whose UNSAT answers can close an *unbounded*
+        proof (k-induction, interpolation, recurrence diameter): a
+        result with ``proved`` set means the target is unreachable at
+        every depth, not merely within the queried bound.
     ``options_class``
         The typed options dataclass validated at construction.
     """
@@ -405,6 +444,7 @@ class Backend(ABC):
     composite: ClassVar[bool] = False
     native_incremental: ClassVar[bool] = False
     supported_semantics: ClassVar[Tuple[str, ...]] = SEMANTICS
+    proves_unbounded: ClassVar[bool] = False
     options_class: ClassVar[Type[BackendOptions]] = BackendOptions
 
     def __init__(self, system: TransitionSystem, final: Expr,
@@ -452,9 +492,12 @@ class Backend(ABC):
 
     # ------------------------------------------------------------------
     def result(self, status: SolveResult, trace: Optional[Trace], k: int,
-               stats: Dict[str, int] | None = None) -> BmcResult:
+               stats: Dict[str, int] | None = None, *,
+               proved: bool = False,
+               invariant: Optional[Expr] = None) -> BmcResult:
         """Convenience constructor stamping this backend's name."""
-        return BmcResult(status, trace, k, self.name, 0.0, stats or {})
+        return BmcResult(status, trace, k, self.name, 0.0, stats or {},
+                         proved=proved, invariant=invariant)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"{type(self).__name__}({self.system.name!r}, "

@@ -348,6 +348,14 @@ class JsatBackend(Backend):
 
 
 # ----------------------------------------------------------------------
+# The unbounded provers register here so they precede the composite
+# portfolio in registry order (importing for the registration effect;
+# provers.py only depends on the protocol module, never back on this
+# one).
+from . import provers  # noqa: E402, F401  (registration effect)
+
+
+# ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
 class PortfolioOptions(BackendOptions):
     portfolio_methods: Optional[Sequence[str]] = None
@@ -362,6 +370,11 @@ class PortfolioOptions(BackendOptions):
     # tuning jsat while sat-unroll ignores it).  A key no raced method
     # declares raises at check time.
     shared_options: Optional[Mapping[str, object]] = None
+    # Pair the falsifier lanes with one unbounded prover
+    # ("k-induction" / "interpolation" / "diameter"): a proved UNSAT
+    # wins the race conclusively (see race()'s prover parameter).
+    prover: Optional[str] = None
+    prover_max_k: Optional[int] = None
 
     @classmethod
     def accepts_option(cls, name: str) -> bool:
@@ -438,6 +451,8 @@ class PortfolioBackend(Backend):
                        wall_timeout=self.options.wall_timeout,
                        validate=self.options.validate,
                        method_options=self.options.method_options,
+                       prover=self.options.prover,
+                       prover_max_k=self.options.prover_max_k,
                        **dict(self.options.shared_options or {}))
         result = outcome.result
         result.stats["portfolio_cancel_latency_ms"] = int(

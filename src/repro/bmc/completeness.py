@@ -59,8 +59,13 @@ def longest_simple_path_reached(system: TransitionSystem, k: int,
 
     One SAT query: init + k unrolled steps + pairwise state
     distinctness.  Returns None if the budget ran out.
+
+    ``k == 0`` degenerates to an init-satisfiability probe: a length-0
+    path is just an initial state, so a system with unsatisfiable init
+    has *no* simple path of length 0 and the diameter is already
+    reached — ``verify_unbounded`` then concludes "safe" at bound 0.
     """
-    if k <= 0:
+    if k < 0:
         return False
     pool = VarPool()
     cnf = CNF()
@@ -98,8 +103,12 @@ def verify_unbounded(system: TransitionSystem, final: Expr,
     whole deepening loop — the session's persistence is exactly what
     this procedure wants.
     """
+    if budget is not None:
+        budget.arm()        # one wall-clock slice for the whole loop
     with BmcSession(system, properties={"target": final}) as session:
         for k in range(max_bound + 1):
+            if budget is not None and budget.expired():
+                return UnboundedResult("unknown", k, None)
             result = session.check(k, method=method, semantics="exact",
                                    budget=budget)
             if result.status is SolveResult.SAT:

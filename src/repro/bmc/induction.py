@@ -53,6 +53,38 @@ def _frame(names: List[str], i: int) -> List[str]:
     return [f"{v}@{i}" for v in names]
 
 
+def _register_frames(pool: VarPool, system: TransitionSystem,
+                     n_states: int, n_inputs: int) -> None:
+    """Register every frame variable in the pool *before* solving.
+
+    The CDCL solver only reports SAT once every variable it knows about
+    is assigned, so registering the frame bits up front guarantees the
+    model covers them all with TR-consistent values.  Without this, a
+    variable the encoder simplified away (e.g. an input no frame
+    constrains) would be allocated fresh by ``pool.named`` *after* the
+    solve and read back as ``None`` — silently coerced to ``False``.
+    """
+    for i in range(n_states):
+        for v in system.state_vars:
+            pool.named(f"{v}@{i}")
+    for i in range(n_inputs):
+        for v in system.input_vars:
+            pool.named(f"{v}@{i}")
+
+
+def _model_bit(solver: CdclSolver, pool: VarPool, name: str) -> bool:
+    """Read one named bit from the model via ``pool.lookup``.
+
+    Never allocates: a name absent from the pool (impossible after
+    :func:`_register_frames`, kept for robustness) defaults to False.
+    """
+    var = pool.lookup(name)
+    if var is None:
+        return False
+    value = solver.model_value(var)
+    return bool(value) if value is not None else False
+
+
 def _encode_path(system: TransitionSystem, k: int, encoder: TseitinEncoder,
                  constrain_init: bool) -> None:
     frames = [_frame(system.state_vars, i) for i in range(k + 1)]
@@ -75,6 +107,7 @@ def _base_case(system: TransitionSystem, bad: Expr, k: int,
     encoder.assert_expr(ex.disjoin(
         system.rename_state_expr(bad, _frame(system.state_vars, i))
         for i in range(k + 1)))
+    _register_frames(pool, system, k + 1, k)
     solver = CdclSolver()
     solver.ensure_vars(max(cnf.num_vars, pool.num_vars))
     if not solver.add_clauses(cnf.clauses):
@@ -84,11 +117,11 @@ def _base_case(system: TransitionSystem, bad: Expr, k: int,
         return status, None
     states = []
     for i in range(k + 1):
-        states.append({v: bool(solver.model_value(pool.named(f"{v}@{i}")))
+        states.append({v: _model_bit(solver, pool, f"{v}@{i}")
                        for v in system.state_vars})
     inputs = []
     for i in range(k):
-        inputs.append({v: bool(solver.model_value(pool.named(f"{v}@{i}")))
+        inputs.append({v: _model_bit(solver, pool, f"{v}@{i}")
                        for v in system.input_vars})
     trace = Trace(states, inputs)
     # Cut at the first bad state.
@@ -141,7 +174,11 @@ def prove_by_induction(system: TransitionSystem, bad: Expr,
     stray = bad.support() - set(system.state_vars)
     if stray:
         raise ValueError(f"bad predicate uses non-state vars: {stray}")
+    if budget is not None:
+        budget.arm()        # one wall-clock slice shared by all bounds
     for k in range(max_k + 1):
+        if budget is not None and budget.expired():
+            return InductionResult("unknown", k)
         base, trace = _base_case(system, bad, k, budget)
         if base is SolveResult.SAT:
             assert trace is not None

@@ -35,6 +35,7 @@ from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
+from .induction import _model_bit, _register_frames
 
 __all__ = ["InterpolationResult", "prove_by_interpolation"]
 
@@ -79,6 +80,11 @@ def _bounded_query(system: TransitionSystem, reach: Expr, bad: Expr,
     proof = ResolutionProof()
     solver = CdclSolver(proof=proof)
     pool = VarPool()
+    # Register every frame bit up front so a SAT model covers them all
+    # (the solver assigns every known variable TR-consistently); see
+    # induction._register_frames for why extraction must never call
+    # ``pool.named`` after the solve.
+    _register_frames(pool, system, k + 1, k)
 
     # --- A: R(Z0) ∧ TR(Z0, Z1), with its own Tseitin namespace.
     a_cnf = CNF()
@@ -114,14 +120,12 @@ def _bounded_query(system: TransitionSystem, reach: Expr, bad: Expr,
     if status is SolveResult.SAT:
         states = []
         for i in range(k + 1):
-            states.append({
-                v: bool(solver.model_value(pool.named(f"{v}@{i}")))
-                for v in system.state_vars})
+            states.append({v: _model_bit(solver, pool, f"{v}@{i}")
+                           for v in system.state_vars})
         inputs = []
         for i in range(k):
-            inputs.append({
-                v: bool(solver.model_value(pool.named(f"{v}@{i}")))
-                for v in system.input_vars})
+            inputs.append({v: _model_bit(solver, pool, f"{v}@{i}")
+                           for v in system.input_vars})
         trace = Trace(states, inputs)
         for i, state in enumerate(trace.states):
             if bad.evaluate(state):
@@ -159,6 +163,8 @@ def prove_by_interpolation(system: TransitionSystem, bad: Expr,
     stray = bad.support() - set(system.state_vars)
     if stray:
         raise ValueError(f"bad predicate uses non-state vars: {stray}")
+    if budget is not None:
+        budget.arm()        # one wall-clock slice shared by all queries
     # Depth-0: an initial state may already be bad.
     init_bad = ex.mk_and(system.init, bad)
     cnf, pool = expr_to_cnf(init_bad)
@@ -177,6 +183,8 @@ def prove_by_interpolation(system: TransitionSystem, bad: Expr,
         reach = system.init
         is_initial = True
         while total_iterations < max_iterations:
+            if budget is not None and budget.expired():
+                return InterpolationResult("unknown", k, total_iterations)
             total_iterations += 1
             status, itp, trace = _bounded_query(system, reach, bad, k,
                                                 budget)

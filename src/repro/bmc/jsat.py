@@ -213,8 +213,13 @@ class JsatSolver:
         internal window queries.
         """
         self._budget = budget or Budget.unlimited()
-        self._deadline = (time.monotonic() + self._budget.max_seconds
-                          if self._budget.max_seconds is not None else None)
+        if self._budget.deadline is not None:
+            # An armed budget shares one deadline across calls.
+            self._deadline = self._budget.deadline
+        else:
+            self._deadline = (time.monotonic() + self._budget.max_seconds
+                              if self._budget.max_seconds is not None
+                              else None)
         self._conflicts_at_start = self.solver.stats.conflicts
         self._props_at_start = self.solver.stats.propagations
         self._trace = None

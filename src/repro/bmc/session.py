@@ -110,9 +110,20 @@ class BmcSession:
                                    Property, Expr, None] = None,
                  method: str = "sat-unroll",
                  reduce: object = "off",
+                 prover: Optional[str] = None,
+                 prover_max_k: int = 64,
                  on_bound: OnBound | None = None) -> None:
         from ..reduce import resolve_reduce
         validate_method(method)
+        if prover is not None:
+            # Fail here, at construction, with the checker's own
+            # message — not on the first check_properties() call.
+            from .backend import backend_class
+            if not backend_class(prover).proves_unbounded:
+                raise ValueError(
+                    f"{prover!r} is a bounded falsifier, not a prover; "
+                    f"pick a backend with proves_unbounded=True "
+                    f"(k-induction / interpolation / diameter)")
         if final is not None and properties is not None:
             raise TypeError("pass either final or properties, not both")
         if final is not None:
@@ -126,6 +137,8 @@ class BmcSession:
             normalize_properties(properties)
         self.method = method
         self.reduce = reduce
+        self.prover = prover
+        self.prover_max_k = prover_max_k
         self._pipeline = resolve_reduce(reduce)
         self.on_bound = on_bound
         self._backends: Dict[Tuple[str, str, int], Backend] = {}
@@ -268,6 +281,8 @@ class BmcSession:
                                    k=k, semantics=semantics) as sp:
             result = backend.check(k, semantics=semantics, budget=budget)
             sp.set(status=result.status.name)
+            if result.proved:
+                sp.set(proved=True)
         if result.trace is not None:
             result.trace = self._reduction().lift(result.trace)
         if semantics == "within" and result.trace is not None:
@@ -374,14 +389,18 @@ class BmcSession:
         first use; frames and learnt clauses persist across calls).
         Inherits the session's ``reduce`` knob, so with ``"auto"`` the
         checker groups properties by reduced cone and answers each
-        group over its own (smaller) shared unrolling."""
+        group over its own (smaller) shared unrolling — and the
+        session's ``prover`` pairing, so bounded UNSAT verdicts can be
+        escalated to conclusive proofs per property cone."""
         self._require_open()
         if not self.properties:
             raise ValueError("this session has no properties; construct "
                              "it with properties={...} or add_property()")
         if self._checker is None:
             self._checker = PropertyChecker(self.system, self.properties,
-                                            reduce=self.reduce)
+                                            reduce=self.reduce,
+                                            prover=self.prover,
+                                            prover_max_k=self.prover_max_k)
         return self._checker
 
     def check_properties(self, k: int, names: List[str] | None = None,

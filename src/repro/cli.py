@@ -253,7 +253,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         k = args.k if args.k is not None else default_k
         budget = _budget_from_args(args)
         with BmcSession(system, properties=properties,
-                        reduce=_reduce_from_args(args)) as session:
+                        reduce=_reduce_from_args(args),
+                        prover=args.prover,
+                        prover_max_k=args.prover_max_k) as session:
             if args.sweep:
                 # Per-bound progress streams on the logger (stderr,
                 # enabled with -v) so stdout stays report-only.
@@ -268,20 +270,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 1
     print(f"== {subject}: {len(results)} properties, bound {k} ==")
     verdicts = set()
+    inconclusive = 0
     for name, result in results.items():
-        evidence = "certificate" if result.conclusive \
-            else f"bounded, k={result.k}"
+        if result.proved:
+            evidence = "proved"
+        elif result.conclusive:
+            evidence = "certificate"
+        elif result.verdict is Verdict.HOLDS:
+            # A bounded HOLDS is only "no counterexample up to k" —
+            # say so instead of printing an unqualified verdict.
+            evidence = f"holds up to {result.k} (bounded)"
+        else:
+            evidence = f"bounded, k={result.k}"
         print(f"{name:24s} {result.verdict.value.upper():9s} "
               f"({evidence}, {result.seconds * 1e3:.1f} ms)  "
               f"{result.prop}")
         if result.trace is not None:
             print(result.trace.format(sorted(system.state_vars)))
         verdicts.add(result.verdict)
+        if not result.conclusive:
+            inconclusive += 1
     # A definite violation outranks an inconclusive property: CI
     # gating on exit 1 must never miss a real counterexample.
     if Verdict.VIOLATED in verdicts:
         return 1
     if Verdict.UNKNOWN in verdicts:
+        return 2
+    if args.require_proof and inconclusive:
+        print(f"{inconclusive} verdict(s) are bounded only and "
+              f"--require-proof is set", file=sys.stderr)
         return 2
     return 0
 
@@ -315,11 +332,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     results = run_matrix(instances, args.methods, budget=budget,
                          jobs=args.jobs, cache=cache,
-                         reduce=_reduce_from_args(args))
+                         reduce=_reduce_from_args(args),
+                         prover=args.prover)
     wall = time.perf_counter() - start
     cpu = sum(c.cpu_seconds for c in results)
+    lanes = len(args.methods)
+    if args.prover and args.prover not in args.methods:
+        lanes += 1
     print(f"== batch: {len(instances)} instances x "
-          f"{len(args.methods)} methods, jobs={args.jobs or 1} ==")
+          f"{lanes} methods"
+          + (f" (prover lane: {args.prover})" if args.prover else "")
+          + f", jobs={args.jobs or 1} ==")
     print(format_solved_counts(solved_counts(results)))
     print()
     print(format_worker_attribution(results))
@@ -364,16 +387,17 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         return "<required>"
 
     print(f"{'name':16s} {'kind':10s} {'incremental':11s} "
-          f"{'semantics':14s} options")
+          f"{'semantics':14s} {'proves':7s} options")
     for name, cls in registered_backends().items():
         kind = "composite" if cls.composite else "primitive"
         incremental = "native" if cls.native_incremental else "-"
         semantics = ",".join(cls.supported_semantics)
+        proves = "yes" if cls.proves_unbounded else "-"
         opts = ", ".join(
             f"{f.name}={default_repr(f)}"
             for f in dataclasses.fields(cls.options_class)) or "-"
         print(f"{name:16s} {kind:10s} {incremental:11s} "
-              f"{semantics:14s} {opts}")
+              f"{semantics:14s} {proves:7s} {opts}")
     return 0
 
 
@@ -446,6 +470,19 @@ def _add_reduce_flag(parser: argparse.ArgumentParser) -> None:
                         help="run the model-reduction pipeline "
                              "(cone of influence, constant/duplicate "
                              "latch sweeping) before solving")
+
+
+def _prover_choices() -> tuple:
+    return tuple(name for name, cls in registered_backends().items()
+                 if cls.proves_unbounded)
+
+
+def _add_prover_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--prover", choices=_prover_choices(),
+                        default=None,
+                        help="pair the run with an unbounded prover; "
+                             "a closed proof turns a bounded "
+                             "'holds up to k' into a conclusive HOLDS")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -524,6 +561,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep", action="store_true",
                    help="resolve each property at its earliest bound "
                         "0..k, streaming per-bound progress")
+    _add_prover_flag(p)
+    p.add_argument("--prover-max-k", type=int, default=64,
+                   help="deepest bound the paired prover may explore")
+    p.add_argument("--require-proof", action="store_true",
+                   help="exit 2 unless every verdict is conclusive "
+                        "(an unbounded proof or a concrete "
+                        "certificate); bounded HOLDS no longer passes")
     _add_reduce_flag(p)
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_check)
@@ -543,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk result cache directory")
     p.add_argument("--scale", type=float, default=0.2,
                    help="budget scale when no explicit budget is given")
+    _add_prover_flag(p)
     _add_jobs_flag(p)
     _add_reduce_flag(p)
     _add_telemetry_flags(p)

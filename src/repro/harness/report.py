@@ -72,13 +72,23 @@ def format_reduction(rows: Iterable[Mapping[str, object]]) -> str:
 
 
 def format_property_results(cells: Iterable[PropertyCellResult]) -> str:
-    """Per-(instance, property) verdict table for a property matrix."""
+    """Per-(instance, property) verdict table for a property matrix.
+
+    The ``evidence`` column distinguishes the three conclusiveness
+    levels: ``proved`` (an unbounded prover closed the proof),
+    ``certificate`` (a concrete witness path), and
+    ``bounded k=<k>`` (nothing found up to k — inconclusive).
+    """
     headers = ["instance", "property", "verdict", "evidence", "k", "ms"]
     rows: List[List[object]] = []
     for cell in cells:
         result = cell.result
-        evidence = "certificate" if result.conclusive \
-            else f"bounded k={result.k}"
+        if getattr(result, "proved", False):
+            evidence = "proved"
+        elif result.conclusive:
+            evidence = "certificate"
+        else:
+            evidence = f"bounded k={result.k}"
         rows.append([cell.instance.name, result.name,
                      result.verdict.value, evidence, result.k,
                      f"{cell.seconds * 1e3:.1f}"])

@@ -119,8 +119,13 @@ def run_cell(instance: Instance, method: str,
             result.status is not SolveResult.UNKNOWN:
         want = SolveResult.SAT if instance.expected else SolveResult.UNSAT
         correct = result.status is want
+    stats = dict(result.stats)
+    if result.proved:
+        # Same marker the parallel scheduler records, so downstream
+        # reporting treats serial and sharded cells alike.
+        stats["proved"] = True
     return CellResult(instance, method, result.status,
-                      timing.wall_seconds, correct, result.stats,
+                      timing.wall_seconds, correct, stats,
                       cpu_seconds=timing.cpu_seconds)
 
 
@@ -194,21 +199,26 @@ class PropertyCellResult:
 def run_property_cell(instance: Instance,
                       budget: Budget | None = None,
                       shared: bool = True,
-                      reduce: object = "off") -> List[PropertyCellResult]:
+                      reduce: object = "off",
+                      prover: Optional[str] = None,
+                      prover_max_k: int = 64) -> List[PropertyCellResult]:
     """Check every named property of one instance at its bound.
 
     ``shared=True`` answers all properties over one shared unrolling
     in one session; ``shared=False`` opens a fresh session per
     property — the sequential baseline (same verdicts, re-encoded
     transition frames per property).  ``reduce`` is forwarded to the
-    sessions, so ``"auto"`` groups properties by reduced cone.
+    sessions, so ``"auto"`` groups properties by reduced cone, and
+    ``prover`` pairs each property with an unbounded prover that can
+    upgrade bounded UNSAT verdicts to conclusive proofs.
     """
     out: List[PropertyCellResult] = []
     if shared:
         with measure_time() as timing:
             with BmcSession(instance.system,
                             properties=instance.properties,
-                            reduce=reduce) as session:
+                            reduce=reduce, prover=prover,
+                            prover_max_k=prover_max_k) as session:
                 results = session.check_properties(instance.k,
                                                    budget=budget)
         per = timing.wall_seconds / max(1, len(results))
@@ -220,7 +230,8 @@ def run_property_cell(instance: Instance,
         with measure_time() as timing:
             with BmcSession(instance.system,
                             properties={name: prop},
-                            reduce=reduce) as session:
+                            reduce=reduce, prover=prover,
+                            prover_max_k=prover_max_k) as session:
                 result = session.check_properties(instance.k,
                                                   budget=budget)[name]
         out.append(PropertyCellResult(instance, result,
@@ -232,13 +243,17 @@ def run_property_cell(instance: Instance,
 def run_property_matrix(instances: Sequence[Instance],
                         budget: Budget | None = None,
                         shared: bool = True,
-                        reduce: object = "off"
+                        reduce: object = "off",
+                        prover: Optional[str] = None,
+                        prover_max_k: int = 64
                         ) -> List[PropertyCellResult]:
     """The (instances × properties) matrix, instance-major."""
     out: List[PropertyCellResult] = []
     for instance in instances:
         out.extend(run_property_cell(instance, budget=budget,
-                                     shared=shared, reduce=reduce))
+                                     shared=shared, reduce=reduce,
+                                     prover=prover,
+                                     prover_max_k=prover_max_k))
     return out
 
 
@@ -266,6 +281,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                timings: Mapping[Tuple[str, str], float] | None = None,
                mode: str = "single",
                reduce: object = "off",
+               prover: Optional[str] = None,
                **options) -> List[CellResult]:
     """Run the full (instances × methods) matrix.
 
@@ -299,6 +315,13 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
     to every cell's session; parallel (``jobs``/``cache``) runs accept
     the string forms only, because the knob travels in worker payloads
     and cache keys.
+
+    ``prover`` pairs the matrix with one unbounded prover.  In
+    ``"single"`` mode it adds a comparison lane (one extra prover cell
+    per instance, ``within`` semantics — serial and sharded runs
+    agree); in ``"properties"`` mode it is forwarded to every
+    session's checker, which escalates bounded UNSAT verdicts to
+    conclusive proofs per property cone.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -315,9 +338,21 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
             raise ValueError("property mode runs serially "
                              "(no jobs/cache/backend options)")
         return run_property_matrix(instances, budget=budget,
-                                   reduce=reduce)
-    per_method = fan_out_options(methods, options)
+                                   reduce=reduce, prover=prover)
+    lanes = list(methods)
+    if prover is not None and mode == "single":
+        from ..bmc.backend import backend_class
+        if not backend_class(prover).proves_unbounded:
+            raise ValueError(
+                f"{prover!r} is a bounded falsifier, not a prover; "
+                f"list it in methods instead")
+        if prover not in lanes:
+            lanes.append(prover)
+    per_method = fan_out_options(lanes, options)
     if mode == "sweep":
+        if prover is not None:
+            raise ValueError("sweep mode has no prover lane; use "
+                             "mode='single' or mode='properties'")
         if (jobs is not None and jobs > 1) or cache is not None:
             raise ValueError("sweep mode runs serially (no jobs/cache)")
         method_budgets = method_budgets or {}
@@ -342,14 +377,16 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
         return scheduler.run(instances, methods, budget=budget,
                              semantics=semantics,
                              method_budgets=method_budgets,
-                             reduce=reduce, **options)
+                             reduce=reduce, prover=prover, **options)
 
     method_budgets = method_budgets or {}
     out: List[CellResult] = []
-    for method in methods:
+    for method in lanes:
         cell_budget = method_budgets.get(method, budget)
+        cell_semantics = "within" if method == prover else semantics
         for instance in instances:
-            out.append(run_cell(instance, method, cell_budget, semantics,
+            out.append(run_cell(instance, method, cell_budget,
+                                cell_semantics,
                                 reduce=reduce, **per_method[method]))
     return out
 

@@ -143,7 +143,12 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def encode_outcome(result: BmcResult) -> Dict[str, Any]:
-    """BmcResult -> plain-data dict."""
+    """BmcResult -> plain-data dict.
+
+    ``invariant`` rides along as a live :class:`~repro.logic.expr.Expr`
+    (it pickles via re-interning, like the payload's system/target);
+    cache writers must strip it first — the result cache stores JSON.
+    """
     trace = None
     if result.trace is not None:
         trace = {"states": [dict(s) for s in result.trace.states],
@@ -155,6 +160,8 @@ def encode_outcome(result: BmcResult) -> Dict[str, Any]:
         "seconds": result.seconds,
         "stats": dict(result.stats),
         "trace": trace,
+        "proved": bool(result.proved),
+        "invariant": result.invariant,
         "error": None,
     }
 
@@ -170,6 +177,8 @@ def decode_outcome(outcome: Dict[str, Any]) -> Dict[str, Any]:
     out = dict(outcome)
     out["status"] = SolveResult[outcome["status"]]
     out["trace"] = decode_trace(outcome.get("trace"))
+    out["proved"] = bool(outcome.get("proved", False))
+    out.setdefault("invariant", None)
     return out
 
 
@@ -178,4 +187,5 @@ def outcome_to_result(outcome: Dict[str, Any]) -> BmcResult:
     decoded = decode_outcome(outcome)
     return BmcResult(decoded["status"], decoded["trace"], decoded["k"],
                      decoded["method"], decoded["seconds"],
-                     decoded["stats"])
+                     decoded["stats"], proved=decoded["proved"],
+                     invariant=decoded["invariant"])

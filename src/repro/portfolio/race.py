@@ -18,6 +18,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bmc.backend import METHODS, BmcResult, backend_class, fan_out_options
+from ..bmc.provers import validate_invariant
 from ..logic.expr import Expr
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
@@ -52,7 +53,9 @@ class RaceOutcome:
         Name of the winning method, or None.
     method_outcomes:
         Per-method terminal state: "won", "cancelled", "inconclusive",
-        "invalid-witness", or "timeout"; when a result cache serves
+        "invalid-witness", "invalid-proof", "deep-witness" (a prover
+        found a real violation beyond the queried bound), or
+        "timeout"; when a result cache serves
         the whole race (see ``race(cache=...)``) the recorded winner
         is "cache" and every other method "skipped".
     cancel_latency:
@@ -93,7 +96,7 @@ def ensure_methods_spawnable(methods: Sequence[str], ctx) -> None:
     if ctx.get_start_method() == "fork":
         return
     foreign = [m for m in methods
-               if backend_class(m).__module__ != "repro.bmc.backends"]
+               if not backend_class(m).__module__.startswith("repro.bmc.")]
     if foreign:
         raise ValueError(
             f"custom backend(s) {foreign} cannot run in worker "
@@ -142,6 +145,8 @@ def race(system: TransitionSystem, final: Expr, k: int,
          method_options: Optional[Dict[str, Dict[str, Any]]] = None,
          reduce: object = "off",
          cache: Optional[Any] = None,
+         prover: Optional[str] = None,
+         prover_max_k: Optional[int] = None,
          **options) -> RaceOutcome:
     """Run ``methods`` concurrently; first conclusive answer wins.
 
@@ -172,19 +177,53 @@ def race(system: TransitionSystem, final: Expr, k: int,
     conclusive live win.  Races whose ``reduce`` knob is a custom
     :class:`~repro.reduce.Pipeline` object are never cached (the
     pipeline cannot participate in the fingerprint).
+
+    ``prover`` pairs the falsifier lanes with one unbounded prover
+    (any registered backend whose ``proves_unbounded`` flag is set:
+    ``"k-induction"`` / ``"interpolation"`` / ``"diameter"``).  The
+    prover races the same query at depth ``prover_max_k`` (default:
+    well past ``k``) under ``within`` semantics; a *proved* UNSAT wins
+    any query — after its inductive invariant validates in the parent
+    — so the race can return a conclusive safety verdict instead of
+    UNKNOWN-at-bound-k.  The winning result then carries
+    ``proved=True`` and the invariant (in the raced — possibly
+    reduced — vocabulary).  A prover SAT wins only when its witness
+    also answers the bounded query (``length <= k`` for within,
+    ``== k`` for exact); a deeper witness is recorded as
+    ``"deep-witness"`` and does not decide the race.  With a prover
+    attached, ``methods`` may be empty (prover-only race).
     """
     from ..reduce import reduce_for_target, resolve_reduce
     methods = list(methods)
-    if not methods:
-        raise ValueError("race needs at least one method")
+    if not methods and prover is None:
+        raise ValueError("race needs at least one method or a prover")
     unknown = [m for m in methods if m not in METHODS]
     if unknown:
         raise ValueError(f"unknown race methods {unknown}; "
                          f"pick from {METHODS}")
+    prover_k = k
+    if prover is not None:
+        if prover not in METHODS:
+            raise ValueError(f"unknown prover {prover!r}; "
+                             f"pick from {METHODS}")
+        if not backend_class(prover).proves_unbounded:
+            raise ValueError(
+                f"{prover!r} is a bounded falsifier, not a prover; "
+                f"pass it via methods=[...] instead")
+        if prover in methods:
+            raise ValueError(
+                f"{prover!r} is both a raced method and the prover; "
+                f"list it only once")
+        # The prover's ladder must cover the bounded query (so its
+        # bounded UNSAT alone answers it) and should reach well past
+        # it (so induction/diameter have room to close the proof).
+        prover_k = max(prover_max_k if prover_max_k is not None else 0,
+                       2 * k + 16, 24, k)
     if wall_timeout is None and budget is not None \
             and budget.max_seconds is not None:
         wall_timeout = budget.max_seconds * 3.0 + 1.0
-    per_method_options = fan_out_options(methods, options,
+    lanes = methods + ([prover] if prover is not None else [])
+    per_method_options = fan_out_options(lanes, options,
                                          method_options or {})
 
     tracer = current_tracer()
@@ -192,10 +231,13 @@ def race(system: TransitionSystem, final: Expr, k: int,
     race_key = None
     if cache is not None and isinstance(reduce, str):
         from .cache import cell_key
+        tag = "race:" + "+".join(sorted(methods))
+        if prover is not None:
+            tag += f"|prover:{prover}@{prover_k}"
         race_key = cell_key(
-            system, final, k, "race:" + "+".join(sorted(methods)),
+            system, final, k, tag,
             semantics, budget,
-            {m: sorted(per_method_options[m].items()) for m in methods},
+            {m: sorted(per_method_options[m].items()) for m in lanes},
             reduce)
         cached = cache.get(race_key)
         if cached is not None and cached.get("error") is None \
@@ -205,12 +247,16 @@ def race(system: TransitionSystem, final: Expr, k: int,
             logger.info("race served from cache (winner %s)", winner)
             tracer.instant("cache.hit", scope="race", k=k,
                            method=str(winner))
+            # The invariant was stripped before the put (the cache is
+            # JSON); the proved flag survives, so a cached proof still
+            # reports conclusively.
             result = BmcResult(outcome["status"], outcome["trace"], k,
-                               "portfolio", 0.0, dict(outcome["stats"]))
+                               "portfolio", 0.0, dict(outcome["stats"]),
+                               proved=outcome["proved"])
             result.stats["cache_served"] = True
             result.stats["portfolio_cancelled"] = 0
             method_outcomes = {m: "cache" if m == winner else "skipped"
-                               for m in methods}
+                               for m in lanes}
             return RaceOutcome(result, winner, method_outcomes,
                                0.0, [], 0.0)
 
@@ -225,19 +271,25 @@ def race(system: TransitionSystem, final: Expr, k: int,
             final = candidate.map_expr(final)
 
     ctx = pool_context()
-    ensure_methods_spawnable(methods, ctx)
+    ensure_methods_spawnable(lanes, ctx)
     telemetry = tracer.enabled or registry.enabled
     # Manual enter/exit: the span brackets spawn-to-cancel without
     # reindenting the whole race body; a raised exception simply
     # forfeits the (advisory) parent span.
     race_span = tracer.span("portfolio.race", k=k,
-                            methods=",".join(methods))
+                            methods=",".join(lanes),
+                            prover=prover or "none")
     race_span.__enter__()
     start = time.perf_counter()
     children: List[Tuple[str, Any, Any]] = []     # (method, process, conn)
-    for method in methods:
-        payload = make_cell_payload(system, final, k, method, semantics,
-                                    budget, per_method_options[method],
+    for method in lanes:
+        # The prover lane searches past the query bound (within
+        # semantics) so it can both refute deeper and close a proof.
+        lane_k = prover_k if method == prover else k
+        lane_semantics = "within" if method == prover else semantics
+        payload = make_cell_payload(system, final, lane_k, method,
+                                    lane_semantics, budget,
+                                    per_method_options[method],
                                     telemetry=telemetry)
         parent_conn, child_conn = ctx.Pipe()
         process = ctx.Process(target=_race_child,
@@ -247,7 +299,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
         child_conn.close()
         children.append((method, process, parent_conn))
 
-    method_outcomes = {m: "running" for m in methods}
+    method_outcomes = {m: "running" for m in lanes}
     winner: Optional[str] = None
     winning: Optional[Dict[str, Any]] = None
     fallback: Optional[Dict[str, Any]] = None     # an UNKNOWN to report
@@ -285,6 +337,29 @@ def race(system: TransitionSystem, final: Expr, k: int,
                 if fallback is None or fallback.get("error"):
                     fallback = outcome
                 continue
+            if method == prover:
+                if status is SolveResult.SAT:
+                    trace = outcome["trace"]
+                    length = trace.length if trace is not None else None
+                    if length is None or length > k or \
+                            (semantics == "exact" and length != k):
+                        # A genuine violation, but deeper than the
+                        # bounded query asks about — it cannot decide
+                        # this race (the replay check below would
+                        # reject it as invalid, which it is not).
+                        method_outcomes[method] = "deep-witness"
+                        continue
+                elif outcome["proved"] and validate \
+                        and outcome["invariant"] is not None \
+                        and not validate_invariant(system, final,
+                                                   outcome["invariant"]):
+                    # Interpolation ships an inductive invariant;
+                    # re-check it in the parent before letting the
+                    # proof win (same distrust as SAT witnesses).
+                    method_outcomes[method] = "invalid-proof"
+                    continue
+                # A bounded prover UNSAT still answers the query:
+                # the prover ladder runs to prover_k >= k.
             if status is SolveResult.SAT and validate:
                 verdict = _validate_sat(system, final, k, semantics,
                                         outcome["trace"])
@@ -346,8 +421,14 @@ def race(system: TransitionSystem, final: Expr, k: int,
             trace = reduction.lift(trace)
             if validate:
                 trace.validate(original_system)
+        # An invariant stays in the raced (possibly reduced)
+        # vocabulary — it was validated against that system above and
+        # has no full-width counterpart (reduction proved the dropped
+        # latches irrelevant to this target).
         result = BmcResult(winning["status"], trace, k,
-                           "portfolio", seconds, dict(winning["stats"]))
+                           "portfolio", seconds, dict(winning["stats"]),
+                           proved=winning["proved"],
+                           invariant=winning["invariant"])
         result.stats["portfolio_winner"] = winner
         if reduction is not None:
             result.stats["reduced_latches"] = len(system.state_vars)
@@ -359,6 +440,8 @@ def race(system: TransitionSystem, final: Expr, k: int,
                            None, k, "portfolio", seconds, stats)
     result.stats["portfolio_cancelled"] = len(loser_pids)
     if race_key is not None and winning is not None:
-        cache.put(race_key, encode_outcome(result))
+        entry = encode_outcome(result)
+        entry["invariant"] = None      # live Expr; the cache is JSON
+        cache.put(race_key, entry)
     return RaceOutcome(result, winner, method_outcomes, cancel_latency,
                        loser_pids, seconds)

@@ -33,9 +33,13 @@ logger = logging.getLogger(__name__)
 __all__ = ["BatchScheduler", "hardness_estimate"]
 
 # Relative cost of one bound-step per method, tuned on the E1 suite;
-# only the ordering matters, not the absolute values.
+# only the ordering matters, not the absolute values.  The unbounded
+# provers run a whole base-case ladder plus a proof obligation per
+# rung, so they weigh heaviest.
 _METHOD_WEIGHT = {"sat-unroll": 2.0, "sat-incremental": 2.0, "jsat": 1.0,
-                  "qbf": 6.0, "qbf-squaring": 6.0}
+                  "qbf": 6.0, "qbf-squaring": 6.0,
+                  "k-induction": 8.0, "interpolation": 10.0,
+                  "diameter": 12.0}
 
 
 def hardness_estimate(instance: Instance, method: str,
@@ -87,6 +91,7 @@ class BatchScheduler:
             semantics: str = "exact",
             method_budgets: Dict[str, Budget] | None = None,
             reduce: str = "off",
+            prover: Optional[str] = None,
             **options) -> List:
         """Parallel equivalent of ``run_matrix`` (same result order).
 
@@ -94,18 +99,33 @@ class BatchScheduler:
         payload — reduction happens inside the worker's session — and
         is part of the cache key, so reduced and unreduced runs never
         serve each other's cached traces.
+
+        ``prover`` pairs every instance's falsifier cells with one
+        unbounded-prover comparison lane (``"k-induction"`` /
+        ``"interpolation"`` / ``"diameter"``).  Prover cells always run
+        ``within`` semantics — a prover ladder cannot answer an exact-k
+        query — and a conclusive proof surfaces as ``proved`` in the
+        cell stats.
         """
-        from ..bmc.backend import fan_out_options
+        from ..bmc.backend import backend_class, fan_out_options
         from ..harness.runner import CellResult   # deferred: no cycle
         method_budgets = method_budgets or {}
+        lanes = list(methods)
+        if prover is not None:
+            if not backend_class(prover).proves_unbounded:
+                raise ValueError(
+                    f"{prover!r} is a bounded falsifier, not a prover; "
+                    f"list it in methods instead")
+            if prover not in lanes:
+                lanes.append(prover)
         # Same broadcast semantics as the serial run_matrix: each
         # method takes the keys its options class accepts; keys nobody
         # accepts raise before any worker is spawned.
-        per_method = fan_out_options(methods, options)
+        per_method = fan_out_options(lanes, options)
 
         # Method-major slot order, identical to the serial run_matrix.
         cells: List[Tuple[Instance, str, Budget | None]] = []
-        for method in methods:
+        for method in lanes:
             cell_budget = method_budgets.get(method, budget)
             for instance in instances:
                 cells.append((instance, method, cell_budget))
@@ -121,14 +141,15 @@ class BatchScheduler:
         # Manual enter/exit (same pattern as race): the span brackets
         # the whole batch without reindenting the body.
         batch_span = tracer.span("batch.run", cells=len(cells),
-                                 methods=",".join(methods))
+                                 methods=",".join(lanes))
         batch_span.__enter__()
 
         wall_start = time.perf_counter()
         for slot, (instance, method, cell_budget) in enumerate(cells):
+            cell_semantics = "within" if method == prover else semantics
             if self.cache is not None:
                 key = cell_key(instance.system, instance.final, instance.k,
-                               method, semantics, cell_budget,
+                               method, cell_semantics, cell_budget,
                                per_method[method], reduce=reduce)
                 keys[slot] = key
                 cached = self.cache.get(key)
@@ -154,12 +175,14 @@ class BatchScheduler:
         if pending:
             from .pool import pool_context
             from .race import ensure_methods_spawnable
-            ensure_methods_spawnable(methods, pool_context())
+            ensure_methods_spawnable(lanes, pool_context())
             tasks = []
             for slot in pending:
                 instance, method, cell_budget = cells[slot]
+                cell_semantics = "within" if method == prover else semantics
                 payload = make_cell_payload(instance.system, instance.final,
-                                            instance.k, method, semantics,
+                                            instance.k, method,
+                                            cell_semantics,
                                             cell_budget, per_method[method],
                                             reduce=reduce,
                                             telemetry=telemetry)
@@ -253,6 +276,8 @@ class BatchScheduler:
                 else SolveResult.UNSAT
             correct = status is want
         stats = dict(decoded["stats"])
+        if decoded["proved"]:
+            stats["proved"] = True
         if worker == "cache":
             # A hit costs (essentially) nothing this run; the original
             # run's timings must not inflate this run's attribution.
@@ -269,8 +294,9 @@ class BatchScheduler:
 
 # Per-run keys that must never be served back out of the cache: worker
 # identity and the run's own telemetry are properties of the run that
-# produced the entry, not of the query.
-_EPHEMERAL_KEYS = ("worker_pid", "trace_events", "metrics")
+# produced the entry, not of the query.  ``invariant`` is a live Expr
+# — JSON cannot hold it — so cached proofs keep only the proved flag.
+_EPHEMERAL_KEYS = ("worker_pid", "trace_events", "metrics", "invariant")
 
 
 def _jsonable(outcome: Dict[str, Any]) -> Dict[str, Any]:

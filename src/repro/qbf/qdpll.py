@@ -80,8 +80,13 @@ class QdpllSolver:
     def solve(self, budget: Budget | None = None) -> SolveResult:
         """Run the QDPLL search to completion or budget exhaustion."""
         self._budget = budget or Budget.unlimited()
-        self._deadline = (time.monotonic() + self._budget.max_seconds
-                          if self._budget.max_seconds is not None else None)
+        if self._budget.deadline is not None:
+            # An armed budget shares one deadline across calls.
+            self._deadline = self._budget.deadline
+        else:
+            self._deadline = (time.monotonic() + self._budget.max_seconds
+                              if self._budget.max_seconds is not None
+                              else None)
         self._assign.clear()
         self._trail.clear()
         if any(len(c) == 0 for c in self._clauses):

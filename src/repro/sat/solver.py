@@ -654,12 +654,26 @@ class CdclSolver:
         """Uninstrumented body of :meth:`solve`."""
         self.stats.solve_calls += 1
         self._budget = budget or Budget.unlimited()
-        self._deadline = (time.monotonic() + self._budget.max_seconds
-                          if self._budget.max_seconds is not None else None)
+        # An armed budget (Budget.arm) carries one shared deadline
+        # across every call that consumes it — the deepening-loop
+        # contract.  Unarmed budgets keep the per-call window.
+        if self._budget.deadline is not None:
+            self._deadline = self._budget.deadline
+        else:
+            self._deadline = (time.monotonic() + self._budget.max_seconds
+                              if self._budget.max_seconds is not None
+                              else None)
         self._run_conflicts = 0
         self._run_decisions = 0
         self._model = []
         self._core = []
+        # An already-expired deadline must stop the call *here*: easy
+        # queries can be decided purely by level-0 propagation, which
+        # never reaches the in-search budget checks.
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self._budget = Budget.unlimited()
+            self._deadline = None
+            return SolveResult.UNKNOWN
         self._cancel_until(0)
         if not self.ok:
             return SolveResult.UNSAT

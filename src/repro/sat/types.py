@@ -9,7 +9,8 @@ negates and ``lit >> 1`` recovers the variable.
 from __future__ import annotations
 
 import enum
-from typing import List
+import time
+from typing import List, Optional
 
 __all__ = ["SolveResult", "Budget", "BudgetExceeded", "to_internal",
            "from_internal", "Clause", "UNDEF", "luby"]
@@ -50,6 +51,14 @@ class Budget:
     Any limit set to None is unlimited.  ``max_literals`` caps the total
     number of literals resident in the clause database — the analogue of
     the paper's 1 GB memory limit.
+
+    ``max_seconds`` by itself is a *per-call* allowance: every solver
+    call measures its own slice, so a deepening loop that reuses one
+    budget grants each of its O(max_bound) SAT calls a fresh full
+    window.  Call :meth:`arm` to pin the wall-clock limit to one shared
+    deadline instead — armed once, consumed across every call that
+    carries this budget object (the unbounded provers and
+    ``verify_unbounded`` arm their budget at loop entry).
     """
 
     def __init__(self,
@@ -63,10 +72,28 @@ class Budget:
         self.max_propagations = max_propagations
         self.max_seconds = max_seconds
         self.max_literals = max_literals
+        self.deadline: Optional[float] = None
 
     @staticmethod
     def unlimited() -> "Budget":
         return Budget()
+
+    def arm(self) -> "Budget":
+        """Fix the wall-clock limit to one shared deadline, now.
+
+        Idempotent: the first call stamps ``deadline = now +
+        max_seconds``; later calls (and every solver call consuming
+        this object) see the same instant.  A budget without
+        ``max_seconds`` arms to nothing.  Returns self for chaining.
+        """
+        if self.deadline is None and self.max_seconds is not None:
+            self.deadline = time.monotonic() + self.max_seconds
+        return self
+
+    def expired(self) -> bool:
+        """True once an armed deadline has passed (False when unarmed)."""
+        return self.deadline is not None \
+            and time.monotonic() > self.deadline
 
     def scaled(self, factor: float) -> "Budget":
         """A copy with all countable limits multiplied by ``factor``."""

@@ -115,12 +115,22 @@ class PropertyResult:
         general bounded-LTL witnesses).
     seconds, stats:
         Wall time and solver/encoding counters of the search.
+    proved:
+        True when a paired unbounded prover closed a proof: the
+        verdict then holds for *all* depths, not just up to k, and
+        ``conclusive`` is True without a certificate path.
+    invariant:
+        The inductive invariant backing a proof when the prover
+        produced one (interpolation does; k-induction and diameter
+        prove without an explicit invariant).  Expressed over the
+        reduced cone's vocabulary when reduction was active.
     """
 
     def __init__(self, name: str, prop: Property, verdict: Verdict,
                  conclusive: bool, status: SolveResult, k: int,
                  trace: Optional[Trace], seconds: float,
-                 stats: Dict[str, int]) -> None:
+                 stats: Dict[str, int], proved: bool = False,
+                 invariant: Optional[Expr] = None) -> None:
         self.name = name
         self.prop = prop
         self.verdict = verdict
@@ -130,9 +140,16 @@ class PropertyResult:
         self.trace = trace
         self.seconds = seconds
         self.stats = stats
+        self.proved = proved
+        self.invariant = invariant
 
     def __repr__(self) -> str:  # pragma: no cover
-        kind = "certified" if self.conclusive else f"bounded k={self.k}"
+        if self.proved:
+            kind = "proved"
+        elif self.conclusive:
+            kind = "certified"
+        else:
+            kind = f"bounded k={self.k}"
         return (f"PropertyResult({self.name!r}, {self.verdict.name}, "
                 f"{kind}, {self.seconds * 1e3:.1f} ms)")
 
@@ -319,6 +336,18 @@ class PropertyChecker:
     ``"auto"`` (the default :func:`repro.reduce.default_pipeline`) or
     a :class:`repro.reduce.Pipeline` instance.
 
+    ``prover`` pairs every reachability-style property with one
+    unbounded prover backend (``"k-induction"`` / ``"interpolation"``
+    / ``"diameter"``): when a bounded search comes back UNSAT — "no
+    counterexample up to k" — the prover is asked to close the gap up
+    to ``prover_max_k`` on the property's own cone, and a successful
+    proof upgrades the bounded verdict to a *conclusive* one
+    (``proved=True``, with the invariant validated against the cone).
+    Prover state persists per property, so sweeps and repeated calls
+    reuse the prover's base-case ladder and step solver.  Properties
+    with no single-target reachability form (general bounded-LTL) are
+    never escalated.
+
     Witness traces are validated in debug mode (``__debug__``): the
     search formula must hold on the witness under the bounded path
     semantics (:func:`repro.spec.eval.holds_on_path`) over the cone it
@@ -331,17 +360,29 @@ class PropertyChecker:
                  properties: Optional[Mapping[str, Property]] = None,
                  purge_interval: int = 4,
                  validate: Optional[bool] = None,
-                 reduce: object = "off") -> None:
+                 reduce: object = "off",
+                 prover: Optional[str] = None,
+                 prover_max_k: int = 64) -> None:
         from ..reduce import resolve_reduce
+        if prover is not None:
+            from ..bmc.backend import backend_class  # deferred: bmc imports spec
+            if not backend_class(prover).proves_unbounded:
+                raise ValueError(
+                    f"{prover!r} is a bounded falsifier, not a prover; "
+                    f"pick a backend with proves_unbounded=True "
+                    f"(k-induction / interpolation / diameter)")
         self.system = system
         self.properties = normalize_properties(properties)
         self.purge_interval = purge_interval
         self.validate = __debug__ if validate is None else validate
         self.pipeline = resolve_reduce(reduce)
+        self.prover = prover
+        self.prover_max_k = prover_max_k
         self._cones: Dict[tuple, _Cone] = {}
         self._assignments: Dict[str, _Cone] = {}
         self._mapped: Dict[str, Property] = {}
         self._reductions_by_support: Dict[frozenset, object] = {}
+        self._provers: Dict[str, object] = {}
         for name, prop in self.properties.items():
             self._check_support(name, prop)
 
@@ -361,14 +402,18 @@ class PropertyChecker:
         self.properties[name] = prop
         self._assignments.pop(name, None)
         self._mapped.pop(name, None)
+        self._provers.pop(name, None)
 
     def close(self) -> None:
         """Drop every cone's solver state."""
         for cone in self._cones.values():
             cone.close()
+        for backend in self._provers.values():
+            backend.close()
         self._cones.clear()
         self._assignments.clear()
         self._mapped.clear()
+        self._provers.clear()
 
     # ------------------------------------------------------------------
     def _cone_for(self, name: str) -> _Cone:
@@ -430,7 +475,7 @@ class PropertyChecker:
               budget: Budget | None = None) -> PropertyResult:
         """Check one registered property at bound k (within-k search)."""
         prop = self._select([name])[name]
-        return self._query(name, prop, k, budget)
+        return self._query(name, prop, k, budget, escalate=True)
 
     def check_all(self, k: int, names: Optional[Sequence[str]] = None,
                   budget: Budget | None = None,
@@ -455,7 +500,7 @@ class PropertyChecker:
                                         None, 0.0, {})
             else:
                 result = self._query(name, prop, k,
-                                     tracker.remaining())
+                                     tracker.remaining(), escalate=True)
                 tracker.charge(
                     conflicts=result.stats.get("solver_conflicts", 0),
                     decisions=result.stats.get("solver_decisions", 0),
@@ -513,29 +558,87 @@ class PropertyChecker:
                     out[name] = result
                     del pending[name]
         for name, prop in pending.items():
-            # Swept every bound without a witness: the bounded verdict.
-            out[name] = self._bounded_verdict(name, prop, max_k)
+            # Swept every bound without a witness: the bounded verdict,
+            # upgraded to a conclusive proof when the paired prover
+            # closes one within the remaining budget.
+            out[name] = self._bounded_verdict(
+                name, prop, max_k, tracker.remaining(),
+                escalate=not tracker.exhausted())
         return {name: out[name] for name in selected}
 
     # ------------------------------------------------------------------
-    def _bounded_verdict(self, name: str, prop: Property,
-                         k: int) -> PropertyResult:
+    def _prover_for(self, name: str):
+        """The paired prover backend for property ``name`` (cached:
+        its base-case ladder and step solver persist across calls)."""
+        backend = self._provers.get(name)
+        if backend is None:
+            from ..bmc.backend import create_backend  # deferred: bmc imports spec
+            cone = self._cone_for(name)
+            target = reachability_target(self._mapped[name])
+            backend = create_backend(self.prover, cone.system, target)
+            self._provers[name] = backend
+        return backend
+
+    def _escalate(self, name: str, k: int, budget: Budget | None):
+        """After a bounded UNSAT at ``k``: ask the paired prover to
+        close an unbounded proof on the property's cone.
+
+        Returns the prover's :class:`~repro.bmc.backend.BmcResult`
+        when it proved the target unreachable (invariant validated
+        against the cone when one is shipped), else None — the caller
+        keeps its bounded verdict.  A prover SAT is a witness *deeper*
+        than the queried bound; it never overrides the bounded answer
+        here (the bounded search already settled depths <= k).
+        """
+        if self.prover is None:
+            return None
+        target = reachability_target(self._mapped[name])
+        if target is None:
+            return None       # general bounded LTL: no prover form
+        cone = self._cone_for(name)
+        result = self._prover_for(name).check(
+            max(k, self.prover_max_k), semantics="within", budget=budget)
+        if not (result.status is SolveResult.UNSAT and result.proved):
+            return None
+        if self.validate and result.invariant is not None:
+            from ..bmc.provers import validate_invariant  # deferred
+            if not validate_invariant(cone.system, target,
+                                      result.invariant):
+                return None
+        return result
+
+    def _bounded_verdict(self, name: str, prop: Property, k: int,
+                         budget: Budget | None = None,
+                         escalate: bool = True) -> PropertyResult:
         _, universal = search_plan(prop)
         verdict = Verdict.HOLDS if universal else Verdict.VIOLATED
+        if escalate:
+            proof = self._escalate(name, k, budget)
+            if proof is not None:
+                stats = dict(proof.stats)
+                stats["prover"] = self.prover
+                return PropertyResult(name, prop, verdict, True,
+                                      SolveResult.UNSAT, k, None,
+                                      proof.seconds, stats, proved=True,
+                                      invariant=proof.invariant)
         return PropertyResult(name, prop, verdict, False,
                               SolveResult.UNSAT, k, None, 0.0, {})
 
     def _query(self, name: str, prop: Property, k: int,
-               budget: Budget | None) -> PropertyResult:
+               budget: Budget | None,
+               escalate: bool = False) -> PropertyResult:
         with current_tracer().span("spec.property", property=name,
                                    k=k) as sp:
-            result = self._query_body(name, prop, k, budget)
+            result = self._query_body(name, prop, k, budget, escalate)
             sp.set(status=result.status.name,
                    verdict=result.verdict.name)
+            if result.proved:
+                sp.set(proved=True)
         return result
 
     def _query_body(self, name: str, prop: Property, k: int,
-                    budget: Budget | None) -> PropertyResult:
+                    budget: Budget | None,
+                    escalate: bool = False) -> PropertyResult:
         """Uninstrumented body of :meth:`_query`."""
         start = time.perf_counter()
         cone = self._cone_for(name)
@@ -587,7 +690,8 @@ class PropertyChecker:
         if not reduction.is_identity:
             stats["latches_before"] = len(self.system.state_vars)
             stats["latches_after"] = len(system.state_vars)
-        seconds = time.perf_counter() - start
+        proved = False
+        invariant = None
         if status is SolveResult.UNKNOWN:
             verdict, conclusive = Verdict.UNKNOWN, False
         elif status is SolveResult.SAT:
@@ -596,8 +700,24 @@ class PropertyChecker:
         else:
             verdict = Verdict.HOLDS if universal else Verdict.VIOLATED
             conclusive = False
+            if escalate:
+                proof = self._escalate(name, k, budget)
+                if proof is not None:
+                    conclusive = True
+                    proved = True
+                    invariant = proof.invariant
+                    stats["prover"] = self.prover
+                    stats["prover_seconds"] = proof.seconds
+                    # Fold the prover's solver work into the shared
+                    # counters so batch budgets charge for it.
+                    for counter in ("solver_conflicts", "solver_decisions",
+                                    "solver_propagations"):
+                        stats[counter] = (stats.get(counter, 0)
+                                          + proof.stats.get(counter, 0))
+        seconds = time.perf_counter() - start
         return PropertyResult(name, prop, verdict, conclusive, status, k,
-                              trace, seconds, stats)
+                              trace, seconds, stats, proved=proved,
+                              invariant=invariant)
 
     def _validate_witness(self, name: str, formula: Property,
                           trace: Trace,

@@ -29,7 +29,8 @@ from repro.sat.types import Budget, SolveResult
 from repro.system.oracle import ExplicitOracle
 
 BUILTINS = ("sat-unroll", "sat-incremental", "qbf", "qbf-squaring",
-            "jsat", "portfolio")
+            "jsat", "k-induction", "interpolation", "diameter",
+            "portfolio")
 
 
 # ----------------------------------------------------------------------

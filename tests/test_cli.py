@@ -140,3 +140,52 @@ def test_check_command_unknown_variable(capsys):
 def test_check_command_needs_one_subject(capsys):
     assert main(["check"]) == 1
     assert "exactly one" in capsys.readouterr().err
+
+
+def test_check_prover_proves_and_require_proof_passes(capsys):
+    # An inductive invariant the prover closes: exit 0 even under
+    # --require-proof, and the report says "proved" not "bounded".
+    code = main(["check", "counter",
+                 "--spec", "taut := G (c0 | !c0)", "-k", "4",
+                 "--prover", "k-induction", "--require-proof"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "proved" in out
+    assert "(bounded)" not in out
+
+
+def test_check_require_proof_downgrades_bounded_holds(capsys):
+    # Without a prover the same property only holds up to k: the
+    # verdict is printed with the bounded qualifier and
+    # --require-proof turns the exit code into 2.
+    code = main(["check", "counter",
+                 "--spec", "taut := G (c0 | !c0)", "-k", "4",
+                 "--require-proof"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "holds up to 4 (bounded)" in captured.out
+    assert "--require-proof" in captured.err
+
+
+def test_check_bounded_holds_passes_without_require_proof(capsys):
+    code = main(["check", "counter",
+                 "--spec", "taut := G (c0 | !c0)", "-k", "4"])
+    assert code == 0
+    assert "holds up to 4 (bounded)" in capsys.readouterr().out
+
+
+def test_check_violation_outranks_require_proof(capsys):
+    # VIOLATED exits 1 even when --require-proof would also fire.
+    code = main(["check", "counter", "--spec", "EF (c0 & c1)",
+                 "--spec", "bad := G !(c0 & c1)", "-k", "5",
+                 "--require-proof"])
+    assert code == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_backends_table_lists_provers(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    assert "proves" in out
+    for name in ("k-induction", "interpolation", "diameter"):
+        assert name in out

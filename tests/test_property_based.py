@@ -13,7 +13,7 @@ import random
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.bmc import check_reachability
+from repro.bmc import BmcSession
 from repro.logic import expr as ex
 from repro.logic.cnf import CNF
 from repro.logic.tseitin import expr_to_cnf
@@ -130,6 +130,12 @@ class TestQbfProperties:
         assert ExpansionSolver(pcnf).solve() is want
 
 
+def _check(system, final, k, method, semantics="exact"):
+    """Session-API reachability query (check_reachability is deprecated)."""
+    with BmcSession(system, properties={"target": final}) as session:
+        return session.check(k, method=method, semantics=semantics)
+
+
 class TestBmcProperties:
     @given(st.integers(0, 10_000), st.integers(0, 5))
     @settings(max_examples=25, **COMMON)
@@ -142,7 +148,7 @@ class TestBmcProperties:
         expected = oracle.reachable_in_exactly(final, k)
         want = SolveResult.SAT if expected else SolveResult.UNSAT
         for method in ("sat-unroll", "jsat"):
-            result = check_reachability(system, final, k, method)
+            result = _check(system, final, k, method)
             assert result.status is want
             if result.status is SolveResult.SAT:
                 result.trace.validate(system, final)
@@ -158,8 +164,8 @@ class TestBmcProperties:
         expected = oracle.reachable_within(final, k)
         want = SolveResult.SAT if expected else SolveResult.UNSAT
         for method in ("sat-unroll", "jsat"):
-            result = check_reachability(system, final, k, method,
-                                        semantics="within")
+            result = _check(system, final, k, method,
+                            semantics="within")
             assert result.status is want
 
     @given(st.integers(0, 10_000))
@@ -171,8 +177,6 @@ class TestBmcProperties:
         final = random_predicate(rng, system)
         looped = system.with_self_loops()
         for k in (1, 3):
-            a = check_reachability(system, final, k, "jsat",
-                                   semantics="within")
-            b = check_reachability(looped, final, k, "jsat",
-                                   semantics="exact")
+            a = _check(system, final, k, "jsat", semantics="within")
+            b = _check(looped, final, k, "jsat", semantics="exact")
             assert a.status is b.status
