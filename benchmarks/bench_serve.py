@@ -1,0 +1,110 @@
+"""Serve daemon benchmarks: warm-daemon vs cold-CLI repeated checks.
+
+The daemon's reason to exist is amortisation: a long-lived process
+keeps the interpreter, the built model suite, the forked worker pool
+and the result cache warm, so the Nth identical submission costs a
+socket round-trip instead of a full process start.  This benchmark
+measures exactly that — ``repro submit`` against a warm daemon vs a
+fresh ``python -m repro bmc`` subprocess per check — and guards the
+headline claim: **warm repeated submissions are at least 5x faster
+than cold CLI runs.**
+
+Two latency classes are reported:
+
+* ``warm_first`` — the first submission: the daemon still has to
+  solve, but suite build + fork cost were already paid at boot.
+* ``warm_repeat`` — repeated identical submissions: answered from the
+  result cache via the dedup key, never touching a worker.
+"""
+
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.serve import ServeClient, ServeDaemon
+
+FAMILY, K, METHOD = "counter", 9, "jsat"
+REPEATS = 5
+SPEEDUP_GUARD = 5.0
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def _cold_once() -> float:
+    """One full ``python -m repro bmc`` subprocess, wall seconds."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "bmc", FAMILY, "-k", str(K),
+         "--method", METHOD],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        check=True)
+    return time.perf_counter() - start
+
+
+def _measure():
+    cold = [_cold_once() for _ in range(REPEATS)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "repro.sock")
+        daemon = ServeDaemon(socket_path=sock, jobs=1)
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while not os.path.exists(sock):
+            assert time.time() < deadline, "daemon never bound"
+            time.sleep(0.02)
+        try:
+            with ServeClient(socket_path=sock) as client:
+                start = time.perf_counter()
+                first = client.run(FAMILY, K, method=METHOD)
+                warm_first = time.perf_counter() - start
+                assert first["result"]["status"] == "SAT"
+                warm = []
+                for _ in range(REPEATS):
+                    start = time.perf_counter()
+                    done = client.run(FAMILY, K, method=METHOD)
+                    warm.append(time.perf_counter() - start)
+                    assert done["result"]["status"] == "SAT"
+                    assert done.get("cached"), \
+                        "repeat submission missed the result cache"
+                client.shutdown()
+        finally:
+            thread.join(timeout=20)
+    return cold, warm_first, warm
+
+
+def bench_serve_warm_vs_cold(benchmark):
+    """Warm repeated submissions beat cold CLI runs by >= 5x."""
+    cold, warm_first, warm = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+    cold_mean = statistics.mean(cold)
+    warm_mean = statistics.mean(warm)
+    speedup = cold_mean / warm_mean if warm_mean > 0 else float("inf")
+    print()
+    print(f"{FAMILY} k={K} {METHOD}, {REPEATS} repetitions:")
+    print(f"  cold CLI (per run) : {cold_mean * 1e3:8.1f} ms")
+    print(f"  warm first submit  : {warm_first * 1e3:8.1f} ms")
+    print(f"  warm repeat (mean) : {warm_mean * 1e3:8.1f} ms")
+    print(f"  warm repeat speedup: {speedup:8.1f}x "
+          f"(guard >= {SPEEDUP_GUARD:.0f}x)")
+    try:
+        import _emit
+        _emit.record(cold_s=cold_mean, warm_first_s=warm_first,
+                     warm_repeat_s=warm_mean, speedup=speedup,
+                     guard_speedup=SPEEDUP_GUARD)
+    except ImportError:      # pytest run without benchmarks/ on path
+        pass
+    assert speedup >= SPEEDUP_GUARD, \
+        f"warm daemon only {speedup:.1f}x faster than cold CLI"
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

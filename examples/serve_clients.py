@@ -1,0 +1,139 @@
+"""Drive a ``repro serve`` daemon with concurrent clients.
+
+Usage::
+
+    repro serve --socket /tmp/repro.sock &
+    PYTHONPATH=src python examples/serve_clients.py /tmp/repro.sock
+
+With no argument (or a socket path nothing is listening on) the
+script boots its own daemon for the duration of the run.  Four
+threads each open their own connection and submit real checks;
+alongside them the script validates the protocol's error behaviour
+(did-you-mean hints on typos), streams a sweep's per-bound progress,
+and exercises coalescing by submitting the same query from two
+clients at once.  Exits non-zero if any response violates the
+documented schema — CI uses this as the daemon smoke test.
+"""
+
+import json
+import os
+import socket
+import sys
+import tempfile
+import threading
+import time
+
+from repro.serve import ServeClient, ServeDaemon, ServeError
+
+CHECKS = [("counter", 9), ("gray", 6), ("ring", 4), ("lfsr", 5)]
+FAILURES = []
+
+
+def _client_worker(endpoint, family, k):
+    try:
+        with ServeClient(socket_path=endpoint) as client:
+            done = client.run(family, k, method="jsat")
+            result = done["result"]
+            for field in ("status", "k", "method", "seconds", "stats"):
+                assert field in result, f"result missing {field!r}"
+            assert done["state"] == "done", done
+            assert result["status"] in ("SAT", "UNSAT", "UNKNOWN")
+    except Exception as exc:  # noqa: BLE001 - collect, report, fail
+        FAILURES.append(f"{family} k={k}: {type(exc).__name__}: {exc}")
+
+
+def _check_validation(endpoint):
+    """Typos must come back as errors with did-you-mean hints."""
+    raw = socket.socket(socket.AF_UNIX)
+    raw.connect(endpoint)
+    try:
+        raw.sendall(b'{"op": "sumbit", "id": 1}\n')
+        reply = json.loads(raw.makefile("rb").readline())
+        assert reply["ok"] is False, reply
+        assert "submit" in reply["error"], reply
+    finally:
+        raw.close()
+    with ServeClient(socket_path=endpoint) as client:
+        try:
+            client.request("submit", family="counter", k=3,
+                           budget={"max_conflits": 5})
+        except ServeError as exc:
+            assert "max_conflicts" in str(exc), exc
+        else:
+            raise AssertionError("bad budget key was accepted")
+
+
+def _check_streaming(endpoint):
+    """A sweep streams one bound event per rung, in order."""
+    bounds = []
+    with ServeClient(socket_path=endpoint) as client:
+        done = client.run("counter", 9, kind="sweep",
+                          method="sat-incremental",
+                          on_bound=lambda e: bounds.append(e["k"]))
+    assert done["result"]["status"] == "SAT", done
+    assert bounds == sorted(bounds) and len(bounds) >= 1, bounds
+
+
+def _check_coalescing(endpoint):
+    """Identical concurrent submissions share one execution."""
+    with ServeClient(socket_path=endpoint) as a, \
+            ServeClient(socket_path=endpoint) as b:
+        ack_a = a.submit("gray", k=4, method="sat-unroll")
+        ack_b = b.submit("gray", k=4, method="sat-unroll")
+        assert ack_b["job"] == ack_a["job"] or ack_b.get("cached"), \
+            (ack_a, ack_b)
+        done_a = a.wait(ack_a)
+        done_b = b.wait(ack_b)
+        assert done_a["result"]["status"] == done_b["result"]["status"]
+
+
+def _ensure_daemon(endpoint):
+    """Boot a daemon of our own unless something already listens."""
+    if os.path.exists(endpoint):
+        return endpoint, None
+    tmp = tempfile.mkdtemp(prefix="repro-serve-")
+    endpoint = os.path.join(tmp, "repro.sock")
+    daemon = ServeDaemon(socket_path=endpoint, jobs=2)
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    deadline = time.time() + 10
+    while not os.path.exists(endpoint):
+        assert time.time() < deadline, "daemon never bound its socket"
+        time.sleep(0.02)
+    return endpoint, thread
+
+
+def main() -> int:
+    endpoint = sys.argv[1] if len(sys.argv) > 1 else "/tmp/repro.sock"
+    endpoint, own_daemon = _ensure_daemon(endpoint)
+    threads = [threading.Thread(target=_client_worker,
+                                args=(endpoint, family, k))
+               for family, k in CHECKS]
+    for t in threads:
+        t.start()
+    _check_validation(endpoint)
+    _check_streaming(endpoint)
+    _check_coalescing(endpoint)
+    for t in threads:
+        t.join(timeout=120)
+        if t.is_alive():
+            FAILURES.append("client thread wedged")
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    with ServeClient(socket_path=endpoint) as client:
+        stats = client.stats()
+        if own_daemon is not None:
+            client.shutdown()
+    if own_daemon is not None:
+        own_daemon.join(timeout=20)
+    print(f"{len(CHECKS)} concurrent clients ok; daemon served "
+          f"{stats['jobs']['requests']} requests, "
+          f"{stats['jobs']['completed']} jobs completed, "
+          f"{stats['jobs']['coalesced']} coalesced")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

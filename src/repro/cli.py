@@ -28,6 +28,15 @@ Subcommands
     Run a (suite × methods) matrix across a worker pool
     (``--jobs N``), optionally memoized on disk (``--cache DIR``);
     prints the solved-counts table plus per-worker attribution.
+``serve`` / ``submit`` / ``status`` / ``cancel``
+    BMC as a service.  ``serve --socket PATH`` (or ``--port N``) runs
+    the long-lived daemon: a warm worker pool plus result cache behind
+    a newline-delimited-JSON protocol with priority queueing,
+    per-client fairness, cooperative cancellation and streamed sweep
+    progress (see docs/SERVICE.md).  ``submit FAMILY -k N [--wait
+    | --follow]`` sends one job, ``status [JOB]`` inspects a job or
+    the daemon's stats, ``cancel JOB`` frees the job's worker without
+    killing it.
 ``backends``
     List the backend registry: every registered decision method with
     its capabilities and typed options.  Custom backends registered
@@ -50,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 import time
 from typing import List, Optional
@@ -440,6 +450,155 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serve / submit / status / cancel — the daemon and its clients
+# ----------------------------------------------------------------------
+def _endpoint_error(args: argparse.Namespace) -> bool:
+    if (args.socket is None) == (args.port is None):
+        print("pick exactly one endpoint: --socket PATH or --port N",
+              file=sys.stderr)
+        return True
+    return False
+
+
+def _connect_from_args(args: argparse.Namespace):
+    from .serve import ServeClient
+    try:
+        return ServeClient(socket_path=args.socket, host=args.host,
+                           port=args.port)
+    except (ConnectionError, FileNotFoundError, OSError) as err:
+        endpoint = args.socket or f"{args.host}:{args.port}"
+        print(f"cannot reach daemon at {endpoint}: {err}",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeDaemon
+    if _endpoint_error(args):
+        return 1
+    daemon = ServeDaemon(socket_path=args.socket, host=args.host,
+                         port=args.port, jobs=getattr(args, "jobs", None),
+                         cache_dir=args.cache,
+                         wall_timeout=args.wall_timeout,
+                         max_queued=args.max_queued)
+    endpoint = args.socket or f"{args.host}:{args.port}"
+    print(f"repro serve: listening on {endpoint} "
+          f"(Ctrl-C or the shutdown op to stop)", file=sys.stderr)
+    daemon.run()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+    if _endpoint_error(args):
+        return 1
+    client = _connect_from_args(args)
+    if client is None:
+        return 1
+    budget = None
+    if args.timeout is not None or args.conflicts is not None:
+        budget = {}
+        if args.timeout is not None:
+            budget["max_seconds"] = args.timeout
+        if args.conflicts is not None:
+            budget["max_conflicts"] = args.conflicts
+    follow = args.follow
+    wait = args.wait or follow
+    kind = "sweep" if args.sweep else "check"
+    with client:
+        try:
+            ack = client.submit(
+                args.family, k=args.k, kind=kind, method=args.method,
+                semantics=args.semantics, budget=budget,
+                reduce=_reduce_from_args(args), priority=args.priority,
+                deadline=args.deadline, subscribe=follow)
+        except ServeError as err:
+            print(f"rejected: {err}", file=sys.stderr)
+            return 1
+        state = ack.get("state", "?")
+        extra = " (cached)" if ack.get("cached") \
+            else " (coalesced)" if ack.get("coalesced") else ""
+        print(f"job {ack['job']}: {state}{extra}")
+        if not wait and "result" not in ack:
+            return 0
+
+        def on_bound(event) -> None:
+            print(f"  k={event['k']:<3d} {event['status']:8s} "
+                  f"{event['seconds'] * 1e3:8.1f} ms", flush=True)
+        done = client.wait(ack, on_bound=on_bound if follow else None)
+    state = done["state"]
+    result = done.get("result") or {}
+    if state != "done":
+        print(f"job {done['job']}: {state}"
+              + (f" ({result.get('error')})" if result.get("error")
+                 else ""))
+        return 3
+    print(f"{args.family} (k={result.get('k')}, {args.method}): "
+          f"{result.get('status')} in {result.get('seconds', 0.0):.3f} s")
+    for key, value in sorted((result.get("stats") or {}).items()):
+        print(f"  {key} = {value}")
+    trace = result.get("trace")
+    if trace is not None:
+        from .system.trace import Trace
+        states = sorted(trace["states"][0]) if trace["states"] else []
+        print(Trace(trace["states"], trace["inputs"]).format(states))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .harness.report import format_serve_stats
+    from .serve import ServeError
+    if _endpoint_error(args):
+        return 1
+    client = _connect_from_args(args)
+    if client is None:
+        return 1
+    with client:
+        try:
+            if args.job is None:
+                print(format_serve_stats(client.stats()))
+                return 0
+            view = client.status(args.job)
+        except ServeError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+    print(f"job {view['job']}: {view['state']}  "
+          f"({view['family']} {view['kind']} k={view['k']} "
+          f"{view['method']}, waiters={view['waiters']})")
+    result = view.get("result")
+    if result:
+        print(f"  {result.get('status')} in "
+              f"{result.get('seconds', 0.0):.3f} s")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+    if _endpoint_error(args):
+        return 1
+    client = _connect_from_args(args)
+    if client is None:
+        return 1
+    with client:
+        try:
+            view = client.cancel(args.job)
+        except ServeError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+    print(f"job {view['job']}: {view['state']}")
+    return 0
+
+
+def _add_endpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="unix-socket endpoint of the daemon")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP endpoint of the daemon")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP host (with --port)")
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     # Mirror of the global --jobs so it is accepted both before and
     # after the subcommand; SUPPRESS keeps a pre-subcommand value.
@@ -593,6 +752,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_batch)
 
+    p = sub.add_parser("serve",
+                       help="run the long-lived verification daemon")
+    _add_endpoint_flags(p)
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="on-disk result cache directory (default: "
+                        "in-memory, lost at daemon exit)")
+    p.add_argument("--wall-timeout", type=float, default=None,
+                   help="hard per-job wall-clock limit enforced by "
+                        "the pool (kill + respawn)")
+    p.add_argument("--max-queued", type=int, default=16,
+                   help="per-client active-job budget")
+    _add_jobs_flag(p)
+    _add_telemetry_flags(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running daemon")
+    p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
+    p.add_argument("-k", type=int, required=True,
+                   help="bound (max bound with --sweep)")
+    p.add_argument("--method", default="jsat", choices=ALL_METHODS,
+                   help="decision method")
+    p.add_argument("--semantics", choices=("exact", "within"),
+                   default="exact")
+    p.add_argument("--sweep", action="store_true",
+                   help="sweep bounds 0..k instead of one check")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority (higher runs first)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="evict the job if still queued after this "
+                        "many seconds")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print "
+                        "its result")
+    p.add_argument("--follow", action="store_true",
+                   help="stream per-bound progress (implies --wait)")
+    _add_endpoint_flags(p)
+    _add_reduce_flag(p)
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status",
+                       help="query a job, or daemon stats without "
+                            "a job id")
+    p.add_argument("job", nargs="?", default=None)
+    _add_endpoint_flags(p)
+    p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a submitted job")
+    p.add_argument("job")
+    _add_endpoint_flags(p)
+    p.set_defaults(fn=_cmd_cancel)
+
     p = sub.add_parser("experiment", help="regenerate an evaluation table")
     p.add_argument("which", choices=[f"e{i}" for i in range(1, 9)])
     p.add_argument("--scale", type=float, default=0.2,
@@ -633,6 +844,12 @@ def main(argv: List[str] | None = None) -> int:
         prev_metrics = set_metrics(registry)
     try:
         status = args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer closed (e.g. `repro submit --follow |
+        # head`).  Reopen stdout on devnull so the interpreter's exit
+        # flush does not raise again, and exit like a killed pipe.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
     finally:
         if tracer is not None:
             set_tracer(prev_tracer)

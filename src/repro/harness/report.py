@@ -15,7 +15,7 @@ from .runner import CellResult, PropertyCellResult
 __all__ = ["format_table", "format_solved_counts", "format_per_family",
            "format_growth", "format_worker_attribution", "format_sweep",
            "format_property_results", "format_reduction",
-           "format_metrics"]
+           "format_metrics", "format_serve_stats"]
 
 
 def format_metrics(snapshot: Mapping[str, Mapping[str, object]]) -> str:
@@ -214,6 +214,38 @@ def format_sweep(result: SweepResult) -> str:
         footer = f"no counterexample within k<={result.max_k} " \
                  f"({result.status.name})"
     return f"{table}\n{footer} — total {result.seconds * 1e3:.1f} ms"
+
+
+def format_serve_stats(stats: Mapping[str, object]) -> str:
+    """Render the serve daemon's ``stats`` endpoint as a report.
+
+    ``stats`` is the dict returned by
+    :meth:`repro.serve.client.ServeClient.stats`: uptime plus live
+    gauges, the lifetime job counters, and the cache / pool
+    attribution.
+    """
+    lines = [
+        f"uptime: {float(stats['uptime_seconds']):.1f} s   "
+        f"workers: {stats['workers']}   clients: {stats['clients']}",
+        f"queue depth: {stats['queue_depth']}   "
+        f"inflight: {stats['inflight']}",
+    ]
+    jobs = stats.get("jobs") or {}
+    if jobs:
+        headers = ["counter", "count"]
+        rows = [[name, jobs[name]] for name in sorted(jobs)]
+        lines.append(format_table(headers, rows))
+    cache = stats.get("cache") or {}
+    if cache:
+        lines.append(f"cache: {cache['hits']} hits / "
+                     f"{cache['misses']} misses / "
+                     f"{cache['stores']} stores "
+                     f"({cache['entries']} entries)")
+    pool = stats.get("pool") or {}
+    if pool:
+        lines.append(f"pool: {pool['cancelled']} cancelled, "
+                     f"{pool['respawns']} respawns")
+    return "\n".join(lines)
 
 
 def format_growth(table: Mapping[str, Sequence[Mapping[str, int]]],

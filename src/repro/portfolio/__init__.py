@@ -17,10 +17,11 @@ Layers (bottom up):
   (``run_matrix(..., jobs=N)`` and the ``repro batch`` CLI).
 """
 
-from .cache import ResultCache, cell_key, fingerprint_expr, fingerprint_system
+from .cache import (MemoryCache, ResultCache, cell_key, fingerprint_expr,
+                    fingerprint_system)
 from .ipc import (budget_from_dict, budget_to_dict, decode_outcome,
-                  encode_outcome, execute_cell, make_cell_payload,
-                  outcome_to_result)
+                  encode_outcome, encode_sweep_outcome, execute_cell,
+                  make_cell_payload, outcome_to_result)
 from .pool import Task, WorkerPool, default_jobs
 from .race import DEFAULT_RACE_METHODS, RaceOutcome, race
 from .scheduler import BatchScheduler, hardness_estimate
@@ -29,8 +30,9 @@ __all__ = [
     "WorkerPool", "Task", "default_jobs",
     "race", "RaceOutcome", "DEFAULT_RACE_METHODS",
     "BatchScheduler", "hardness_estimate",
-    "ResultCache", "cell_key", "fingerprint_expr", "fingerprint_system",
+    "ResultCache", "MemoryCache", "cell_key", "fingerprint_expr",
+    "fingerprint_system",
     "make_cell_payload", "execute_cell", "encode_outcome",
-    "decode_outcome", "outcome_to_result", "budget_to_dict",
-    "budget_from_dict",
+    "encode_sweep_outcome", "decode_outcome", "outcome_to_result",
+    "budget_to_dict", "budget_from_dict",
 ]

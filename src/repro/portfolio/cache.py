@@ -29,7 +29,7 @@ from ..telemetry.metrics import current_metrics
 from .ipc import budget_to_dict
 
 __all__ = ["fingerprint_expr", "fingerprint_system", "cell_key",
-           "ResultCache"]
+           "ResultCache", "MemoryCache"]
 
 
 def fingerprint_expr(root: Expr) -> str:
@@ -107,15 +107,27 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the cached outcome for ``key``, or None."""
+        """Return the cached outcome for ``key``, or None.
+
+        Any unreadable entry — missing, truncated, not valid JSON, not
+        valid UTF-8, the wrong shape, or unreadable at the OS level —
+        counts as a miss.  Concurrent writers replace entries
+        atomically, but a crashed writer or a corrupted disk can leave
+        anything behind; the cache must degrade to re-solving, never
+        take the caller down.
+        """
         try:
             with open(self._path(key)) as handle:
                 entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, ValueError, UnicodeDecodeError):
+            # ValueError covers json.JSONDecodeError; OSError covers
+            # FileNotFoundError, permission errors and torn reads.
             self.misses += 1
             current_metrics().inc("cache.misses")
             return None
-        if entry.get("key") != key:     # 128-bit-prefix collision guard
+        if (not isinstance(entry, dict) or "outcome" not in entry
+                or entry.get("key") != key):
+            # Wrong shape, or a 128-bit-prefix collision.
             self.misses += 1
             current_metrics().inc("cache.misses")
             return None
@@ -152,4 +164,48 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"ResultCache({self.directory!r}, {len(self)} entries, "
+                f"{self.hits} hits / {self.misses} misses)")
+
+
+class MemoryCache:
+    """In-process dict with the :class:`ResultCache` interface.
+
+    The serve daemon uses this when no ``--cache`` directory is given:
+    warm-instance reuse within one daemon lifetime, nothing persisted.
+    ``maxsize`` bounds residency with FIFO eviction (insertion order —
+    good enough for a safety net; the entries are small).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            current_metrics().inc("cache.misses")
+            return None
+        self.hits += 1
+        current_metrics().inc("cache.hits")
+        return entry
+
+    def put(self, key: str, outcome: Dict[str, Any]) -> None:
+        while len(self._entries) >= self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = outcome
+        self.stores += 1
+        current_metrics().inc("cache.stores")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"MemoryCache({len(self)} entries, "
                 f"{self.hits} hits / {self.misses} misses)")

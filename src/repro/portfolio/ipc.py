@@ -14,7 +14,7 @@ import os
 import traceback
 from typing import Any, Dict, Optional
 
-from ..bmc.backend import BmcResult
+from ..bmc.backend import BmcResult, BoundResult, SweepResult
 from ..bmc.metrics import measure_time
 from ..bmc.session import BmcSession
 from ..logic.expr import Expr
@@ -25,11 +25,36 @@ from ..telemetry.metrics import MetricsRegistry, set_metrics
 from ..telemetry.trace import NULL_TRACER, Tracer, set_tracer
 
 __all__ = ["budget_to_dict", "budget_from_dict", "make_cell_payload",
-           "execute_cell", "encode_outcome", "decode_outcome",
-           "outcome_to_result"]
+           "execute_cell", "encode_outcome", "encode_sweep_outcome",
+           "decode_outcome", "outcome_to_result", "set_progress_sink",
+           "emit_progress"]
 
 _BUDGET_FIELDS = ("max_conflicts", "max_decisions", "max_propagations",
                   "max_seconds", "max_literals")
+
+
+# ----------------------------------------------------------------------
+# Streaming progress (worker -> parent)
+# ----------------------------------------------------------------------
+# The pool's worker loop installs a sink bound to the worker's IPC pipe
+# for the duration of each task; cells whose payload asks for streaming
+# (``stream: True``) then push per-bound records through it while the
+# sweep is still running.  In-process execution leaves it None.
+_PROGRESS_SINK: Optional[Any] = None
+
+
+def set_progress_sink(sink) -> Any:
+    """Install the worker-local progress sink; returns the previous."""
+    global _PROGRESS_SINK
+    previous = _PROGRESS_SINK
+    _PROGRESS_SINK = sink
+    return previous
+
+
+def emit_progress(data: Dict[str, Any]) -> None:
+    """Push one plain-data progress record to the installed sink."""
+    if _PROGRESS_SINK is not None:
+        _PROGRESS_SINK(data)
 
 
 def budget_to_dict(budget: Optional[Budget]) -> Optional[Dict[str, Any]]:
@@ -51,7 +76,9 @@ def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
                       budget: Budget | None = None,
                       options: Dict[str, Any] | None = None,
                       reduce: str = "off",
-                      telemetry: bool = False) -> Dict[str, Any]:
+                      telemetry: bool = False,
+                      kind: str = "check",
+                      stream: bool = False) -> Dict[str, Any]:
     """Bundle one reachability query for execution in a worker.
 
     The system and target expression ride along as live objects —
@@ -60,7 +87,15 @@ def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
     (``"auto"`` / ``"off"``) is applied by the worker's session.
     ``telemetry`` asks the worker to attach its trace events and
     metrics snapshot to the outcome (see :func:`execute_cell`).
+
+    ``kind`` selects the query shape: ``"check"`` (one bound ``k``, the
+    default) or ``"sweep"`` (the ladder 0..k, answered by
+    ``session.sweep``).  ``stream`` asks a sweep cell to push per-bound
+    progress records through the worker's progress sink while solving.
     """
+    if kind not in ("check", "sweep"):
+        raise ValueError(f"unknown cell kind {kind!r}; "
+                         f"pick 'check' or 'sweep'")
     return {
         "system": system,
         "final": final,
@@ -71,6 +106,8 @@ def make_cell_payload(system: TransitionSystem, final: Expr, k: int,
         "options": dict(options or {}),
         "reduce": reduce,
         "telemetry": telemetry,
+        "kind": kind,
+        "stream": stream,
     }
 
 
@@ -90,6 +127,7 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     the parent to merge into one timeline.
     """
     telemetry = bool(payload.get("telemetry"))
+    kind = payload.get("kind", "check")
     tracer: Optional[Tracer] = None
     registry: Optional[MetricsRegistry] = None
     if telemetry:
@@ -106,19 +144,34 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 span_tracer = NULL_TRACER if tracer is None else tracer
                 with span_tracer.span(
                         "worker.cell", method=payload["method"],
-                        k=payload["k"]):
+                        k=payload["k"], kind=kind):
                     with BmcSession(payload["system"],
                                     properties={
                                         "target": payload["final"]},
                                     reduce=payload.get("reduce", "off")
                                     ) as session:
-                        result = session.check(
-                            payload["k"], method=payload["method"],
-                            semantics=payload.get("semantics", "exact"),
-                            budget=budget_from_dict(
-                                payload.get("budget")),
-                            **payload.get("options", {}))
-                outcome = encode_outcome(result)
+                        if kind == "sweep":
+                            on_bound = None
+                            if payload.get("stream"):
+                                on_bound = _progress_observer()
+                            sweep = session.sweep(
+                                payload["k"],
+                                method=payload["method"],
+                                budget=budget_from_dict(
+                                    payload.get("budget")),
+                                on_bound=on_bound,
+                                **payload.get("options", {}))
+                            outcome = encode_sweep_outcome(sweep)
+                        else:
+                            result = session.check(
+                                payload["k"],
+                                method=payload["method"],
+                                semantics=payload.get("semantics",
+                                                      "exact"),
+                                budget=budget_from_dict(
+                                    payload.get("budget")),
+                                **payload.get("options", {}))
+                            outcome = encode_outcome(result)
             except Exception:
                 outcome = {
                     "status": SolveResult.UNKNOWN.name,
@@ -140,6 +193,54 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         outcome["metrics"] = registry.snapshot()
         outcome["worker_pid"] = os.getpid()
     return outcome
+
+
+def _progress_observer():
+    """An ``on_bound`` observer that streams through the progress sink."""
+    def observe(bound: BoundResult) -> None:
+        emit_progress({
+            "k": bound.k,
+            "status": bound.status.name,
+            "seconds": bound.seconds,
+            "cumulative_seconds": bound.cumulative_seconds,
+            "proved": bool(bound.proved),
+        })
+    return observe
+
+
+def encode_sweep_outcome(sweep: SweepResult) -> Dict[str, Any]:
+    """SweepResult -> plain-data dict, check-outcome compatible.
+
+    The common fields (``status`` / ``k`` / ``trace`` / ...) carry the
+    sweep's verdict so every check-outcome consumer works unchanged;
+    ``kind: "sweep"`` plus ``max_k`` / ``per_bound`` preserve the
+    ladder itself.
+    """
+    trace = None
+    if sweep.trace is not None:
+        trace = {"states": [dict(s) for s in sweep.trace.states],
+                 "inputs": [dict(i) for i in sweep.trace.inputs]}
+    shortest = sweep.shortest_k
+    return {
+        "status": sweep.status.name,
+        "k": shortest if shortest is not None else sweep.max_k,
+        "method": sweep.method,
+        "seconds": sweep.seconds,
+        "stats": {"bounds_checked": len(sweep.per_bound)},
+        "trace": trace,
+        "proved": bool(sweep.proved),
+        "invariant": None,
+        "error": None,
+        "kind": "sweep",
+        "max_k": sweep.max_k,
+        "per_bound": [{
+            "k": b.k,
+            "status": b.status.name,
+            "seconds": b.seconds,
+            "cumulative_seconds": b.cumulative_seconds,
+            "proved": bool(b.proved),
+        } for b in sweep.per_bound],
+    }
 
 
 def encode_outcome(result: BmcResult) -> Dict[str, Any]:
@@ -179,6 +280,7 @@ def decode_outcome(outcome: Dict[str, Any]) -> Dict[str, Any]:
     out["trace"] = decode_trace(outcome.get("trace"))
     out["proved"] = bool(outcome.get("proved", False))
     out.setdefault("invariant", None)
+    out.setdefault("cancelled", False)
     return out
 
 

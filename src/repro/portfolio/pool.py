@@ -19,14 +19,17 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import signal
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from .ipc import execute_cell
+from ..sat.types import install_stop_check
+from .ipc import execute_cell, set_progress_sink
 
 __all__ = ["Task", "WorkerPool", "default_jobs", "pool_context"]
 
 _STOP = None          # sentinel telling a worker loop to exit
+_PROGRESS = "progress"  # tag of a worker->parent streaming message
 
 
 def default_jobs() -> int:
@@ -63,20 +66,60 @@ class Task:
 
 
 def _worker_main(conn, worker_name: str,
-                 execute: Callable[[Dict[str, Any]], Dict[str, Any]]
-                 ) -> None:
-    """Worker loop: receive (task_id, payload), execute, reply."""
+                 execute: Callable[[Dict[str, Any]], Dict[str, Any]],
+                 stop_event) -> None:
+    """Worker loop: receive (task_id, payload), execute, reply.
+
+    ``stop_event`` is this worker's cooperative-cancellation flag: the
+    parent sets it to abandon the *current* task mid-solve (the solver
+    aborts at its next budget checkpoint and the worker stays alive for
+    the next task).  The installed stop check also watches the parent
+    pid, so a worker orphaned by a hard parent death (SIGKILL — no
+    chance to run shutdown) exits instead of spinning forever.
+
+    SIGINT is ignored: a terminal Ctrl-C reaches the whole process
+    group, and shutdown must stay coordinated by the parent (which
+    catches the KeyboardInterrupt and reaps every child).
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    parent_pid = os.getppid()
+    install_stop_check(
+        lambda: stop_event.is_set() or os.getppid() != parent_pid)
     while True:
         try:
+            # Never block in recv() without watching the parent: with
+            # the fork context each worker inherits its *own* parent
+            # end of the pipe (it exists when Process.start() forks),
+            # so parent death alone never EOFs this connection — an
+            # orphaned idle worker would sleep in recv() forever.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    conn.close()
+                    return
             msg = conn.recv()
-        except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
             break
         if msg is _STOP:
             break
         task_id, payload = msg
-        outcome = execute(payload)
+
+        def _send_progress(data: Dict[str, Any], _tid=task_id) -> None:
+            try:
+                conn.send((_PROGRESS, _tid, data))
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        set_progress_sink(_send_progress)
+        try:
+            outcome = execute(payload)
+        finally:
+            set_progress_sink(None)
         outcome["worker"] = worker_name
         outcome["worker_pid"] = os.getpid()
+        if stop_event.is_set():
+            outcome["cancelled"] = True
         try:
             conn.send((task_id, outcome))
         except (BrokenPipeError, EOFError):  # pragma: no cover
@@ -85,14 +128,16 @@ def _worker_main(conn, worker_name: str,
 
 
 class _WorkerHandle:
-    __slots__ = ("process", "conn", "name", "task", "started_at")
+    __slots__ = ("process", "conn", "name", "task", "started_at",
+                 "stop_event")
 
-    def __init__(self, process, conn, name: str) -> None:
+    def __init__(self, process, conn, name: str, stop_event) -> None:
         self.process = process
         self.conn = conn
         self.name = name
         self.task: Optional[Task] = None
         self.started_at = 0.0
+        self.stop_event = stop_event
 
 
 class WorkerPool:
@@ -110,29 +155,40 @@ class WorkerPool:
 
     def __init__(self, jobs: Optional[int] = None,
                  execute: Callable[[Dict[str, Any]], Dict[str, Any]]
-                 = execute_cell) -> None:
+                 = execute_cell,
+                 on_progress: Optional[Callable[[int, Dict[str, Any]],
+                                                None]] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else default_jobs()
         self._execute = execute
+        self._on_progress = on_progress
         self._ctx = pool_context()
         self._workers: List[_WorkerHandle] = []
         self._pending: List[Task] = []          # dispatched LIFO from end
         self._results: Dict[int, Dict[str, Any]] = {}
         self._respawns = 0
+        self._cancelled = 0
         self._closed = False
+        # Self-pipe: interrupt() (any thread) wakes a parent blocked in
+        # collect()'s connection.wait, so new submissions and cancels
+        # take effect immediately instead of after the poll timeout.
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
         for i in range(self.jobs):
             self._workers.append(self._spawn(f"w{i}"))
 
     # ------------------------------------------------------------------
     def _spawn(self, name: str) -> _WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe()
+        stop_event = self._ctx.Event()
         process = self._ctx.Process(
-            target=_worker_main, args=(child_conn, name, self._execute),
+            target=_worker_main,
+            args=(child_conn, name, self._execute, stop_event),
             daemon=True, name=f"repro-portfolio-{name}")
         process.start()
         child_conn.close()
-        return _WorkerHandle(process, parent_conn, name)
+        return _WorkerHandle(process, parent_conn, name, stop_event)
 
     # ------------------------------------------------------------------
     def submit(self, task: Task) -> None:
@@ -151,6 +207,10 @@ class WorkerPool:
                 task = self._pending.pop()
                 worker.task = task
                 worker.started_at = time.perf_counter()
+                # Reset here, not in the worker: a cancel aimed at the
+                # task while it is still in flight on the pipe must not
+                # be wiped by a worker-side clear racing with it.
+                worker.stop_event.clear()
                 worker.conn.send((task.task_id, task.payload))
 
     # ------------------------------------------------------------------
@@ -166,6 +226,64 @@ class WorkerPool:
     def respawns(self) -> int:
         """Number of workers killed for wall-timeout overruns."""
         return self._respawns
+
+    @property
+    def cancelled(self) -> int:
+        """Number of tasks cancelled via :meth:`cancel`."""
+        return self._cancelled
+
+    # ------------------------------------------------------------------
+    def interrupt(self) -> None:
+        """Wake a :meth:`collect` blocked in its poll (thread-safe).
+
+        The daemon's event loop calls this after enqueueing work for
+        the thread that owns the pool, so dispatch latency is bounded
+        by a pipe write instead of the poll timeout.
+        """
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:  # pragma: no cover - full pipe is still a wake
+            pass
+
+    def _drain_wake(self) -> None:
+        try:
+            while os.read(self._wake_r, 4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    def cancel(self, task_id: int) -> Optional[str]:
+        """Cooperatively cancel a task; returns where it was found.
+
+        * ``"queued"`` — removed from the pending queue; a synthesized
+          cancelled outcome is recorded immediately.
+        * ``"running"`` — the owning worker's stop event is set; the
+          solver aborts at its next budget checkpoint and the worker
+          reports a ``cancelled`` outcome *without* being killed, so
+          its warm process is immediately reusable.
+        * ``None`` — no such task is outstanding (already finished).
+        """
+        for i, task in enumerate(self._pending):
+            if task.task_id == task_id:
+                del self._pending[i]
+                self._cancelled += 1
+                self._results[task_id] = {
+                    "status": "UNKNOWN",
+                    "k": task.payload.get("k", -1),
+                    "method": task.payload.get("method", "?"),
+                    "seconds": 0.0, "wall_seconds": 0.0,
+                    "cpu_seconds": 0.0, "stats": {}, "trace": None,
+                    "error": None, "cancelled": True,
+                }
+                return "queued"
+        for worker in self._workers:
+            if worker.task is not None and \
+                    worker.task.task_id == task_id:
+                self._cancelled += 1
+                worker.stop_event.set()
+                return "running"
+        return None
 
     # ------------------------------------------------------------------
     def _deadline_slack(self, now: float) -> Optional[float]:
@@ -218,7 +336,11 @@ class WorkerPool:
         """Receive finished outcomes; returns how many arrived.
 
         Blocks up to ``timeout`` seconds (None = until at least one
-        running task finishes or times out).
+        running task finishes or times out).  Streaming progress
+        messages from workers are delivered to the ``on_progress``
+        callback as they arrive; they do not count as finished
+        outcomes.  An :meth:`interrupt` from another thread makes a
+        blocked call return early (possibly with 0).
         """
         got = 0
         start = time.perf_counter()
@@ -228,6 +350,7 @@ class WorkerPool:
             self._dispatch()
             busy = [w for w in self._workers if w.task is not None]
             if got or not busy:
+                self._drain_wake()
                 return got
             slack = self._deadline_slack(now)
             wait_for = slack
@@ -238,12 +361,17 @@ class WorkerPool:
                 wait_for = budgeted if wait_for is None \
                     else min(wait_for, budgeted)
             ready = multiprocessing.connection.wait(
-                [w.conn for w in busy],
+                [w.conn for w in busy] + [self._wake_r],
                 timeout=None if wait_for is None else max(0.0, wait_for))
+            woken = self._wake_r in ready
+            if woken:
+                self._drain_wake()
             for conn in ready:
+                if conn is self._wake_r:
+                    continue
                 worker = next(w for w in busy if w.conn is conn)
                 try:
-                    task_id, outcome = conn.recv()
+                    msg = conn.recv()
                 except (EOFError, OSError):  # worker died mid-task
                     task = worker.task
                     assert task is not None
@@ -259,38 +387,102 @@ class WorkerPool:
                     worker.conn.close()
                     worker.process.join(timeout=5.0)
                     self._workers[idx] = self._spawn(worker.name)
-                else:
-                    self._results[task_id] = outcome
+                    worker.task = None
+                    got += 1
+                    continue
+                if isinstance(msg, tuple) and len(msg) == 3 \
+                        and msg[0] == _PROGRESS:
+                    _, task_id, data = msg
+                    if self._on_progress is not None:
+                        self._on_progress(task_id, data)
+                    continue
+                task_id, outcome = msg
+                self._results[task_id] = outcome
                 worker.task = None
                 got += 1
             if got:
                 self._dispatch()
                 return got
+            if woken:
+                return got
 
     # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[Task]) -> Dict[int, Dict[str, Any]]:
-        """Run a batch to completion; returns ``{task_id: outcome}``."""
-        for task in tasks:
-            self.submit(task)
-        while self.outstanding:
-            self.collect()
+    def take_results(self) -> Dict[int, Dict[str, Any]]:
+        """Hand over (and clear) every outcome collected so far."""
         out, self._results = self._results, {}
         return out
 
     # ------------------------------------------------------------------
-    def shutdown(self) -> None:
-        """Stop all workers (graceful, then terminate stragglers)."""
+    def run(self, tasks: Sequence[Task]) -> Dict[int, Dict[str, Any]]:
+        """Run a batch to completion; returns ``{task_id: outcome}``.
+
+        A KeyboardInterrupt mid-batch (the workers themselves ignore
+        SIGINT) shuts the pool down — every child reaped, every pipe
+        drained — before the interrupt propagates, so a Ctrl-C'd run
+        never leaks orphan solver processes.
+        """
+        try:
+            for task in tasks:
+                self.submit(task)
+            while self.outstanding:
+                self.collect()
+        except KeyboardInterrupt:
+            self.shutdown(grace=0.5)
+            raise
+        return self.take_results()
+
+    # ------------------------------------------------------------------
+    def shutdown(self, grace: float = 2.0) -> None:
+        """Stop all workers: cancel, drain, reap.
+
+        Busy workers get their stop event set and up to ``grace``
+        seconds to abort cooperatively (their in-flight outcomes are
+        drained into :meth:`take_results`, and their pipes emptied, so
+        nothing is left buffered in a kernel pipe); whatever is still
+        running after the grace window is terminated.  Every child is
+        joined — no orphans survive this call — and the wake pipe is
+        closed.
+        """
         if self._closed:
             return
         self._closed = True
+        self._pending.clear()
         for worker in self._workers:
             try:
                 if worker.task is None:
                     worker.conn.send(_STOP)
                 else:
-                    worker.process.terminate()
+                    worker.stop_event.set()
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
+        deadline = time.monotonic() + max(0.0, grace)
+        while True:
+            busy = [w for w in self._workers if w.task is not None]
+            remaining = deadline - time.monotonic()
+            if not busy or remaining <= 0:
+                break
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in busy], timeout=remaining)
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    worker.task = None
+                    continue
+                if isinstance(msg, tuple) and len(msg) == 3 \
+                        and msg[0] == _PROGRESS:
+                    continue            # drained and dropped
+                task_id, outcome = msg
+                self._results[task_id] = outcome
+                worker.task = None
+                try:
+                    worker.conn.send(_STOP)
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+        for worker in self._workers:
+            if worker.task is not None and worker.process.is_alive():
+                worker.process.terminate()
         for worker in self._workers:
             worker.process.join(timeout=5.0)
             if worker.process.is_alive():  # pragma: no cover
@@ -298,6 +490,11 @@ class WorkerPool:
                 worker.process.join(timeout=5.0)
             worker.conn.close()
         self._workers = []
+        try:
+            os.close(self._wake_r)
+            os.close(self._wake_w)
+        except OSError:  # pragma: no cover
+            pass
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -307,6 +504,6 @@ class WorkerPool:
 
     def __del__(self) -> None:  # pragma: no cover
         try:
-            self.shutdown()
+            self.shutdown(grace=0.0)
         except Exception:
             pass

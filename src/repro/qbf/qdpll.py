@@ -22,7 +22,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
-from ..sat.types import Budget, BudgetExceeded, SolveResult
+from ..sat.types import (Budget, BudgetExceeded, SolveResult,
+                         stop_requested)
 from .pcnf import PCNF
 
 __all__ = ["QdpllSolver", "QbfStats"]
@@ -114,6 +115,8 @@ class QdpllSolver:
             raise BudgetExceeded("propagations")
         if self._deadline is not None and time.monotonic() > self._deadline:
             raise BudgetExceeded("time")
+        if stop_requested():
+            raise BudgetExceeded("cancelled")
 
     # ------------------------------------------------------------------
     def _search(self) -> SolveResult:

@@ -39,6 +39,7 @@ from .types import (
     SolveResult,
     from_internal,
     luby,
+    stop_requested,
     to_internal,
 )
 
@@ -605,6 +606,8 @@ class CdclSolver:
             raise BudgetExceeded("memory")
         if self._deadline is not None and time.monotonic() > self._deadline:
             raise BudgetExceeded("time")
+        if stop_requested():
+            raise BudgetExceeded("cancelled")
 
     # ==================================================================
     # Main solve loop
@@ -667,10 +670,12 @@ class CdclSolver:
         self._run_decisions = 0
         self._model = []
         self._core = []
-        # An already-expired deadline must stop the call *here*: easy
-        # queries can be decided purely by level-0 propagation, which
-        # never reaches the in-search budget checks.
-        if self._deadline is not None and time.monotonic() > self._deadline:
+        # An already-expired deadline (or a pending cancellation) must
+        # stop the call *here*: easy queries can be decided purely by
+        # level-0 propagation, which never reaches the in-search budget
+        # checks.
+        if (self._deadline is not None
+                and time.monotonic() > self._deadline) or stop_requested():
             self._budget = Budget.unlimited()
             self._deadline = None
             return SolveResult.UNKNOWN

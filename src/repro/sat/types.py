@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 __all__ = ["SolveResult", "Budget", "BudgetExceeded", "to_internal",
-           "from_internal", "Clause", "UNDEF", "luby"]
+           "from_internal", "Clause", "UNDEF", "luby",
+           "install_stop_check", "stop_requested"]
 
 UNDEF = -1
 
@@ -43,6 +44,36 @@ class SolveResult(enum.Enum):
 
 class BudgetExceeded(Exception):
     """Internal signal: a resource budget ran out mid-search."""
+
+
+# ----------------------------------------------------------------------
+# Cooperative cancellation (the SMPT stop-Event pattern)
+# ----------------------------------------------------------------------
+# A process-wide hook consulted at every solver budget checkpoint.  A
+# worker process installs a check bound to its cancellation Event (and
+# its parent's liveness) once at startup; solvers then abort mid-search
+# with BudgetExceeded("cancelled") as soon as the check fires, freeing
+# the core without killing the process.  In-process callers never pay
+# more than one None comparison.
+_STOP_CHECK: Optional[Callable[[], bool]] = None
+
+
+def install_stop_check(check: Optional[Callable[[], bool]]
+                       ) -> Optional[Callable[[], bool]]:
+    """Install a process-wide cancellation probe; returns the previous.
+
+    ``check`` is called (with no arguments) from solver budget
+    checkpoints — keep it cheap.  Pass None to uninstall.
+    """
+    global _STOP_CHECK
+    previous = _STOP_CHECK
+    _STOP_CHECK = check
+    return previous
+
+
+def stop_requested() -> bool:
+    """True when an installed stop check says to abandon the search."""
+    return _STOP_CHECK is not None and _STOP_CHECK()
 
 
 class Budget:

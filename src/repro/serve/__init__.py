@@ -1,0 +1,30 @@
+"""BMC as a service: the ``repro serve`` daemon and its client.
+
+Layers (bottom up):
+
+* :mod:`repro.serve.protocol` — the versioned NDJSON wire schema,
+  with strict did-you-mean validation;
+* :mod:`repro.serve.jobs` — job records, waiter attachment, and the
+  priority/fairness/deadline queue;
+* :mod:`repro.serve.bridge` — the thread that owns the blocking
+  :class:`~repro.portfolio.pool.WorkerPool` on behalf of the asyncio
+  loop;
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`, the asyncio
+  server tying queue, dedup/cache and pool together;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking
+  client used by the CLI verbs, the tests and the benchmark.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import ServeDaemon
+from .jobs import FairQueue, Job, JobState, Waiter
+from .protocol import (PROTOCOL_VERSION, ProtocolError, decode_line,
+                       encode_line, error_response, ok_response,
+                       validate_request)
+
+__all__ = [
+    "ServeDaemon", "ServeClient", "ServeError",
+    "FairQueue", "Job", "JobState", "Waiter",
+    "PROTOCOL_VERSION", "ProtocolError", "validate_request",
+    "encode_line", "decode_line", "ok_response", "error_response",
+]

@@ -1,0 +1,133 @@
+"""Thread bridge between the asyncio daemon and the WorkerPool.
+
+:class:`~repro.portfolio.pool.WorkerPool` speaks blocking
+``multiprocessing`` pipes; asyncio must never block.  The bridge gives
+the pool a dedicated thread that loops submit → collect → publish,
+while the event loop talks to it through thread-safe queues:
+
+* the loop calls :meth:`submit` / :meth:`cancel`, which enqueue the
+  command and wake the thread (``pool.interrupt()`` pokes the pool's
+  self-pipe, so a ``collect`` blocked in ``connection.wait`` returns
+  immediately — dispatch latency is a pipe write, not a poll tick);
+* finished outcomes and streaming progress records are published back
+  via ``loop.call_soon_threadsafe``, so daemon callbacks always run on
+  the loop thread and never need locks.
+
+The bridge owns the pool's lifecycle: :meth:`stop` drains the command
+queue, shuts the pool down (reaping every worker process) and joins
+the thread.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from ..portfolio.pool import Task, WorkerPool
+
+__all__ = ["PoolBridge"]
+
+# How long the bridge thread sleeps when completely idle before
+# re-checking its command queue (interrupt/kick wake it sooner).
+_IDLE_TICK = 0.25
+
+
+class PoolBridge:
+    """Own a WorkerPool in a worker thread; expose loop-safe verbs."""
+
+    def __init__(self, loop, jobs: Optional[int] = None,
+                 wall_timeout: Optional[float] = None,
+                 on_result: Callable[[int, Dict[str, Any]], None] = None,
+                 on_progress: Callable[[int, Dict[str, Any]], None] = None
+                 ) -> None:
+        self._loop = loop
+        self._wall_timeout = wall_timeout
+        self._on_result = on_result
+        self._on_progress = on_progress
+        self._commands: collections.deque = collections.deque()
+        self._kick = threading.Event()
+        self._stopping = threading.Event()
+        self._pool = WorkerPool(jobs=jobs,
+                                on_progress=self._publish_progress)
+        self.jobs = self._pool.jobs
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-pool",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Loop-side API (thread-safe)
+    # ------------------------------------------------------------------
+    def submit(self, task_id: int, payload: Dict[str, Any]) -> None:
+        """Queue one cell payload for execution."""
+        self._commands.append(("submit", task_id, payload))
+        self._wake()
+
+    def cancel(self, task_id: int) -> None:
+        """Cooperatively cancel a task (queued or running)."""
+        self._commands.append(("cancel", task_id, None))
+        self._wake()
+
+    def stop(self, grace: float = 2.0) -> None:
+        """Shut the pool down and join the bridge thread (blocking)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        self._wake()
+        self._thread.join(timeout=30.0)
+        self._pool.shutdown(grace=grace)
+
+    @property
+    def respawns(self) -> int:
+        return self._pool.respawns
+
+    @property
+    def cancelled(self) -> int:
+        return self._pool.cancelled
+
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        self._kick.set()
+        self._pool.interrupt()
+
+    # ------------------------------------------------------------------
+    # Bridge-thread side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        pool = self._pool
+        while not self._stopping.is_set():
+            while self._commands:
+                verb, task_id, payload = self._commands.popleft()
+                if verb == "submit":
+                    pool.submit(Task(task_id, payload,
+                                     wall_timeout=self._wall_timeout))
+                else:
+                    pool.cancel(task_id)
+            if pool.outstanding:
+                pool.collect(timeout=_IDLE_TICK)
+            else:
+                self._kick.wait(timeout=_IDLE_TICK)
+            self._kick.clear()
+            results = pool.take_results()
+            for task_id, outcome in results.items():
+                self._publish_result(task_id, outcome)
+
+    def _publish_result(self, task_id: int,
+                        outcome: Dict[str, Any]) -> None:
+        if self._on_result is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._on_result, task_id,
+                                                outcome)
+            except RuntimeError:        # loop already closed (shutdown)
+                pass
+
+    def _publish_progress(self, task_id: int,
+                          data: Dict[str, Any]) -> None:
+        # Called by pool.collect() on the bridge thread.
+        if self._on_progress is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._on_progress,
+                                                task_id, data)
+            except RuntimeError:        # pragma: no cover
+                pass

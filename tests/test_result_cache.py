@@ -1,0 +1,154 @@
+"""Robustness tests for the on-disk result cache.
+
+The serve daemon keeps one ResultCache open for days while batch runs
+and other daemons write to the same directory; every malformed entry a
+crashed or concurrent writer can leave behind must read back as a miss,
+never as an exception.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.portfolio import MemoryCache, ResultCache
+
+KEY = "ab" * 32
+OUTCOME = {"status": "UNSAT", "k": 3, "method": "jsat", "seconds": 0.1,
+           "stats": {"queries": 4}, "trace": None, "error": None}
+
+
+def entry_path(cache: ResultCache) -> str:
+    return cache._path(KEY)
+
+
+class TestCorruptEntries:
+    """Every flavour of on-disk damage degrades to a miss."""
+
+    @pytest.fixture
+    def cache(self, tmp_path):
+        return ResultCache(tmp_path / "cache")
+
+    def assert_miss(self, cache):
+        misses_before = cache.misses
+        assert cache.get(KEY) is None
+        assert cache.misses == misses_before + 1
+
+    def test_truncated_json(self, cache):
+        cache.put(KEY, OUTCOME)
+        with open(entry_path(cache)) as handle:
+            text = handle.read()
+        with open(entry_path(cache), "w") as handle:
+            handle.write(text[:len(text) // 2])
+        self.assert_miss(cache)
+
+    def test_empty_file(self, cache):
+        with open(entry_path(cache), "w"):
+            pass
+        self.assert_miss(cache)
+
+    def test_binary_garbage(self, cache):
+        with open(entry_path(cache), "wb") as handle:
+            handle.write(b"\x80\x81\xfe\xff" * 64)
+        self.assert_miss(cache)
+
+    def test_wrong_shape_list(self, cache):
+        with open(entry_path(cache), "w") as handle:
+            json.dump([1, 2, 3], handle)
+        self.assert_miss(cache)
+
+    def test_wrong_shape_scalar(self, cache):
+        with open(entry_path(cache), "w") as handle:
+            json.dump("not a cache entry", handle)
+        self.assert_miss(cache)
+
+    def test_missing_outcome_field(self, cache):
+        with open(entry_path(cache), "w") as handle:
+            json.dump({"key": KEY}, handle)
+        self.assert_miss(cache)
+
+    def test_key_mismatch(self, cache):
+        with open(entry_path(cache), "w") as handle:
+            json.dump({"key": "cd" * 32, "outcome": OUTCOME}, handle)
+        self.assert_miss(cache)
+
+    def test_entry_is_directory(self, cache):
+        os.mkdir(entry_path(cache))
+        self.assert_miss(cache)
+
+    def test_unreadable_entry(self, cache):
+        cache.put(KEY, OUTCOME)
+        os.chmod(entry_path(cache), 0o000)
+        try:
+            if os.geteuid() == 0:  # root reads anything; cannot test
+                pytest.skip("permission bits ignored when running as root")
+            self.assert_miss(cache)
+        finally:
+            os.chmod(entry_path(cache), 0o644)
+
+    def test_good_entry_still_hits_after_corrupt_neighbour(self, cache):
+        cache.put(KEY, OUTCOME)
+        other = ResultCache(cache.directory)
+        bad_key = "cd" * 32
+        with open(other._path(bad_key), "w") as handle:
+            handle.write("{torn write")
+        assert cache.get(bad_key) is None
+        assert cache.get(KEY) == OUTCOME
+
+
+def _hammer(directory: str, seed: int, rounds: int) -> None:
+    """Interleave writes and reads of the same keys from one process."""
+    cache = ResultCache(directory)
+    for i in range(rounds):
+        key = ("%02x" % ((seed + i) % 7)) * 32
+        cache.put(key, {"status": "UNSAT", "k": i, "writer": seed,
+                        "stats": {}, "trace": None, "error": None})
+        got = cache.get(key)
+        # Concurrent writers may have replaced it, but a read must
+        # always return a complete entry or None — never raise.
+        assert got is None or got["status"] == "UNSAT"
+
+
+class TestConcurrentWriters:
+    def test_multiprocess_hammer(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_hammer, args=(directory, seed, 50))
+                 for seed in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # Every surviving entry is complete and well-formed.
+        cache = ResultCache(directory)
+        files = [n for n in os.listdir(directory) if n.endswith(".json")]
+        assert files
+        for name in files:
+            with open(os.path.join(directory, name)) as handle:
+                entry = json.load(handle)
+            assert entry["outcome"]["status"] == "UNSAT"
+            assert cache.get(entry["key"]) == entry["outcome"]
+
+
+class TestMemoryCache:
+    def test_roundtrip_and_counters(self):
+        cache = MemoryCache()
+        assert cache.get(KEY) is None
+        cache.put(KEY, OUTCOME)
+        assert cache.get(KEY) == OUTCOME
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert cache.get(KEY) is None
+
+    def test_fifo_eviction(self):
+        cache = MemoryCache(maxsize=3)
+        for i in range(5):
+            cache.put(f"{i:02d}" * 32, {"k": i})
+        assert len(cache) == 3
+        assert cache.get("00" * 32) is None          # evicted first
+        assert cache.get("04" * 32) == {"k": 4}      # newest survives
