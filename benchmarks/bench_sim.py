@@ -1,0 +1,114 @@
+"""Simulation-tier benchmarks: falsification coverage and race speedup.
+
+Two guards back the tier's reason to exist:
+
+* **coverage** — plain random simulation, strictly wall-bounded per
+  query, must falsify a meaningful share of the suite's violated
+  properties entirely on its own (zero solver calls; ``presolve``
+  never constructs a solver).
+* **race speedup** — on the slice of SAT instances the tier can hit,
+  a ``sim_tier=True`` portfolio race must settle at least 1.5x faster
+  in aggregate than the identical solver-only race, with verdict
+  agreement instance by instance.  This is the whole point: a witness
+  found in milliseconds makes the solver spawn cost disappear.
+"""
+
+import time
+
+from repro.models import build_suite
+from repro.portfolio import race
+from repro.sat.types import Budget, SolveResult
+from repro.sim import presolve
+
+MIN_SIM_FALSIFIED = 6
+MIN_RACE_SPEEDUP = 1.5
+RACE_SLICE = 6
+RACE_BUDGET = Budget(max_seconds=30.0)
+
+
+def _sat_instances():
+    return [i for i in build_suite() if i.expected is True]
+
+
+def _sim_hits(instances):
+    hits = []
+    for inst in instances:
+        out = presolve(inst.system, inst.final, inst.k)
+        if out is not None:
+            hits.append((inst, out))
+    return hits
+
+
+def bench_sim_falsification_coverage(benchmark):
+    """How many violated suite properties does the tier settle alone?"""
+    instances = _sat_instances()
+
+    def run():
+        t0 = time.perf_counter()
+        hits = _sim_hits(instances)
+        return hits, time.perf_counter() - t0
+
+    hits, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    for inst, out in hits:
+        assert out.hit_k == inst.k, inst.name
+        out.trace.validate(inst.system, inst.final)
+
+    import _emit
+    _emit.record(sim_falsified=len(hits),
+                 sat_instances=len(instances),
+                 coverage_seconds=round(seconds, 4),
+                 guard_min_falsified=MIN_SIM_FALSIFIED)
+    print()
+    print(f"sim tier falsified {len(hits)}/{len(instances)} violated "
+          f"suite properties in {seconds:.2f} s, zero solver calls")
+    assert len(hits) >= MIN_SIM_FALSIFIED, \
+        f"sim tier falsified only {len(hits)} properties " \
+        f"(guard: >= {MIN_SIM_FALSIFIED})"
+
+
+def bench_sim_race_speedup(benchmark):
+    """sim_tier races vs solver-only races on a SAT-heavy slice."""
+    slice_ = [inst for inst, _ in _sim_hits(_sat_instances())][:RACE_SLICE]
+    assert len(slice_) == RACE_SLICE
+
+    def run_races(sim_tier):
+        outcomes = []
+        t0 = time.perf_counter()
+        for inst in slice_:
+            outcomes.append(race(inst.system, inst.final, inst.k,
+                                 methods=["jsat"], budget=RACE_BUDGET,
+                                 sim_tier=sim_tier))
+        return outcomes, time.perf_counter() - t0
+
+    def run():
+        with_sim, sim_wall = run_races(True)
+        solver_only, solver_wall = run_races(False)
+        return with_sim, sim_wall, solver_only, solver_wall
+
+    with_sim, sim_wall, solver_only, solver_wall = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    # Verdict agreement, instance by instance.
+    for inst, a, b in zip(slice_, with_sim, solver_only):
+        assert a.result.status is SolveResult.SAT, inst.name
+        assert a.result.status is b.result.status, inst.name
+        assert a.winner == "simulation", inst.name
+
+    speedup = solver_wall / sim_wall if sim_wall > 0 else float("inf")
+    import _emit
+    _emit.record(race_slice=len(slice_),
+                 sim_tier_wall_s=round(sim_wall, 4),
+                 solver_only_wall_s=round(solver_wall, 4),
+                 speedup=round(speedup, 2),
+                 guard_min_speedup=MIN_RACE_SPEEDUP)
+    print()
+    print(f"{len(slice_)} SAT races: sim tier {sim_wall:.2f} s, "
+          f"solver-only {solver_wall:.2f} s -> {speedup:.1f}x")
+    assert speedup >= MIN_RACE_SPEEDUP, \
+        f"sim-tier races only {speedup:.2f}x faster " \
+        f"(guard: >= {MIN_RACE_SPEEDUP}x)"
+
+
+if __name__ == "__main__":
+    import _emit
+    raise SystemExit(_emit.run(globals()))

@@ -22,4 +22,4 @@ Quickstart
 
 # Kept in sync with pyproject.toml; the function-API deprecation shims
 # (repro.bmc.engine) are documented against this number.
-__version__ = "0.8.0"
+__version__ = "0.9.0"

@@ -354,6 +354,11 @@ class JsatBackend(Backend):
 # one).
 from . import provers  # noqa: E402, F401  (registration effect)
 
+# The bit-parallel random-simulation tier registers next (the
+# ``simulation`` method) — sim/ depends only on the protocol module
+# and the reduce/ structural view, never back on this one.
+from ..sim import backend as _sim_backend  # noqa: E402, F401
+
 
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)

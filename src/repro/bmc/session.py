@@ -112,6 +112,7 @@ class BmcSession:
                  reduce: object = "off",
                  prover: Optional[str] = None,
                  prover_max_k: int = 64,
+                 sim_tier: bool = True,
                  on_bound: OnBound | None = None) -> None:
         from ..reduce import resolve_reduce
         validate_method(method)
@@ -139,6 +140,7 @@ class BmcSession:
         self.reduce = reduce
         self.prover = prover
         self.prover_max_k = prover_max_k
+        self.sim_tier = sim_tier
         self._pipeline = resolve_reduce(reduce)
         self.on_bound = on_bound
         self._backends: Dict[Tuple[str, str, int], Backend] = {}
@@ -400,7 +402,8 @@ class BmcSession:
             self._checker = PropertyChecker(self.system, self.properties,
                                             reduce=self.reduce,
                                             prover=self.prover,
-                                            prover_max_k=self.prover_max_k)
+                                            prover_max_k=self.prover_max_k,
+                                            sim_tier=self.sim_tier)
         return self._checker
 
     def check_properties(self, k: int, names: List[str] | None = None,

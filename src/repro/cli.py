@@ -52,7 +52,17 @@ Subcommands
 ``experiment {e1,...,e8}``
     Regenerate one evaluation artifact (scaled budgets by default).
 ``suite``
-    Print the 234-instance suite composition.
+    Print the built-in suite composition (the count is derived from
+    the live suite, never hardcoded), or — with ``--corpus DIR`` — the
+    composition of an ingested model corpus.
+``import DIR``
+    Ingest a directory of third-party models (ASCII/binary AIGER,
+    ``.bench``, ``.smv``) into suite-compatible instances and write a
+    fingerprinted manifest (``--manifest FILE``).  ``bmc`` / ``sweep``
+    / ``check`` / ``batch`` / ``suite`` accept ``--corpus DIR`` to run
+    on ingested models, and ``bmc`` / ``check`` / ``serve`` accept
+    ``--no-sim-tier`` to disable the bit-parallel random-simulation
+    pre-solve tier (``batch`` enables it with ``--sim-tier``).
 """
 
 from __future__ import annotations
@@ -156,13 +166,34 @@ def _cmd_solve_qbf(args: argparse.Namespace) -> int:
 
 
 def _cmd_bmc(args: argparse.Namespace) -> int:
-    instances = [i for i in build_suite() if i.family == args.family]
-    if not instances:
-        print(f"unknown family {args.family!r}; "
-              f"available: {', '.join(FAMILIES)}", file=sys.stderr)
-        return 1
-    instance = instances[0]
+    if args.corpus is not None:
+        instance, err = _corpus_lookup(args.corpus, args.family)
+        if instance is None:
+            print(f"bmc: {err}", file=sys.stderr)
+            return 1
+    else:
+        instances = [i for i in build_suite() if i.family == args.family]
+        if not instances:
+            print(f"unknown family {args.family!r}; "
+                  f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+            return 1
+        instance = instances[0]
     k = args.k if args.k is not None else instance.k
+    if args.sim_tier:
+        # Pre-solve tier: easy SAT instances die here, before any
+        # solver spins up (--no-sim-tier goes straight to --method).
+        from .sim import presolve
+        sim_out = presolve(instance.system, instance.final, k,
+                           semantics=args.semantics)
+        if sim_out is not None and sim_out.trace is not None:
+            sim_out.trace.validate(instance.system)
+            print(f"{instance.name} (k={k}, simulation pre-solve, "
+                  f"{args.semantics}): SAT in {sim_out.seconds:.3f} s")
+            for key, value in sorted(sim_out.stats.items()):
+                print(f"  {key} = {value}")
+            print(sim_out.trace.format(
+                sorted(instance.system.state_vars)))
+            return 0
     options = {}
     if args.method == "portfolio" and args.jobs:
         # --jobs caps the number of raced methods (one process each).
@@ -170,7 +201,8 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
         options["portfolio_methods"] = DEFAULT_RACE_METHODS[:args.jobs]
     with BmcSession(instance.system,
                     properties={"target": instance.final},
-                    reduce=_reduce_from_args(args)) as session:
+                    reduce=_reduce_from_args(args),
+                    sim_tier=args.sim_tier) as session:
         result = session.check(k, method=args.method,
                                semantics=args.semantics,
                                budget=_budget_from_args(args), **options)
@@ -186,12 +218,18 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .harness.report import format_sweep
 
-    instances = [i for i in build_suite() if i.family == args.family]
-    if not instances:
-        print(f"unknown family {args.family!r}; "
-              f"available: {', '.join(FAMILIES)}", file=sys.stderr)
-        return 1
-    instance = instances[0]
+    if args.corpus is not None:
+        instance, err = _corpus_lookup(args.corpus, args.family)
+        if instance is None:
+            print(f"sweep: {err}", file=sys.stderr)
+            return 1
+    else:
+        instances = [i for i in build_suite() if i.family == args.family]
+        if not instances:
+            print(f"unknown family {args.family!r}; "
+                  f"available: {', '.join(FAMILIES)}", file=sys.stderr)
+            return 1
+        instance = instances[0]
     max_k = args.max_k if args.max_k is not None else instance.k
     status = 0
     with BmcSession(instance.system,
@@ -231,11 +269,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .models.suite import build_property_suite
     from .spec import SpecError, Verdict
 
-    if (args.family is None) == (args.smv is None):
+    if args.corpus is not None and args.smv is not None:
+        print("check: --corpus and --smv are mutually exclusive",
+              file=sys.stderr)
+        return 1
+    if args.corpus is not None:
+        if args.family is None:
+            print("check: --corpus needs a model name (the file stem)",
+                  file=sys.stderr)
+            return 1
+        from .workloads import CorpusError, load_circuit, scan_directory
+        try:
+            paths = [p for p in scan_directory(args.corpus)
+                     if p.stem == args.family]
+            if not paths:
+                print(f"check: no corpus model {args.family!r} under "
+                      f"{args.corpus}", file=sys.stderr)
+                return 1
+            circuit = load_circuit(paths[0])
+        except CorpusError as err:
+            print(f"check: {err}", file=sys.stderr)
+            return 1
+        system = circuit.to_transition_system()
+        properties = dict(circuit.properties)
+        subject, default_k = circuit.name, 10
+    elif (args.family is None) == (args.smv is None):
         print("check: give exactly one of FAMILY or --smv FILE",
               file=sys.stderr)
         return 1
-    if args.smv is not None:
+    elif args.smv is not None:
         from .system.smv import parse_smv
         with open(args.smv) as handle:
             circuit = parse_smv(handle.read())
@@ -265,7 +327,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         with BmcSession(system, properties=properties,
                         reduce=_reduce_from_args(args),
                         prover=args.prover,
-                        prover_max_k=args.prover_max_k) as session:
+                        prover_max_k=args.prover_max_k,
+                        sim_tier=args.sim_tier) as session:
             if args.sweep:
                 # Per-bound progress streams on the logger (stderr,
                 # enabled with -v) so stdout stays report-only.
@@ -318,7 +381,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .harness.report import (format_solved_counts,
                                  format_worker_attribution)
 
-    instances = build_suite()
+    if args.corpus is not None:
+        from .workloads import CorpusError, ingest
+        try:
+            instances = ingest(args.corpus).instances
+        except CorpusError as err:
+            print(f"batch: {err}", file=sys.stderr)
+            return 1
+        if not instances:
+            print(f"batch: no ingestable models under {args.corpus}",
+                  file=sys.stderr)
+            return 1
+    else:
+        instances = build_suite()
     if args.family:
         instances = [i for i in instances if i.family in args.family]
         if not instances:
@@ -343,7 +418,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     results = run_matrix(instances, args.methods, budget=budget,
                          jobs=args.jobs, cache=cache,
                          reduce=_reduce_from_args(args),
-                         prover=args.prover)
+                         prover=args.prover,
+                         sim_tier=args.sim_tier)
     wall = time.perf_counter() - start
     cpu = sum(c.cpu_seconds for c in results)
     lanes = len(args.methods)
@@ -442,12 +518,63 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.corpus is not None:
+        from .workloads import CorpusError, ingest
+        try:
+            report = ingest(args.corpus)
+        except CorpusError as err:
+            print(f"suite: {err}", file=sys.stderr)
+            return 1
+        print(f"{len(report.instances)} instances from "
+              f"{len(report.entries)} models under {report.root}")
+        for entry in report.entries:
+            stats = entry.circuit.stats()
+            targets = ", ".join(i.name.split(":", 1)[1]
+                                for i in entry.instances)
+            print(f"  {entry.circuit.name:12s} [{entry.format:12s}] "
+                  f"inputs={stats['inputs']:3d} "
+                  f"latches={stats['latches']:3d}  targets: {targets}")
+        for path, err in report.errors.items():
+            print(f"  ! {path}: {err}", file=sys.stderr)
+        return 0
     suite = build_suite()
     print(f"{len(suite)} instances across {len(FAMILIES)} families")
     for family, row in suite_summary(suite).items():
         print(f"  {family:10s} instances={row['instances']:3d} "
               f"sat={row['sat']:3d} unsat={row['unsat']:3d}")
     return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from .workloads import CorpusError, ingest, write_manifest
+    try:
+        report = ingest(args.dir, k=args.k,
+                        reduce="auto" if args.reduce else "off",
+                        strict=args.strict)
+    except CorpusError as err:
+        print(f"import: {err}", file=sys.stderr)
+        return 1
+    for entry in report.entries:
+        stats = entry.circuit.stats()
+        print(f"{entry.path} [{entry.format}] "
+              f"inputs={stats['inputs']} latches={stats['latches']} "
+              f"sha256={entry.sha256[:12]}")
+        for inst in entry.instances:
+            red = entry.reductions.get(inst.name, {})
+            note = ""
+            if red.get("reduced_latches") != red.get("original_latches"):
+                note = (f"  ({red['original_latches']} -> "
+                        f"{red['reduced_latches']} latches)")
+            print(f"  {inst.name}  k={inst.k}{note}")
+    for path, err in report.errors.items():
+        print(f"! {path}: {err}", file=sys.stderr)
+    print(f"{len(report.instances)} instances from "
+          f"{len(report.entries)} models"
+          + (f", {len(report.errors)} errors" if report.errors else ""))
+    if args.manifest:
+        write_manifest(report, args.manifest)
+        print(f"manifest written to {args.manifest}")
+    return 0 if report.instances else 1
 
 
 # ----------------------------------------------------------------------
@@ -481,7 +608,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          port=args.port, jobs=getattr(args, "jobs", None),
                          cache_dir=args.cache,
                          wall_timeout=args.wall_timeout,
-                         max_queued=args.max_queued)
+                         max_queued=args.max_queued,
+                         sim_tier=args.sim_tier)
     endpoint = args.socket or f"{args.host}:{args.port}"
     print(f"repro serve: listening on {endpoint} "
           f"(Ctrl-C or the shutdown op to stop)", file=sys.stderr)
@@ -534,7 +662,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
               + (f" ({result.get('error')})" if result.get("error")
                  else ""))
         return 3
-    print(f"{args.family} (k={result.get('k')}, {args.method}): "
+    method = result.get("method") or args.method or "daemon default"
+    print(f"{args.family} (k={result.get('k')}, {method}): "
           f"{result.get('status')} in {result.get('seconds', 0.0):.3f} s")
     for key, value in sorted((result.get("stats") or {}).items()):
         print(f"  {key} = {value}")
@@ -644,6 +773,43 @@ def _add_prover_flag(parser: argparse.ArgumentParser) -> None:
                              "'holds up to k' into a conclusive HOLDS")
 
 
+def _add_corpus_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--corpus", metavar="DIR", default=None,
+                        help="resolve the positional name against models "
+                             "ingested from DIR (.aag/.aig/.bench/.smv) "
+                             "instead of the built-in suite")
+
+
+def _add_sim_tier_flag(parser: argparse.ArgumentParser,
+                       default: bool = True) -> None:
+    parser.add_argument("--sim-tier",
+                        action=argparse.BooleanOptionalAction,
+                        default=default,
+                        help="run the bit-parallel random-simulation "
+                             "pre-solve tier before any solver spins up")
+
+
+def _corpus_lookup(corpus_dir: str, name: str):
+    """Resolve ``name`` against a corpus directory.
+
+    Matches a full instance name (``model:target``) or a bare model
+    stem (first target wins).  Returns ``(instance, None)`` or
+    ``(None, error message)``.
+    """
+    from .workloads import CorpusError, ingest
+    try:
+        report = ingest(corpus_dir)
+    except CorpusError as err:
+        return None, str(err)
+    matches = [i for i in report.instances
+               if i.name == name or i.name.split(":", 1)[0] == name]
+    if not matches:
+        known = sorted(i.name for i in report.instances)
+        return None, (f"no corpus model {name!r} under {corpus_dir}; "
+                      f"instances: {', '.join(known) or '(none)'}")
+    return matches[0], None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bmc",
@@ -679,12 +845,16 @@ def build_parser() -> argparse.ArgumentParser:
                    default="qdpll")
     p.set_defaults(fn=_cmd_solve_qbf)
 
-    p = sub.add_parser("bmc", help="run BMC on a built-in design")
-    p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
+    p = sub.add_parser("bmc",
+                       help="run BMC on a built-in or imported design")
+    p.add_argument("family", help=f"one of: {', '.join(FAMILIES)} "
+                                  f"(or a corpus model with --corpus)")
     p.add_argument("-k", type=int, default=None, help="bound")
     p.add_argument("--method", choices=ALL_METHODS, default="jsat")
     p.add_argument("--semantics", choices=("exact", "within"),
                    default="exact")
+    _add_corpus_flag(p)
+    _add_sim_tier_flag(p)
     _add_jobs_flag(p)
     _add_reduce_flag(p)
     _add_telemetry_flags(p)
@@ -699,6 +869,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--methods", nargs="+", choices=ALL_METHODS,
                    default=["sat-incremental"],
                    help="methods to sweep (each gets its own pass)")
+    _add_corpus_flag(p)
     _add_reduce_flag(p)
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_sweep)
@@ -727,6 +898,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 2 unless every verdict is conclusive "
                         "(an unbounded proof or a concrete "
                         "certificate); bounded HOLDS no longer passes")
+    _add_corpus_flag(p)
+    _add_sim_tier_flag(p)
     _add_reduce_flag(p)
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_check)
@@ -746,6 +919,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk result cache directory")
     p.add_argument("--scale", type=float, default=0.2,
                    help="budget scale when no explicit budget is given")
+    _add_corpus_flag(p)
+    # Off by default: batch matrices measure solver methods; the tier
+    # answering cells first would skew every per-method column.
+    _add_sim_tier_flag(p, default=False)
     _add_prover_flag(p)
     _add_jobs_flag(p)
     _add_reduce_flag(p)
@@ -763,6 +940,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the pool (kill + respawn)")
     p.add_argument("--max-queued", type=int, default=16,
                    help="per-client active-job budget")
+    _add_sim_tier_flag(p)
     _add_jobs_flag(p)
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_serve)
@@ -772,8 +950,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
     p.add_argument("-k", type=int, required=True,
                    help="bound (max bound with --sweep)")
-    p.add_argument("--method", default="jsat", choices=ALL_METHODS,
-                   help="decision method")
+    p.add_argument("--method", default=None, choices=ALL_METHODS,
+                   help="decision method (default: daemon default; "
+                        "naming one pins it, bypassing the daemon's "
+                        "simulation pre-solve tier)")
     p.add_argument("--semantics", choices=("exact", "within"),
                    default="exact")
     p.add_argument("--sweep", action="store_true",
@@ -820,8 +1000,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("family", help=f"one of: {', '.join(FAMILIES)}")
     p.set_defaults(fn=_cmd_reduce)
 
-    p = sub.add_parser("suite", help="describe the 234-instance suite")
+    p = sub.add_parser(
+        "suite",
+        help=f"describe the built-in {len(build_suite())}-instance "
+             f"suite (or an ingested corpus)")
+    _add_corpus_flag(p)
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("import",
+                       help="ingest a model corpus directory "
+                            "(.aag/.aig/.bench/.smv) into suite "
+                            "instances and write a manifest")
+    p.add_argument("dir", help="directory to scan recursively")
+    p.add_argument("--k", type=int, default=10,
+                   help="bound recorded for every corpus instance")
+    p.add_argument("--manifest", metavar="FILE", default=None,
+                   help="write the fingerprinted manifest JSON here")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on the first unparseable file instead "
+                        "of skipping it")
+    _add_reduce_flag(p)
+    _add_telemetry_flags(p)
+    p.set_defaults(fn=_cmd_import)
     return parser
 
 

@@ -282,6 +282,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                mode: str = "single",
                reduce: object = "off",
                prover: Optional[str] = None,
+               sim_tier: bool = False,
                **options) -> List[CellResult]:
     """Run the full (instances × methods) matrix.
 
@@ -315,6 +316,13 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
     to every cell's session; parallel (``jobs``/``cache``) runs accept
     the string forms only, because the knob travels in worker payloads
     and cache keys.
+
+    ``sim_tier`` (default off — matrices measure solver methods) runs
+    the bit-parallel random-simulation pre-solve over the pending
+    cells before the worker pool starts; it forces the scheduler path
+    even for ``jobs=1``, since the tier lives in
+    :class:`~repro.portfolio.scheduler.BatchScheduler`.  ``"single"``
+    mode only.
 
     ``prover`` pairs the matrix with one unbounded prover.  In
     ``"single"`` mode it adds a comparison lane (one extra prover cell
@@ -364,7 +372,7 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
                                           reduce=reduce,
                                           **per_method[method]))
         return out
-    if (jobs is not None and jobs > 1) or cache is not None:
+    if (jobs is not None and jobs > 1) or cache is not None or sim_tier:
         from ..reduce import REDUCE_MODES
         if reduce not in REDUCE_MODES:
             raise ValueError(
@@ -377,7 +385,8 @@ def run_matrix(instances: Sequence[Instance], methods: Sequence[str],
         return scheduler.run(instances, methods, budget=budget,
                              semantics=semantics,
                              method_budgets=method_budgets,
-                             reduce=reduce, prover=prover, **options)
+                             reduce=reduce, prover=prover,
+                             sim_tier=sim_tier, **options)
 
     method_budgets = method_budgets or {}
     out: List[CellResult] = []

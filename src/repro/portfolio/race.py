@@ -147,6 +147,7 @@ def race(system: TransitionSystem, final: Expr, k: int,
          cache: Optional[Any] = None,
          prover: Optional[str] = None,
          prover_max_k: Optional[int] = None,
+         sim_tier: bool = True,
          **options) -> RaceOutcome:
     """Run ``methods`` concurrently; first conclusive answer wins.
 
@@ -177,6 +178,14 @@ def race(system: TransitionSystem, final: Expr, k: int,
     conclusive live win.  Races whose ``reduce`` knob is a custom
     :class:`~repro.reduce.Pipeline` object are never cached (the
     pipeline cannot participate in the fingerprint).
+
+    ``sim_tier`` (default on) runs the bit-parallel random-simulation
+    falsifier (:func:`repro.sim.presolve`) in the parent before any
+    worker spawns: a validated simulation witness settles the race in
+    milliseconds with zero solver processes (winner ``"simulation"``,
+    every solver lane ``"skipped"``).  The tier is SAT-only and
+    strictly wall-bounded, so switching it off changes timing, never
+    verdicts.
 
     ``prover`` pairs the falsifier lanes with one unbounded prover
     (any registered backend whose ``proves_unbounded`` flag is set:
@@ -269,6 +278,42 @@ def race(system: TransitionSystem, final: Expr, k: int,
             reduction = candidate
             system = candidate.system
             final = candidate.map_expr(final)
+
+    if sim_tier:
+        from ..sim import presolve as sim_presolve
+        sim_start = time.perf_counter()
+        sim_out = sim_presolve(system, final, k, semantics=semantics)
+        if sim_out is not None:
+            trace = sim_out.trace
+            assert trace is not None
+            if reduction is not None:
+                trace = reduction.lift(trace)
+                if validate:
+                    trace.validate(original_system)
+            elif validate:
+                trace.validate(original_system, final)
+            sim_seconds = time.perf_counter() - sim_start
+            stats = dict(sim_out.stats)
+            stats["portfolio_winner"] = "simulation"
+            stats["sim_presolved"] = True
+            stats["portfolio_cancelled"] = 0
+            if reduction is not None:
+                stats["reduced_latches"] = len(system.state_vars)
+                stats["original_latches"] = \
+                    len(original_system.state_vars)
+            result = BmcResult(SolveResult.SAT, trace, k, "portfolio",
+                               sim_seconds, stats)
+            tracer.instant("portfolio.winner", method="simulation", k=k)
+            logger.info("race pre-solved by simulation in %.3fs "
+                        "(witness length %d)", sim_seconds, trace.length)
+            if race_key is not None:
+                entry = encode_outcome(result)
+                entry["invariant"] = None
+                cache.put(race_key, entry)
+            method_outcomes = {m: "skipped" for m in lanes}
+            method_outcomes["simulation"] = "won"
+            return RaceOutcome(result, "simulation", method_outcomes,
+                               0.0, [], sim_seconds)
 
     ctx = pool_context()
     ensure_methods_spawnable(lanes, ctx)

@@ -39,7 +39,7 @@ __all__ = ["BatchScheduler", "hardness_estimate"]
 _METHOD_WEIGHT = {"sat-unroll": 2.0, "sat-incremental": 2.0, "jsat": 1.0,
                   "qbf": 6.0, "qbf-squaring": 6.0,
                   "k-induction": 8.0, "interpolation": 10.0,
-                  "diameter": 12.0}
+                  "diameter": 12.0, "simulation": 0.5}
 
 
 def hardness_estimate(instance: Instance, method: str,
@@ -92,8 +92,17 @@ class BatchScheduler:
             method_budgets: Dict[str, Budget] | None = None,
             reduce: str = "off",
             prover: Optional[str] = None,
+            sim_tier: bool = False,
             **options) -> List:
         """Parallel equivalent of ``run_matrix`` (same result order).
+
+        ``sim_tier`` answers pending cells with the bit-parallel
+        random-simulation falsifier before any worker dispatch: a
+        validated simulation witness fills the cell (worker ``"sim"``,
+        its assigned method untouched, like a cache hit) so the pool
+        only spins up for the cells randomness could not settle.  Off
+        by default — experiment matrices exist to *measure* the solver
+        methods, which a pre-solve tier would skip.
 
         ``reduce`` (``"auto"`` / ``"off"``) rides along in every cell
         payload — reduction happens inside the worker's session — and
@@ -164,6 +173,47 @@ class BatchScheduler:
                     continue
             pending.append(slot)
 
+        sim_answered = 0
+        if sim_tier and pending:
+            from ..sim import presolve
+            still_pending: List[int] = []
+            # One falsification attempt per (instance, semantics) pair
+            # answers every method lane of that instance at once.
+            attempts: Dict[Tuple[int, str], Any] = {}
+            for slot in pending:
+                instance, method, _cell_budget = cells[slot]
+                cell_semantics = "within" if method == prover else semantics
+                probe = (id(instance), cell_semantics)
+                if probe not in attempts:
+                    attempts[probe] = presolve(
+                        instance.system, instance.final, instance.k,
+                        semantics=cell_semantics)
+                sim_out = attempts[probe]
+                if sim_out is None or not sim_out.trace.is_valid(
+                        instance.system, instance.final):
+                    still_pending.append(slot)
+                    continue
+                outcome = {
+                    "status": SolveResult.SAT.name,
+                    "k": sim_out.hit_k,
+                    "method": "simulation",
+                    "seconds": sim_out.seconds,
+                    "stats": dict(sim_out.stats,
+                                  sim_presolved=True),
+                    "trace": {
+                        "states": [dict(s)
+                                   for s in sim_out.trace.states],
+                        "inputs": [dict(i)
+                                   for i in sim_out.trace.inputs]},
+                    "error": None,
+                }
+                slots[slot] = self._to_cell_result(
+                    instance, method, outcome, worker="sim")
+                sim_answered += 1
+                tracer.instant("sim.hit", instance=instance.name,
+                               method=method, k=sim_out.hit_k)
+            pending = still_pending
+
         # Hardest first: a longest-job-first schedule minimizes the
         # makespan penalty of stragglers landing last.
         pending.sort(key=lambda slot: hardness_estimate(
@@ -220,6 +270,7 @@ class BatchScheduler:
             "cache_hits": cache_hits,
             "cache_misses": (len(cells) - cache_hits
                              if self.cache is not None else 0),
+            "sim_hits": sim_answered,
             "timeouts": timeouts,
             "jobs": self.jobs,
             "wall_seconds": wall,

@@ -85,7 +85,8 @@ class ServeDaemon:
                  jobs: Optional[int] = None,
                  cache_dir: Optional[str] = None,
                  wall_timeout: Optional[float] = None,
-                 max_queued: int = 16) -> None:
+                 max_queued: int = 16,
+                 sim_tier: bool = True) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("pick exactly one of socket_path / port")
         self.socket_path = socket_path
@@ -94,6 +95,7 @@ class ServeDaemon:
         self.jobs = jobs
         self.wall_timeout = wall_timeout
         self.max_queued = max_queued
+        self.sim_tier = sim_tier
         self.cache = (ResultCache(cache_dir) if cache_dir
                       else MemoryCache())
 
@@ -112,7 +114,8 @@ class ServeDaemon:
         self.stats: Dict[str, int] = {
             "requests": 0, "submitted": 0, "completed": 0,
             "cancelled": 0, "evicted": 0, "failed": 0,
-            "coalesced": 0, "cache_answers": 0, "errors": 0,
+            "coalesced": 0, "cache_answers": 0, "sim_answers": 0,
+            "errors": 0,
         }
         # Memoized per-family instance and per-(family, reduce)
         # reduction: computed once, reused by every request.
@@ -337,6 +340,56 @@ class ServeDaemon:
             kind=spec["kind"], stream=(spec["kind"] == "sweep"))
         return key, payload, reduction
 
+    def _sim_presolve(self, spec: Dict[str, Any],
+                      payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The daemon's pre-solve tier: answer a submission by random
+        simulation before it ever reaches the queue.
+
+        Runs on the already-reduced payload system, strictly
+        wall-bounded, SAT-only.  Returns a finished outcome dict in
+        the same shape a worker would produce (sweep submissions get
+        the sweep outcome shape), or None — the job then queues
+        normally.
+        """
+        if not self.sim_tier:
+            return None
+        if spec.get("method_pinned"):
+            # The client asked for a specific engine; honour it —
+            # pinned submissions keep their method's behaviour
+            # (per-bound streaming, proof capability) end to end.
+            return None
+        from ..sat.types import SolveResult
+        from ..sim import presolve
+        semantics = (spec["semantics"] if spec["kind"] == "check"
+                     else "within")
+        out = presolve(payload["system"], payload["final"], spec["k"],
+                       semantics=semantics)
+        if out is None:
+            return None
+        assert out.trace is not None
+        outcome: Dict[str, Any] = {
+            "status": SolveResult.SAT.name,
+            "k": out.hit_k,
+            "method": "simulation",
+            "seconds": out.seconds,
+            "stats": dict(out.stats, sim_presolved=True,
+                          sim_solver_calls=0),
+            "trace": {
+                "states": [dict(s) for s in out.trace.states],
+                "inputs": [dict(i) for i in out.trace.inputs]},
+            "proved": False,
+            "invariant": None,
+            "error": None,
+        }
+        if spec["kind"] == "sweep":
+            outcome["kind"] = "sweep"
+            outcome["max_k"] = spec["k"]
+            outcome["per_bound"] = [{
+                "k": out.hit_k, "status": SolveResult.SAT.name,
+                "seconds": out.seconds,
+                "cumulative_seconds": out.seconds, "proved": False}]
+        return outcome
+
     # ------------------------------------------------------------------
     # Ops
     # ------------------------------------------------------------------
@@ -382,6 +435,23 @@ class ServeDaemon:
             return ok_response(
                 request_id, job=job.job_id, state="done", cached=True,
                 result=self._result_view(cached, reduction))
+
+        sim_outcome = self._sim_presolve(spec, payload)
+        if sim_outcome is not None:
+            job = self._new_job(key, spec, payload)
+            job.state = JobState.DONE
+            job.result = dict(sim_outcome)
+            job.finished_at = job.started_at = time.monotonic()
+            # Deliberately NOT cached: the key names the spec's solver
+            # method, and a later submission pinning that method must
+            # get the real engine, not a simulation result wearing its
+            # key.  Re-presolving a repeat submission costs ~1 ms and
+            # is deterministic.
+            self.stats["sim_answers"] += 1
+            self.stats["completed"] += 1
+            return ok_response(
+                request_id, job=job.job_id, state="done", presolved=True,
+                result=self._result_view(sim_outcome, reduction))
 
         waiter = Waiter(client.client_id, request_id, reduction,
                         spec["subscribe"])

@@ -195,9 +195,18 @@ def _validate_fields(op: str, obj: Dict[str, Any],
 
 
 def validate_submit(obj: Dict[str, Any]) -> Dict[str, Any]:
-    """Validate one submit-shaped object (used by submit and batch)."""
-    return _validate_fields("submit", obj, _SUBMIT_FIELDS,
+    """Validate one submit-shaped object (used by submit and batch).
+
+    The returned spec carries ``method_pinned``: True when the client
+    named a method explicitly, False when the default was filled in.
+    The daemon's simulation pre-solve tier only intercepts unpinned
+    submissions — a client that asked for a specific engine gets that
+    engine (and its streaming behaviour), never a shortcut.
+    """
+    spec = _validate_fields("submit", obj, _SUBMIT_FIELDS,
                             _SUBMIT_DEFAULTS)
+    spec["method_pinned"] = isinstance(obj, dict) and "method" in obj
+    return spec
 
 
 def validate_request(obj: Any) -> Tuple[str, Dict[str, Any]]:

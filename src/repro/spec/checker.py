@@ -348,6 +348,15 @@ class PropertyChecker:
     with no single-target reachability form (general bounded-LTL) are
     never escalated.
 
+    ``sim_tier`` (default on) tries the bit-parallel random-simulation
+    falsifier (:func:`repro.sim.presolve`) on each reachability-style
+    query before touching the shared unrolling: a validated simulation
+    witness answers the property without a single solver call.  The
+    tier is SAT-only and strictly wall-bounded — turning it off
+    changes timing, never verdicts.  General bounded-LTL properties
+    (no single-target reachability form) always go straight to the
+    solver.
+
     Witness traces are validated in debug mode (``__debug__``): the
     search formula must hold on the witness under the bounded path
     semantics (:func:`repro.spec.eval.holds_on_path`) over the cone it
@@ -362,7 +371,8 @@ class PropertyChecker:
                  validate: Optional[bool] = None,
                  reduce: object = "off",
                  prover: Optional[str] = None,
-                 prover_max_k: int = 64) -> None:
+                 prover_max_k: int = 64,
+                 sim_tier: bool = True) -> None:
         from ..reduce import resolve_reduce
         if prover is not None:
             from ..bmc.backend import backend_class  # deferred: bmc imports spec
@@ -378,6 +388,7 @@ class PropertyChecker:
         self.pipeline = resolve_reduce(reduce)
         self.prover = prover
         self.prover_max_k = prover_max_k
+        self.sim_tier = sim_tier
         self._cones: Dict[tuple, _Cone] = {}
         self._assignments: Dict[str, _Cone] = {}
         self._mapped: Dict[str, Property] = {}
@@ -645,6 +656,10 @@ class PropertyChecker:
         reduction = cone.reduction
         system = cone.system
         mapped = self._mapped[name]
+        if self.sim_tier:
+            result = self._sim_prepass(name, prop, mapped, cone, k, start)
+            if result is not None:
+                return result
         formula, universal = search_plan(mapped)
         unrolling = cone.unrolling_for(k)
         frames = unrolling.frames_upto(k)
@@ -718,6 +733,40 @@ class PropertyChecker:
         return PropertyResult(name, prop, verdict, conclusive, status, k,
                               trace, seconds, stats, proved=proved,
                               invariant=invariant)
+
+    def _sim_prepass(self, name: str, prop: Property, mapped: Property,
+                     cone, k: int, start: float
+                     ) -> Optional[PropertyResult]:
+        """The random-simulation tier for one reachability-form query.
+
+        Runs on the property's own reduced cone under ``within``
+        semantics (the bounded search formula accepts a witness at any
+        depth ≤ k, so a shallower simulation hit answers the same
+        query).  Returns a conclusive SAT :class:`PropertyResult`, or
+        None when the solver must run — the tier can never conclude
+        UNSAT, so a miss is silent.
+        """
+        target = reachability_target(mapped)
+        if target is None:
+            return None
+        from ..sim import presolve
+        sim_out = presolve(cone.system, target, k, semantics="within")
+        if sim_out is None:
+            return None
+        trace = sim_out.trace
+        assert trace is not None
+        trace = cone.reduction.lift(trace)
+        if self.validate:
+            trace.validate(self.system)
+        original_target = reachability_target(prop)
+        if original_target is not None:
+            trace = trace.shorten_to(original_target)
+        _, universal = search_plan(mapped)
+        verdict = Verdict.VIOLATED if universal else Verdict.HOLDS
+        stats = dict(sim_out.stats, sim_presolved=True)
+        seconds = time.perf_counter() - start
+        return PropertyResult(name, prop, verdict, True, SolveResult.SAT,
+                              k, trace, seconds, stats)
 
     def _validate_witness(self, name: str, formula: Property,
                           trace: Trace,

@@ -1,0 +1,20 @@
+"""Industrial workload ingestion.
+
+Routes third-party model files — AIGER (ASCII ``aag`` and binary
+``aig``), ISCAS-89 ``.bench`` netlists and the SMV subset — into
+suite-compatible :class:`~repro.models.suite.Instance` objects, so the
+portfolio, the batch scheduler, the property checker and the serve
+daemon all run on real designs exactly as they run on the built-in
+families.  See :mod:`repro.workloads.corpus`.
+"""
+
+from .corpus import (CorpusEntry, CorpusError, CorpusReport,
+                     SUPPORTED_EXTENSIONS, fingerprint_circuit, ingest,
+                     ingest_file, load_circuit, scan_directory,
+                     write_manifest)
+
+__all__ = [
+    "CorpusEntry", "CorpusError", "CorpusReport", "SUPPORTED_EXTENSIONS",
+    "fingerprint_circuit", "ingest", "ingest_file", "load_circuit",
+    "scan_directory", "write_manifest",
+]

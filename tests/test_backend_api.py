@@ -30,7 +30,7 @@ from repro.system.oracle import ExplicitOracle
 
 BUILTINS = ("sat-unroll", "sat-incremental", "qbf", "qbf-squaring",
             "jsat", "k-induction", "interpolation", "diameter",
-            "portfolio")
+            "simulation", "portfolio")
 
 
 # ----------------------------------------------------------------------

@@ -2,13 +2,19 @@
 
 import random
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.logic import expr as ex
 from repro.logic.cnf import CNF
 from repro.logic.dimacs import (parse_dimacs, parse_qdimacs, write_dimacs,
                                 write_qdimacs)
+from repro.models import FAMILIES
+from repro.reduce.structure import FunctionalView
 from repro.system import ExplicitOracle, parse_aiger, write_aiger
+from repro.system.aiger_io import (load_aiger, parse_aiger_binary,
+                                   write_aiger_binary)
+from repro.system.circuit import Circuit
 from repro.system.random_model import random_circuit
 
 COMMON = dict(deadline=None,
@@ -69,3 +75,126 @@ class TestAigerRoundTrip:
         assert set(o1.initial_states) == set(o2.initial_states)
         for state in o1._succ:
             assert o1.successors(state) == o2.successors(state)
+
+
+# ----------------------------------------------------------------------
+# Every suite family through AIGER, ASCII and binary
+# ----------------------------------------------------------------------
+def _family_circuit(family):
+    """Rebuild one family instance as a Circuit via its functional view.
+
+    The suite stores TransitionSystems; AIGER serialisation starts from
+    circuits, so the test reconstitutes one from the per-latch view —
+    which every suite family is guaranteed to expose (functional TR,
+    no invariant constraints, concrete resets).
+    """
+    instance = FAMILIES[family]()[0]
+    system = instance.system
+    view = FunctionalView.from_system(system)
+    assert view is not None, family
+    assert not view.constraints, family
+    circuit = Circuit(system.name)
+    for name in system.input_vars:
+        circuit.add_input(name)
+    for name in system.state_vars:
+        circuit.add_latch(name, init=view.resets.get(name))
+    for name in system.state_vars:
+        circuit.set_next(name, view.updates[name])
+    circuit.add_bad("target", instance.final)
+    return circuit
+
+
+def _lockstep(circuit, back, steps=8, seed=0):
+    """Drive both circuits with the same random inputs and compare
+    every latch value and the bad-signal valuation at every step."""
+    rng = random.Random(seed)
+    inputs = [{name: rng.random() < 0.5 for name in circuit.input_names}
+              for _ in range(steps)]
+    initial = {name: rng.random() < 0.5
+               for name in circuit.latch_names
+               if circuit._init_values[name] is None}
+    s1 = circuit.simulate(inputs, initial=initial)
+    s2 = back.simulate(inputs, initial=initial)
+    assert back.latch_names == circuit.latch_names
+    assert s1 == s2
+    assert set(back.bad) == set(circuit.bad)
+    for state, step_inputs in zip(s1, inputs + [inputs[-1]]):
+        env = dict(state)
+        env.update(step_inputs)
+        for name in circuit.bad:
+            assert circuit.bad[name].evaluate(env) == \
+                back.bad[name].evaluate(env), name
+
+
+class TestAigerSuiteFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_ascii_round_trip(self, family):
+        circuit = _family_circuit(family)
+        back = parse_aiger(write_aiger(circuit), circuit.name)
+        _lockstep(circuit, back)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_binary_round_trip(self, family):
+        circuit = _family_circuit(family)
+        back = parse_aiger_binary(write_aiger_binary(circuit),
+                                  circuit.name)
+        _lockstep(circuit, back)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_symbol_tables_preserved(self, family):
+        circuit = _family_circuit(family)
+        for back in (parse_aiger(write_aiger(circuit), circuit.name),
+                     parse_aiger_binary(write_aiger_binary(circuit),
+                                        circuit.name)):
+            assert back.input_names == circuit.input_names
+            assert back.latch_names == circuit.latch_names
+            assert list(back.bad) == list(circuit.bad)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_latch_resets_preserved(self, family):
+        circuit = _family_circuit(family)
+        for back in (parse_aiger(write_aiger(circuit), circuit.name),
+                     parse_aiger_binary(write_aiger_binary(circuit),
+                                        circuit.name)):
+            assert back._init_values == circuit._init_values
+
+
+class TestAigerBinaryDetails:
+    def test_unconstrained_reset_round_trips(self):
+        circuit = Circuit("free")
+        circuit.add_input("i")
+        circuit.add_latch("l0", init=None)
+        circuit.add_latch("l1", init=True)
+        circuit.set_next("l0", ex.var("i"))
+        circuit.set_next("l1", ex.var("l0"))
+        circuit.add_bad("target", ex.var("l1"))
+        for back in (parse_aiger(write_aiger(circuit)),
+                     parse_aiger_binary(write_aiger_binary(circuit))):
+            assert back._init_values["l0"] is None
+            assert back._init_values["l1"] is True
+
+    def test_multibyte_leb128_deltas(self):
+        # A wide xor chain forces AND-gate literals past 254, so the
+        # binary encoder must emit multi-byte LEB128 deltas.
+        circuit = Circuit("wide")
+        bits = [circuit.add_latch(f"b{i}", init=(i % 2 == 0))
+                for i in range(40)]
+        parity = bits[0]
+        for b in bits[1:]:
+            parity = parity ^ b
+        for i in range(40):
+            circuit.set_next(f"b{i}", bits[(i + 1) % 40] ^ parity)
+        circuit.add_bad("target", parity)
+        data = write_aiger_binary(circuit)
+        back = parse_aiger_binary(data, "wide")
+        _lockstep(circuit, back, steps=4)
+
+    def test_load_aiger_sniffs_format(self, tmp_path):
+        circuit = _family_circuit("counter")
+        ascii_path = tmp_path / "m.aag"
+        binary_path = tmp_path / "m.aig"
+        ascii_path.write_text(write_aiger(circuit))
+        binary_path.write_bytes(write_aiger_binary(circuit))
+        for path in (ascii_path, binary_path):
+            back = load_aiger(path)
+            _lockstep(circuit, back, steps=4)

@@ -137,7 +137,8 @@ def _sleepy_execute(payload):
 class TestRace:
     def test_race_finds_sat_with_valid_witness(self):
         system, final, depth = counter.make(4, 9)
-        outcome = race(system, final, depth,
+        # sim_tier off: this test races the solver lanes themselves.
+        outcome = race(system, final, depth, sim_tier=False,
                        budget=Budget(max_seconds=10.0))
         from repro.portfolio import DEFAULT_RACE_METHODS
         assert outcome.result.status is SolveResult.SAT
@@ -163,7 +164,9 @@ class TestRace:
 
     def test_race_all_inconclusive_returns_unknown(self):
         system, final, depth = counter.make(4, 9)
-        outcome = race(system, final, depth,
+        # sim_tier off: it would (correctly) answer SAT before the
+        # zero-budget solver lanes get to be inconclusive.
+        outcome = race(system, final, depth, sim_tier=False,
                        budget=Budget(max_seconds=0.0))
         assert outcome.result.status is SolveResult.UNKNOWN
         assert outcome.winner is None

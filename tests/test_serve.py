@@ -154,6 +154,11 @@ class TestFairQueue:
 # ----------------------------------------------------------------------
 def _start_daemon(tmp_path, **kwargs):
     sock = str(tmp_path / "repro.sock")
+    # sim_tier off by default: these tests exercise the queue /
+    # coalesce / cancel machinery, which the simulation pre-solve
+    # tier would answer before a job ever queues.  The sim tier
+    # itself is covered in tests/test_sim.py.
+    kwargs.setdefault("sim_tier", False)
     daemon = ServeDaemon(socket_path=sock, **kwargs)
     thread = threading.Thread(target=daemon.run, daemon=True)
     thread.start()

@@ -303,7 +303,8 @@ class TestSessionProperties:
                    for r in results.values())
 
     def test_unrolling_state_persists_across_calls(self):
-        with BmcSession(self.system, properties={
+        # sim_tier off: this test watches the shared unrolling itself.
+        with BmcSession(self.system, sim_tier=False, properties={
                 "hit": Reachable(self.final)}) as session:
             first = session.check_properties(self.depth)["hit"]
             again = session.check_properties(self.depth)["hit"]
@@ -380,7 +381,9 @@ class TestReviewRegressions:
 
     def test_sweep_after_growth_keeps_two_encodings(self):
         system, final, depth = counter.make(3, 5)
-        checker = PropertyChecker(system, {"hit": Reachable(final)})
+        # sim_tier off: this test watches the two-driver encodings.
+        checker = PropertyChecker(system, {"hit": Reachable(final)},
+                                  sim_tier=False)
         cone = checker._cone_for("hit")
         shared = cone.unrolling_for(0)
         checker.check_all(depth + 2)               # shared grows deep

@@ -324,12 +324,14 @@ class TestWorkerMerge:
     def test_race_served_from_cache(self, tmp_path):
         system, final, depth = counter.make(3, 5)
         cache = ResultCache(tmp_path / "cache")
+        # sim_tier off: this test watches the solver-lane cache
+        # round-trip; the simulation pre-solve tier would answer first.
         first = race(system, final, depth, methods=("sat-unroll",),
-                     budget=DET_BUDGET, cache=cache)
+                     budget=DET_BUDGET, cache=cache, sim_tier=False)
         assert first.winner == "sat-unroll"
         assert "cache_served" not in first.result.stats
         second = race(system, final, depth, methods=("sat-unroll",),
-                      budget=DET_BUDGET, cache=cache)
+                      budget=DET_BUDGET, cache=cache, sim_tier=False)
         assert second.result.stats.get("cache_served") is True
         assert second.result.status.name == "SAT"
         assert second.method_outcomes == {"sat-unroll": "cache"}
