@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
-from ..sat.solver import CdclSolver
+from ..sat.kernel import make_solver
 from ..sat.types import Budget, BudgetExceeded, SolveResult
 from ..system.model import TransitionSystem
 
@@ -47,7 +47,7 @@ class AllSatReachability:
                                            system.state_vars])
         self._init_act = self.pool.fresh("act_i")
         init_lit = encoder.encode(init_u) if not init_u.is_true else None
-        self.solver = CdclSolver()
+        self.solver = make_solver()
         self.solver.ensure_vars(max(cnf.num_vars, self.pool.num_vars))
         self.solver.add_clauses(cnf.clauses)
         self.solver.add_clause([-self._trans_act, trans_lit])

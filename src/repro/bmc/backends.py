@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..qbf.expansion import ExpansionSolver
 from ..qbf.qdpll import QdpllSolver
-from ..sat.solver import CdclSolver
+from ..sat.kernel import make_solver
 from ..sat.types import Budget, SolveResult
 from ..system.trace import Trace
 from .backend import (Backend, BackendOptions, BmcResult, OnBound,
@@ -64,12 +64,13 @@ def squaring_ladder(max_k: int) -> List[int]:
 
 def _check_unroll_once(system, final, k: int, semantics: str,
                        budget: Budget | None,
-                       polarity_reduction: bool = False) -> BmcResult:
+                       polarity_reduction: bool = False,
+                       solver_engine: Optional[str] = None) -> BmcResult:
     """One formula-(1) query (also the k = 0 fallback for the QBF
     encodings, which need at least one step)."""
     encoding = encode_unrolled(system, final, k, semantics,
                                polarity_reduction=polarity_reduction)
-    solver = CdclSolver()
+    solver = make_solver(solver_engine)
     solver.ensure_vars(encoding.cnf.num_vars)
     ok = solver.add_clauses(encoding.cnf.clauses)
     status = solver.solve(budget=budget) if ok else SolveResult.UNSAT
@@ -98,7 +99,8 @@ class SatUnrollBackend(Backend):
               budget: Budget | None = None) -> BmcResult:
         result = _check_unroll_once(
             self.system, self.final, k, semantics, budget,
-            polarity_reduction=self.options.polarity_reduction)
+            polarity_reduction=self.options.polarity_reduction,
+            solver_engine=self.options.solver)
         result.method = self.name
         return result
 
@@ -133,7 +135,8 @@ class SatIncrementalBackend(Backend):
             self._inc = IncrementalBmc(
                 self.system, self.final,
                 polarity_reduction=self.options.polarity_reduction,
-                purge_interval=self.options.purge_interval)
+                purge_interval=self.options.purge_interval,
+                solver=self.options.solver)
         return self._inc
 
     def check(self, k: int, semantics: str = "exact",
@@ -194,7 +197,8 @@ class QbfBackend(Backend):
         if k == 0:
             # Formula (2) needs at least one step; fall back to SAT.
             result = _check_unroll_once(system, self.final, 0, "exact",
-                                        budget)
+                                        budget,
+                                        solver_engine=self.options.solver)
             result.method = self.name
             return result
         encoding = encode_qbf(query_system, self.final, k)
@@ -244,7 +248,8 @@ class QbfSquaringBackend(Backend):
             bound = k
         if k == 0:
             result = _check_unroll_once(self.system, self.final, 0,
-                                        "exact", budget)
+                                        "exact", budget,
+                                        solver_engine=self.options.solver)
             result.method = self.name
             return result
         encoding = encode_squaring(query_system, self.final, bound)
@@ -304,7 +309,8 @@ class JsatBackend(Backend):
                 self.system, self.final, 0, semantics,
                 use_cache=self.options.use_cache,
                 f_pruning=self.options.f_pruning,
-                purge_interval=self.options.purge_interval)
+                purge_interval=self.options.purge_interval,
+                solver=self.options.solver)
             self._solvers[semantics] = solver
         return solver
 

@@ -24,7 +24,7 @@ from ..logic import expr as ex
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
-from ..sat.solver import CdclSolver
+from ..sat.kernel import make_solver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from .backend import BmcResult
@@ -81,7 +81,7 @@ def longest_simple_path_reached(system: TransitionSystem, k: int,
             same = ex.equal_vectors([ex.var(n) for n in frames[i]],
                                     [ex.var(n) for n in frames[j]])
             encoder.assert_expr(ex.mk_not(same))
-    solver = CdclSolver()
+    solver = make_solver()
     solver.ensure_vars(max(cnf.num_vars, pool.num_vars))
     if not solver.add_clauses(cnf.clauses):
         return True

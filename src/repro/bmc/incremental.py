@@ -33,8 +33,8 @@ from typing import Dict, List, Optional, Tuple
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
-from ..sat.solver import CdclSolver
-from ..sat.types import Budget, SolveResult
+from ..sat.kernel import make_solver
+from ..sat.types import Budget, SolveResult, resolve_engine
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
 from ..telemetry.trace import current_tracer
@@ -66,6 +66,9 @@ class IncrementalBmc:
     purge_interval:
         Retired final-constraint groups are physically reclaimed every
         this many retirements (1 = immediately).
+    solver:
+        SAT engine for the long-lived solver: ``"kernel"`` or
+        ``"reference"`` (None defers to the process default).
 
     Example
     -------
@@ -78,7 +81,8 @@ class IncrementalBmc:
 
     def __init__(self, system: TransitionSystem, final: Expr,
                  polarity_reduction: bool = False,
-                 purge_interval: int = 4) -> None:
+                 purge_interval: int = 4,
+                 solver: Optional[str] = None) -> None:
         stray = final.support() - set(system.state_vars)
         if stray:
             raise ValueError(f"final predicate uses non-state vars: {stray}")
@@ -86,11 +90,12 @@ class IncrementalBmc:
         self.final = final
         self.polarity_reduction = polarity_reduction
         self.purge_interval = max(1, purge_interval)
+        self.engine = resolve_engine(solver)
         self.pool = VarPool()
         self.cnf = CNF()
         self.encoder = TseitinEncoder(self.cnf, self.pool,
                                       polarity_reduction)
-        self.solver = CdclSolver()
+        self.solver = make_solver(self.engine)
         self._cursor = 0                       # clauses already in solver
         self._groups: Dict[int, int] = {}      # bound -> live group literal
         self._retired_since_purge = 0
@@ -190,7 +195,8 @@ class IncrementalBmc:
                 low = IncrementalBmc(
                     self.system, self.final,
                     polarity_reduction=self.polarity_reduction,
-                    purge_interval=self.purge_interval)
+                    purge_interval=self.purge_interval,
+                    solver=self.engine)
                 self._low = low
             return low.check_bound(k, budget=budget)
         solver = self.solver

@@ -23,7 +23,7 @@ from ..logic import expr as ex
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
-from ..sat.solver import CdclSolver
+from ..sat.kernel import make_solver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
@@ -72,7 +72,7 @@ def _register_frames(pool: VarPool, system: TransitionSystem,
             pool.named(f"{v}@{i}")
 
 
-def _model_bit(solver: CdclSolver, pool: VarPool, name: str) -> bool:
+def _model_bit(solver, pool: VarPool, name: str) -> bool:
     """Read one named bit from the model via ``pool.lookup``.
 
     Never allocates: a name absent from the pool (impossible after
@@ -108,7 +108,7 @@ def _base_case(system: TransitionSystem, bad: Expr, k: int,
         system.rename_state_expr(bad, _frame(system.state_vars, i))
         for i in range(k + 1)))
     _register_frames(pool, system, k + 1, k)
-    solver = CdclSolver()
+    solver = make_solver()
     solver.ensure_vars(max(cnf.num_vars, pool.num_vars))
     if not solver.add_clauses(cnf.clauses):
         return SolveResult.UNSAT, None
@@ -155,7 +155,7 @@ def _step_case(system: TransitionSystem, bad: Expr, k: int,
                 [ex.var(n) for n in _frame(system.state_vars, i)],
                 [ex.var(n) for n in _frame(system.state_vars, j)])
             encoder.assert_expr(ex.mk_not(same))
-    solver = CdclSolver()
+    solver = make_solver()
     solver.ensure_vars(max(cnf.num_vars, pool.num_vars))
     if not solver.add_clauses(cnf.clauses):
         return SolveResult.UNSAT

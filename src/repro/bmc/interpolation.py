@@ -30,8 +30,8 @@ from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder, expr_to_cnf
 from ..sat.interpolation import compute_interpolant
+from ..sat.kernel import make_solver
 from ..sat.proof import ResolutionProof
-from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
@@ -65,7 +65,7 @@ def _implies(antecedent: Expr, consequent: Expr) -> bool:
     """Validity of antecedent -> consequent via one SAT call."""
     query = ex.mk_and(antecedent, ex.mk_not(consequent))
     cnf, _ = expr_to_cnf(query)
-    solver = CdclSolver()
+    solver = make_solver()
     solver.ensure_vars(cnf.num_vars)
     if not solver.add_clauses(cnf.clauses):
         return True
@@ -78,7 +78,7 @@ def _bounded_query(system: TransitionSystem, reach: Expr, bad: Expr,
     """One A/B query; returns (status, interpolant-as-state-predicate,
     counterexample candidate trace)."""
     proof = ResolutionProof()
-    solver = CdclSolver(proof=proof)
+    solver = make_solver(proof=proof)
     pool = VarPool()
     # Register every frame bit up front so a SAT model covers them all
     # (the solver assigns every known variable TR-consistently); see
@@ -168,7 +168,7 @@ def prove_by_interpolation(system: TransitionSystem, bad: Expr,
     # Depth-0: an initial state may already be bad.
     init_bad = ex.mk_and(system.init, bad)
     cnf, pool = expr_to_cnf(init_bad)
-    probe = CdclSolver()
+    probe = make_solver()
     probe.ensure_vars(cnf.num_vars)
     loaded = probe.add_clauses(cnf.clauses)
     if loaded and probe.solve() is SolveResult.SAT:

@@ -50,8 +50,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
-from ..sat.solver import CdclSolver
-from ..sat.types import Budget, BudgetExceeded, SolveResult
+from ..sat.kernel import make_solver
+from ..sat.types import Budget, BudgetExceeded, SolveResult, resolve_engine
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
 
@@ -111,13 +111,19 @@ class JsatSolver:
     purge_interval:
         Retired clause groups are physically reclaimed every this many
         pops (1 = immediately; larger trades memory for time).
+    solver:
+        SAT engine for the window queries: ``"kernel"`` or
+        ``"reference"`` (None defers to the process default).  Group
+        retirement is engine-independent — both engines expose the
+        same activation-literal surface.
     """
 
     def __init__(self, system: TransitionSystem, final: Expr, k: int,
                  semantics: str = "exact",
                  use_cache: bool = True,
                  f_pruning: bool = True,
-                 purge_interval: int = 8) -> None:
+                 purge_interval: int = 8,
+                 solver: Optional[str] = None) -> None:
         if k < 0:
             raise ValueError("bound k must be non-negative")
         if semantics not in ("exact", "within"):
@@ -132,6 +138,7 @@ class JsatSolver:
         self.use_cache = use_cache
         self.f_pruning = f_pruning
         self.purge_interval = max(1, purge_interval)
+        self.engine = resolve_engine(solver)
         self.stats = JsatStats()
         self._trace: Optional[Trace] = None
         self._deadline: Optional[float] = None
@@ -190,7 +197,7 @@ class JsatSolver:
         self._fin_u_act = self.pool.fresh("act_fin_u")
 
         cnf.num_vars = max(cnf.num_vars, self.pool.num_vars)
-        self.solver = CdclSolver()
+        self.solver = make_solver(self.engine)
         self.solver.ensure_vars(cnf.num_vars)
         self._ok = self.solver.add_clauses(cnf.clauses)
         self.solver.add_clause([-self._trans_act, trans_lit])

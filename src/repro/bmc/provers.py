@@ -41,7 +41,7 @@ from ..logic import expr as ex
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder, expr_to_cnf
-from ..sat.solver import CdclSolver
+from ..sat.kernel import make_solver
 from ..sat.types import Budget, SolveResult
 from ..system.model import TransitionSystem
 from ..system.trace import Trace
@@ -84,7 +84,7 @@ def validate_invariant(system: TransitionSystem, bad: Expr,
     )
     for query in queries:
         cnf, _ = expr_to_cnf(query)
-        solver = CdclSolver()
+        solver = make_solver()
         solver.ensure_vars(cnf.num_vars)
         if not solver.add_clauses(cnf.clauses):
             continue                        # vacuously UNSAT
@@ -111,14 +111,15 @@ class _StepEngine:
     rebuilds the engine rather than ever querying downward.
     """
 
-    def __init__(self, system: TransitionSystem, bad: Expr) -> None:
+    def __init__(self, system: TransitionSystem, bad: Expr,
+                 solver: Optional[str] = None) -> None:
         self.system = system
         self.bad = bad
         self.good = ex.mk_not(bad)
         self.pool = VarPool()
         self.cnf = CNF()
         self.encoder = TseitinEncoder(self.cnf, self.pool)
-        self.solver = CdclSolver()
+        self.solver = make_solver(solver)
         self._cursor = 0
         self._frames: List[List[str]] = [
             [f"{v}@0" for v in system.state_vars]]
@@ -258,13 +259,15 @@ class KInductionBackend(_ProverBackend):
         if self._base is None:
             self._base = IncrementalBmc(
                 self.system, self.final,
-                purge_interval=self.options.purge_interval)
+                purge_interval=self.options.purge_interval,
+                solver=self.options.solver)
         return self._base
 
     @property
     def step(self) -> _StepEngine:
         if self._step is None:
-            self._step = _StepEngine(self.system, self.final)
+            self._step = _StepEngine(self.system, self.final,
+                                     solver=self.options.solver)
         return self._step
 
     def check(self, k: int, semantics: str = "within",
@@ -345,7 +348,7 @@ class InterpolationBackend(_ProverBackend):
             return None
         init_bad = ex.mk_and(self.system.init, self.final)
         cnf, pool = expr_to_cnf(init_bad)
-        solver = CdclSolver()
+        solver = make_solver(self.options.solver)
         solver.ensure_vars(cnf.num_vars)
         loaded = solver.add_clauses(cnf.clauses)
         status = solver.solve(budget=budget) if loaded else \
@@ -442,7 +445,8 @@ class DiameterBackend(_ProverBackend):
         if self._base is None:
             self._base = IncrementalBmc(
                 self.system, self.final,
-                purge_interval=self.options.purge_interval)
+                purge_interval=self.options.purge_interval,
+                solver=self.options.solver)
         return self._base
 
     def check(self, k: int, semantics: str = "within",

@@ -92,6 +92,12 @@ class BmcSession:
         order.  Witness traces are lifted back to full-width paths
         over the original system before validation or shortening, so
         callers never observe the reduction.
+    solver:
+        SAT engine default for every backend and checker the session
+        creates: ``"kernel"`` or ``"reference"``.  ``None`` (default)
+        defers to the process default
+        (:func:`repro.sat.types.resolve_engine`); a per-call
+        ``solver=...`` backend option overrides it.
     on_bound:
         Session-wide per-bound observer (``on_bound(BoundResult)``)
         invoked during sweeps and iterative deepening; a per-call
@@ -113,6 +119,7 @@ class BmcSession:
                  prover: Optional[str] = None,
                  prover_max_k: int = 64,
                  sim_tier: bool = True,
+                 solver: Optional[str] = None,
                  on_bound: OnBound | None = None) -> None:
         from ..reduce import resolve_reduce
         validate_method(method)
@@ -141,6 +148,8 @@ class BmcSession:
         self.prover = prover
         self.prover_max_k = prover_max_k
         self.sim_tier = sim_tier
+        from ..sat.types import resolve_engine
+        self.solver = None if solver is None else resolve_engine(solver)
         self._pipeline = resolve_reduce(reduce)
         self.on_bound = on_bound
         self._backends: Dict[Tuple[str, str, int], Backend] = {}
@@ -240,6 +249,8 @@ class BmcSession:
         final = self._require_final("backend()")
         name = method or self.method
         cls = validate_method(name)
+        if self.solver is not None and "solver" not in options:
+            options["solver"] = self.solver
         opts = cls.options_class.from_kwargs(**options)
         # The target participates in the key: replacing the session's
         # single property via add_property must not hand back a cached
@@ -403,7 +414,8 @@ class BmcSession:
                                             reduce=self.reduce,
                                             prover=self.prover,
                                             prover_max_k=self.prover_max_k,
-                                            sim_tier=self.sim_tier)
+                                            sim_tier=self.sim_tier,
+                                            solver=self.solver)
         return self._checker
 
     def check_properties(self, k: int, names: List[str] | None = None,

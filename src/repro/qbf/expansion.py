@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..logic.cnf import CNF
-from ..sat.solver import CdclSolver
+from ..sat.kernel import make_solver
 from ..sat.types import Budget, SolveResult
 from .pcnf import PCNF
 
@@ -76,7 +76,7 @@ class ExpansionSolver:
         matrix = CNF(next_var - 1)
         for c in clauses:
             matrix.add_clause(c)
-        solver = CdclSolver()
+        solver = make_solver()
         if not solver.add_clauses(matrix.clauses):
             return SolveResult.UNSAT
         solver.ensure_vars(matrix.num_vars)

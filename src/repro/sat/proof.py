@@ -1,9 +1,16 @@
-"""Resolution proof logging and checking.
+"""Resolution and DRAT proof logging and checking.
 
-The CDCL solver can log every learnt clause as a *resolution chain*: a
-start clause plus a sequence of ``(antecedent_id, pivot_var)`` steps.
-Replaying the chains validates the refutation and drives UNSAT-core
-extraction and Craig interpolation (:mod:`repro.sat.interpolation`).
+The CDCL engines can log every learnt clause as a *resolution chain*:
+a start clause plus a sequence of ``(antecedent_id, pivot_var)`` steps.
+Replaying the chains (:class:`ResolutionProof`) validates the
+refutation and drives UNSAT-core extraction and Craig interpolation
+(:mod:`repro.sat.interpolation`).
+
+:class:`DratProof` accepts the same logging calls but keeps only the
+DRAT view — the ordered sequence of clause *additions* — and validates
+each derived clause by reverse unit propagation (RUP), the check DRAT
+tools perform.  Both proof sinks plug into either solver engine
+unchanged.
 
 Clause literals here are DIMACS-signed ints.
 """
@@ -12,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["ResolutionProof", "ProofError"]
+__all__ = ["ResolutionProof", "DratProof", "ProofError"]
 
 
 class ProofError(ValueError):
@@ -158,3 +165,150 @@ class ResolutionProof:
     def core_clauses(self, proof_id: int) -> List[Tuple[int, ...]]:
         """The input clauses (as literal tuples) in the core."""
         return [self._steps[i].lits for i in self.core_inputs(proof_id)]
+
+
+class DratProof(ResolutionProof):
+    """DRAT-style clause-addition log checked by reverse unit propagation.
+
+    Drop-in for :class:`ResolutionProof` on the *logging* side: the
+    solvers call :meth:`add_input` / :meth:`add_derived` identically,
+    but the resolution chains are discarded — only the order of clause
+    additions matters, exactly what a DRAT proof records.  Checking
+    replaces chain replay with the RUP test: a derived clause ``C`` is
+    valid iff assuming ``¬C`` and unit-propagating over every clause
+    added before it yields a conflict.  Clause deletions are not
+    recorded; RUP checking remains sound with missing deletions (the
+    database it propagates over is only ever larger than the
+    solver's).
+
+    Unlike resolution chains, a DRAT log carries no antecedent
+    structure, so it cannot drive interpolation or exact cores —
+    :meth:`core_inputs` degrades to the full input set.
+
+    Example
+    -------
+    >>> p = DratProof()
+    >>> a = p.add_input([1]); b = p.add_input([-1])
+    >>> e = p.add_derived(a, [(b, 1)], [])
+    >>> p.check_refutation(e)
+    True
+    """
+
+    def add_derived(self, start: int, chain: Sequence[Tuple[int, int]],
+                    result_lits: Iterable[int]) -> int:
+        """Record a derived clause addition (the chain is discarded)."""
+        if start < 0:
+            raise ProofError("derived clause with invalid start id")
+        if not chain:
+            # Degenerate chain: the derived clause IS the start clause.
+            return start
+        self._steps.append(_Step("derived", tuple(result_lits), start, ()))
+        return len(self._steps) - 1
+
+    # ------------------------------------------------------------------
+    # RUP checking
+    # ------------------------------------------------------------------
+    def verify(self, up_to: int | None = None) -> bool:
+        """Forward-check every derived step (through ``up_to``) by RUP.
+
+        Raises :class:`ProofError` at the first derived clause that is
+        not a reverse-unit-propagation consequence of the additions
+        before it.
+        """
+        clauses: List[List[int]] = []
+        watches: Dict[int, List[int]] = {}
+        units: List[int] = []
+
+        def add_to_db(lits: Tuple[int, ...]) -> None:
+            if len(lits) == 0:
+                return
+            if len(lits) == 1:
+                units.append(lits[0])
+                return
+            ci = len(clauses)
+            clauses.append(list(lits))
+            watches.setdefault(lits[0], []).append(ci)
+            watches.setdefault(lits[1], []).append(ci)
+
+        def rup(clause: Tuple[int, ...]) -> bool:
+            assign: Dict[int, bool] = {}
+            queue: List[int] = []
+
+            def enqueue(lit: int) -> bool:
+                var, sign = abs(lit), lit > 0
+                if var in assign:
+                    return assign[var] != sign      # conflicting unit
+                assign[var] = sign
+                queue.append(lit)
+                return False
+
+            for lit in clause:
+                if enqueue(-lit):
+                    return True
+            for lit in units:
+                if enqueue(lit):
+                    return True
+            qi = 0
+            while qi < len(queue):
+                false_lit = -queue[qi]
+                qi += 1
+                watch_list = watches.get(false_lit)
+                if not watch_list:
+                    continue
+                i = 0
+                while i < len(watch_list):
+                    ci = watch_list[i]
+                    cl = clauses[ci]
+                    if cl[0] == false_lit:
+                        cl[0], cl[1] = cl[1], cl[0]
+                    first = cl[0]
+                    fv = assign.get(abs(first))
+                    if fv is not None and fv == (first > 0):
+                        i += 1                       # satisfied
+                        continue
+                    moved = False
+                    for k in range(2, len(cl)):
+                        q = cl[k]
+                        qv = assign.get(abs(q))
+                        if qv is None or qv == (q > 0):
+                            cl[1], cl[k] = cl[k], cl[1]
+                            watch_list[i] = watch_list[-1]
+                            watch_list.pop()
+                            watches.setdefault(q, []).append(ci)
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    if fv is None:
+                        if enqueue(first):
+                            return True
+                        i += 1
+                    else:
+                        return True                  # clause falsified
+            return False
+
+        last = len(self._steps) - 1 if up_to is None else up_to
+        for i, step in enumerate(self._steps[:last + 1]):
+            if step.kind != "input" and not rup(step.lits):
+                raise ProofError(
+                    f"step {i}: clause {sorted(step.lits)} is not RUP")
+            add_to_db(step.lits)
+        return True
+
+    def replay(self, proof_id: int, strict: bool = True) -> FrozenSet[int]:
+        """RUP-check the log through ``proof_id``; returns its literals."""
+        self.verify(proof_id)
+        return frozenset(self._steps[proof_id].lits)
+
+    def check_refutation(self, empty_id: int) -> bool:
+        """Verify that ``empty_id`` is a RUP-derived empty clause."""
+        if self._steps[empty_id].lits:
+            raise ProofError(
+                f"final clause not empty: "
+                f"{sorted(self._steps[empty_id].lits)}")
+        return self.verify(empty_id)
+
+    def core_inputs(self, proof_id: int) -> List[int]:
+        """All input ids: DRAT logs carry no antecedent structure, so
+        the only sound core is the full input set."""
+        return self.inputs()

@@ -89,6 +89,8 @@ class CdclSolver:
     True
     """
 
+    engine = "reference"
+
     def __init__(self, proof: ResolutionProof | None = None) -> None:
         self.proof = proof
         self.ok = True
@@ -634,7 +636,8 @@ class CdclSolver:
         before = (stats.conflicts, stats.decisions, stats.propagations,
                   stats.restarts, stats.learned)
         start = time.monotonic()
-        with tracer.span("sat.solve", assumptions=len(assumptions)) as sp:
+        with tracer.span("sat.solve", assumptions=len(assumptions),
+                         engine=self.engine) as sp:
             result = self._solve(assumptions, budget)
             sp.set(result=result.name,
                    conflicts=stats.conflicts - before[0],

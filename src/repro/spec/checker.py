@@ -41,8 +41,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..logic.cnf import CNF, VarPool
 from ..logic.expr import Expr
 from ..logic.tseitin import TseitinEncoder
-from ..sat.solver import CdclSolver
-from ..sat.types import Budget, SolveResult
+from ..sat.kernel import make_solver
+from ..sat.types import Budget, SolveResult, resolve_engine
 from ..system.model import TransitionSystem
 from ..system.trace import Trace, TraceError
 from ..telemetry.trace import current_tracer
@@ -165,13 +165,15 @@ class SharedUnrolling:
     """
 
     def __init__(self, system: TransitionSystem,
-                 purge_interval: int = 4) -> None:
+                 purge_interval: int = 4,
+                 solver: Optional[str] = None) -> None:
         self.system = system
         self.purge_interval = max(1, purge_interval)
+        self.engine = resolve_engine(solver)
         self.pool = VarPool()
         self.cnf = CNF()
         self.encoder = TseitinEncoder(self.cnf, self.pool, False)
-        self.solver = CdclSolver()
+        self.solver = make_solver(self.engine)
         self._cursor = 0
         self._retired_since_purge = 0
         self.k = 0
@@ -283,10 +285,12 @@ class _Cone:
     policy of ``IncrementalBmc.check_bound``, kept per cone.
     """
 
-    def __init__(self, reduction, purge_interval: int) -> None:
+    def __init__(self, reduction, purge_interval: int,
+                 solver: Optional[str] = None) -> None:
         self.reduction = reduction
         self.system: TransitionSystem = reduction.system
         self.purge_interval = purge_interval
+        self.engine = resolve_engine(solver)
         self._shared: Optional[SharedUnrolling] = None
         self._low: Optional[SharedUnrolling] = None
 
@@ -304,11 +308,13 @@ class _Cone:
         """
         if self._shared is None:
             self._shared = SharedUnrolling(self.system,
-                                           self.purge_interval)
+                                           self.purge_interval,
+                                           solver=self.engine)
         if k < self._shared.k:
             low = self._low
             if low is None or k < low.k:
-                low = SharedUnrolling(self.system, self.purge_interval)
+                low = SharedUnrolling(self.system, self.purge_interval,
+                                      solver=self.engine)
                 self._low = low
             return low
         return self._shared
@@ -348,6 +354,10 @@ class PropertyChecker:
     with no single-target reachability form (general bounded-LTL) are
     never escalated.
 
+    ``solver`` selects the SAT engine (``"kernel"`` / ``"reference"``)
+    for every unrolling the checker owns; ``None`` defers to the
+    process default (:func:`repro.sat.types.resolve_engine`).
+
     ``sim_tier`` (default on) tries the bit-parallel random-simulation
     falsifier (:func:`repro.sim.presolve`) on each reachability-style
     query before touching the shared unrolling: a validated simulation
@@ -372,7 +382,8 @@ class PropertyChecker:
                  reduce: object = "off",
                  prover: Optional[str] = None,
                  prover_max_k: int = 64,
-                 sim_tier: bool = True) -> None:
+                 sim_tier: bool = True,
+                 solver: Optional[str] = None) -> None:
         from ..reduce import resolve_reduce
         if prover is not None:
             from ..bmc.backend import backend_class  # deferred: bmc imports spec
@@ -389,6 +400,7 @@ class PropertyChecker:
         self.prover = prover
         self.prover_max_k = prover_max_k
         self.sim_tier = sim_tier
+        self.engine = resolve_engine(solver)
         self._cones: Dict[tuple, _Cone] = {}
         self._assignments: Dict[str, _Cone] = {}
         self._mapped: Dict[str, Property] = {}
@@ -456,7 +468,8 @@ class PropertyChecker:
             key = reduction.cone_key()
             cone = self._cones.get(key)
             if cone is None:
-                cone = _Cone(reduction, self.purge_interval)
+                cone = _Cone(reduction, self.purge_interval,
+                             solver=self.engine)
                 self._cones[key] = cone
             self._assignments[name] = cone
             self._mapped[name] = cone.reduction.map_property(prop)

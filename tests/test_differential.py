@@ -143,6 +143,58 @@ class TestRandomSystems:
                     assert not any(final.evaluate(s)
                                    for s in got.trace.states[:-1])
 
+class TestEngineLegs:
+    """The same sweep with one leg pinned to each SAT engine via
+    ``REPRO_SAT_KERNEL``: the engine choice must be invisible in every
+    verdict, shortest bound, and witness."""
+
+    @pytest.mark.parametrize("instance", REPRESENTATIVES[::3],
+                             ids=[i.family for i in REPRESENTATIVES[::3]])
+    def test_suite_sweep_engine_invariant(self, instance, monkeypatch):
+        system, final = instance.system, instance.final
+        legs = {}
+        for engine in ("reference", "kernel"):
+            monkeypatch.setenv("REPRO_SAT_KERNEL", engine)
+            legs[engine] = sweep(system, final, MAX_K,
+                                 method="sat-incremental")
+        ref, ker = legs["reference"], legs["kernel"]
+        assert ref.status is ker.status, instance.name
+        assert ref.shortest_k == ker.shortest_k, instance.name
+        per_bound = {leg: {b.k: b.status for b in result.per_bound}
+                     for leg, result in legs.items()}
+        assert per_bound["reference"] == per_bound["kernel"], instance.name
+        if ker.trace is not None:
+            ker.trace.validate(system, final)
+            assert ker.trace.length == ker.shortest_k
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, **COMMON)
+    def test_methods_engine_matrix_agrees(self, seed):
+        rng = random.Random(seed)
+        system = random_system(rng, num_latches=3, num_inputs=1, depth=2)
+        final = random_predicate(rng, system)
+        import os
+        previous = os.environ.get("REPRO_SAT_KERNEL")
+        verdicts = {}
+        try:
+            for engine in ("reference", "kernel"):
+                os.environ["REPRO_SAT_KERNEL"] = engine
+                for method in SAT_METHODS:
+                    for k in (0, 2, 4):
+                        result = check_reachability(system, final, k,
+                                                    method)
+                        verdicts.setdefault((method, k), set()).add(
+                            result.status)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SAT_KERNEL", None)
+            else:
+                os.environ["REPRO_SAT_KERNEL"] = previous
+        for key, statuses in verdicts.items():
+            assert len(statuses) == 1, (seed, key, statuses)
+
+
+class TestRandomSweeps:
     @given(st.integers(0, 10_000))
     @settings(max_examples=10, **COMMON)
     def test_sweeps_agree_across_methods(self, seed):

@@ -34,6 +34,38 @@ def _spin_execute(payload):
             "stats": {}, "trace": None, "error": None}
 
 
+def _kernel_execute(payload):
+    """A real kernel-engine solve that runs until the pool cancels it.
+
+    Unlike :func:`_spin_execute` this exercises the production path:
+    the kernel solver polls the worker's installed stop check from
+    inside its search loop, so cancellation must land mid-solve.
+    """
+    from repro.sat.kernel import make_solver
+    from repro.sat.types import SolveResult
+    holes = payload.get("holes", 11)
+
+    def var(i, j):
+        return i * holes + j + 1
+
+    solver = make_solver("kernel")
+    solver.ensure_vars((holes + 1) * holes)
+    for i in range(holes + 1):
+        solver.add_clause([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(holes + 1):
+            for i2 in range(i1 + 1, holes + 1):
+                solver.add_clause([-var(i1, j), -var(i2, j)])
+    start = time.monotonic()
+    status = solver.solve()
+    return {"status": status.name, "k": payload.get("k", -1),
+            "method": "kernel-pigeonhole",
+            "seconds": time.monotonic() - start,
+            "stats": solver.stats.as_dict(), "trace": None,
+            "error": None,
+            "interrupted": status is SolveResult.UNKNOWN}
+
+
 def _alive(pid: int) -> bool:
     """True while ``pid`` is a live (non-zombie) process."""
     try:
@@ -75,6 +107,32 @@ class TestCooperativeCancel:
             assert outcome2["worker_pid"] == first_pid
             assert pool.respawns == 0
             assert pool.cancelled == 2
+
+    def test_cancel_kernel_solve_keeps_worker_warm(self):
+        """Warm-cancel through the kernel engine's own stop-check
+        polling: a hard pigeonhole solve is aborted mid-search, the
+        worker survives, and the same process then completes an easy
+        instance to completion."""
+        with WorkerPool(jobs=1, execute=_kernel_execute) as pool:
+            pool.submit(Task(1, {"holes": 11}))
+            time.sleep(0.3)          # let the solve get going
+            assert pool.cancel(1) == "running"
+            while 1 not in pool._results:
+                pool.collect(timeout=10.0)
+            outcome = pool.take_results()[1]
+            assert outcome["cancelled"] is True
+            assert outcome["interrupted"] is True
+            assert outcome["status"] == "UNKNOWN"
+            first_pid = outcome["worker_pid"]
+            # Same warm worker finishes a small instance normally.
+            pool.submit(Task(2, {"holes": 4}))
+            while 2 not in pool._results:
+                pool.collect(timeout=10.0)
+            outcome2 = pool.take_results()[2]
+            assert outcome2["worker_pid"] == first_pid
+            assert not outcome2.get("cancelled")
+            assert outcome2["status"] == "UNSAT"
+            assert pool.respawns == 0
 
     def test_cancel_queued_synthesizes_outcome(self):
         with WorkerPool(jobs=1, execute=_spin_execute) as pool:

@@ -214,3 +214,50 @@ class TestInternals:
         assert s.stats.solve_calls == 1
         assert s.stats.propagations > 0
         assert s.stats.peak_db_literals >= 9
+
+
+class TestEngineStatsParity:
+    """Both engines expose the SAME observability surface: identical
+    counter names and identical ``sat.solve`` span fields, so dashboards
+    and bench harnesses never special-case the engine."""
+
+    CNF_CLAUSES = [[1, 2], [-1, 2], [1, -2], [-1, -2, 3], [-3, 4]]
+
+    def _solved(self, engine):
+        from repro.sat.kernel import make_solver
+        s = make_solver(engine)
+        for clause in self.CNF_CLAUSES:
+            s.add_clause(clause)
+        assert s.solve() is SolveResult.SAT
+        return s
+
+    def test_counter_names_identical(self):
+        ref = self._solved("reference")
+        ker = self._solved("kernel")
+        assert set(ker.stats.as_dict()) == set(ref.stats.as_dict())
+        for s in (ref, ker):
+            d = s.stats.as_dict()
+            assert d["propagations"] > 0
+            assert d["db_literals"] > 0
+            assert d["peak_db_literals"] >= d["db_literals"]
+            assert s.stats.solve_calls == 1
+
+    def test_solve_span_fields_identical(self):
+        from repro.telemetry import (MetricsRegistry, Tracer, set_metrics,
+                                     set_tracer)
+        tracer, registry = Tracer(), MetricsRegistry()
+        prev_tracer = set_tracer(tracer)
+        prev_metrics = set_metrics(registry)
+        try:
+            self._solved("reference")
+            self._solved("kernel")
+        finally:
+            set_tracer(prev_tracer)
+            set_metrics(prev_metrics)
+        solves = [e for e in tracer.events() if e["name"] == "sat.solve"]
+        by_engine = {e["args"]["engine"]: e for e in solves}
+        assert set(by_engine) == {"reference", "kernel"}
+        assert (set(by_engine["reference"]["args"])
+                == set(by_engine["kernel"]["args"]))
+        for event in by_engine.values():
+            assert event["args"]["result"] == "SAT"
